@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the compute kernels underlying every experiment:
+//! Pauli-sum expectation values, circuit simulation, Pauli propagation, Lanczos ground
+//! states, spectral clustering, and a miniature end-to-end TreeVQA step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qchem::MoleculeSpec;
+use qop::{ground_energy, LanczosOptions, Statevector};
+use qsim::{run_circuit, PauliPropagator, PauliPropagatorConfig};
+use treevqa::{TreeVqa, TreeVqaConfig};
+use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
+
+fn bench_expectation(c: &mut Criterion) {
+    let molecule = MoleculeSpec::beh2();
+    let ham = molecule.hamiltonian(molecule.equilibrium_bond);
+    let state = Statevector::uniform_superposition(molecule.num_qubits);
+    c.bench_function("pauli_op_expectation_beh2", |b| {
+        b.iter(|| std::hint::black_box(ham.expectation(&state)))
+    });
+}
+
+fn bench_circuit_simulation(c: &mut Criterion) {
+    let ansatz = HardwareEfficientAnsatz::new(8, 2, Entanglement::Circular).build();
+    let params: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.1 * i as f64).collect();
+    let init = Statevector::zero_state(8);
+    c.bench_function("statevector_hea_8q_2rep", |b| {
+        b.iter(|| std::hint::black_box(run_circuit(&ansatz, &params, &init)))
+    });
+}
+
+fn bench_pauli_propagation(c: &mut Criterion) {
+    let ansatz = HardwareEfficientAnsatz::new(16, 1, Entanglement::Linear).build();
+    let params: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.05 * i as f64).collect();
+    let ham = MoleculeSpec::c2h2().hamiltonian(1.2);
+    let prop = PauliPropagator::new(PauliPropagatorConfig {
+        max_weight: 4,
+        coefficient_threshold: 1e-6,
+        max_terms: 20_000,
+    });
+    c.bench_function("pauli_propagation_c2h2_16q", |b| {
+        b.iter(|| std::hint::black_box(prop.expectation(&ansatz, &params, &ham, 0)))
+    });
+}
+
+fn bench_lanczos(c: &mut Criterion) {
+    let ham = qchem::transverse_field_ising(8, 1.0, 1.0);
+    c.bench_function("lanczos_ground_energy_tfim_8q", |b| {
+        b.iter(|| std::hint::black_box(ground_energy(&ham, &LanczosOptions::default())))
+    });
+}
+
+fn bench_spectral_clustering(c: &mut Criterion) {
+    let molecule = MoleculeSpec::lih();
+    let hams: Vec<_> = molecule
+        .bond_lengths(10)
+        .into_iter()
+        .map(|b| molecule.hamiltonian(b))
+        .collect();
+    let distances: Vec<Vec<f64>> = hams
+        .iter()
+        .map(|a| hams.iter().map(|b| a.l1_distance(b)).collect())
+        .collect();
+    c.bench_function("spectral_bipartition_10_tasks", |b| {
+        b.iter(|| {
+            let sim = cluster::SimilarityMatrix::from_distances(&distances);
+            std::hint::black_box(cluster::spectral_bipartition(&sim, 7))
+        })
+    });
+}
+
+fn bench_treevqa_short_run(c: &mut Criterion) {
+    let molecule = MoleculeSpec::h2();
+    let tasks: Vec<VqaTask> = molecule
+        .tasks(3)
+        .into_iter()
+        .map(|(bond, ham)| VqaTask::new(format!("r={bond:.3}"), bond, ham))
+        .collect();
+    let ansatz = HardwareEfficientAnsatz::new(molecule.num_qubits, 1, Entanglement::Circular).build();
+    let app = VqaApplication::new(
+        "bench",
+        tasks,
+        ansatz,
+        InitialState::Basis(molecule.hartree_fock_state()),
+    );
+    let config = TreeVqaConfig {
+        max_cluster_iterations: 30,
+        record_every: 10,
+        ..Default::default()
+    };
+    c.bench_function("treevqa_30_iterations_h2_3_tasks", |b| {
+        b.iter_batched(
+            || (TreeVqa::new(app.clone(), config.clone()), StatevectorBackend::new()),
+            |(tree, mut backend)| std::hint::black_box(tree.run(&mut backend)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = kernels;
+    config = configure();
+    targets = bench_expectation, bench_circuit_simulation, bench_pauli_propagation,
+              bench_lanczos, bench_spectral_clustering, bench_treevqa_short_run
+}
+criterion_main!(kernels);

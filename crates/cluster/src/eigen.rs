@@ -1,0 +1,192 @@
+//! Dense symmetric eigen-decomposition via the cyclic Jacobi method.
+//!
+//! Spectral clustering needs the smallest eigenvectors of the normalized graph Laplacian.
+//! Task counts in the paper are small (≤ 30 Hamiltonians per application), so a dense
+//! Jacobi sweep is more than fast enough and numerically robust.
+
+/// Eigen-decomposition of a real symmetric matrix.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// `eigenvectors[i]` is the eigenvector (length n) paired with `eigenvalues[i]`.
+    pub eigenvectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenvalues/eigenvectors of a real symmetric matrix with the cyclic Jacobi
+/// method.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square, is empty, or is not (approximately) symmetric.
+///
+/// # Examples
+///
+/// ```
+/// use cluster::symmetric_eigen;
+///
+/// let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+/// let eig = symmetric_eigen(&m);
+/// assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-10);
+/// ```
+pub fn symmetric_eigen(matrix: &[Vec<f64>]) -> SymmetricEigen {
+    let n = matrix.len();
+    assert!(n > 0, "matrix must be non-empty");
+    for (i, row) in matrix.iter().enumerate() {
+        assert_eq!(row.len(), n, "matrix must be square");
+        for (j, &v) in row.iter().enumerate() {
+            assert!(
+                (v - matrix[j][i]).abs() < 1e-9,
+                "matrix must be symmetric (mismatch at ({i},{j}))"
+            );
+        }
+    }
+
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    // v starts as identity and accumulates rotations; columns become eigenvectors.
+    let mut v = vec![vec![0.0f64; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off_diag = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off_diag += a[i][j] * a[i][j];
+            }
+        }
+        if off_diag.sqrt() < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                if a[p][q].abs() < 1e-18 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = c * vp - s * vq;
+                    row[q] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort.
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|col| {
+            let value = a[col][col];
+            let vector: Vec<f64> = (0..n).map(|row| v[row][col]).collect();
+            (value, vector)
+        })
+        .collect();
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    SymmetricEigen {
+        eigenvalues: pairs.iter().map(|(val, _)| *val).collect(),
+        eigenvectors: pairs.into_iter().map(|(_, vec)| vec).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(m: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+        m.iter()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_the_diagonal() {
+        let m = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
+        let eig = symmetric_eigen(&m);
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let m = vec![
+            vec![4.0, 1.0, 0.5, 0.0],
+            vec![1.0, 3.0, 0.2, 0.7],
+            vec![0.5, 0.2, 2.0, 0.1],
+            vec![0.0, 0.7, 0.1, 1.0],
+        ];
+        let eig = symmetric_eigen(&m);
+        for (val, vec) in eig.eigenvalues.iter().zip(&eig.eigenvectors) {
+            let mv = mat_vec(&m, vec);
+            for (a, b) in mv.iter().zip(vec.iter()) {
+                assert!((a - val * b).abs() < 1e-8, "residual too large");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = vec![
+            vec![2.0, 0.5, 0.1],
+            vec![0.5, 1.0, 0.3],
+            vec![0.1, 0.3, 4.0],
+        ];
+        let eig = symmetric_eigen(&m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = eig.eigenvectors[i]
+                    .iter()
+                    .zip(&eig.eigenvectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = vec![
+            vec![1.0, 0.9, -0.4],
+            vec![0.9, -2.0, 0.3],
+            vec![-0.4, 0.3, 0.5],
+        ];
+        let eig = symmetric_eigen(&m);
+        let trace: f64 = (0..3).map(|i| m[i][i]).sum();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn asymmetric_matrix_panics() {
+        let m = vec![vec![1.0, 2.0], vec![0.0, 1.0]];
+        let _ = symmetric_eigen(&m);
+    }
+}

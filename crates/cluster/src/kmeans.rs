@@ -1,0 +1,219 @@
+//! Seeded k-means clustering in low-dimensional embedding space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster label (0..k) assigned to each point.
+    pub labels: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs Lloyd's k-means with k-means++-style seeding.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `points` is empty, `k > points.len()`, or the points have
+/// inconsistent dimensionality.
+///
+/// # Examples
+///
+/// ```
+/// use cluster::kmeans;
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+/// let result = kmeans(&points, 2, 100, 7);
+/// assert_eq!(result.labels[0], result.labels[1]);
+/// assert_eq!(result.labels[2], result.labels[3]);
+/// assert_ne!(result.labels[0], result.labels[2]);
+/// ```
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iterations: usize, seed: u64) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "no points to cluster");
+    assert!(k <= points.len(), "more clusters than points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensionality");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.random_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, d) in dists.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut labels = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, centroid)| (c, squared_distance(p, centroid)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &label) in points.iter().zip(&labels) {
+            counts[label] += 1;
+            for (s, x) in sums[label].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                *c = sum.iter().map(|s| s / count as f64).collect();
+            } else {
+                // Re-seed an empty cluster at the point farthest from its centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        squared_distance(a.1, &centroids_snapshot(points, &labels, dim, k)[labels[a.0]])
+                            .partial_cmp(&squared_distance(
+                                b.1,
+                                &centroids_snapshot(points, &labels, dim, k)[labels[b.0]],
+                            ))
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                *c = points[far].clone();
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| squared_distance(p, &centroids[l]))
+        .sum();
+    KMeansResult {
+        labels,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+fn centroids_snapshot(points: &[Vec<f64>], labels: &[usize], dim: usize, k: usize) -> Vec<Vec<f64>> {
+    let mut sums = vec![vec![0.0f64; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &label) in points.iter().zip(labels) {
+        counts[label] += 1;
+        for (s, x) in sums[label].iter_mut().zip(p) {
+            *s += x;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(sum, count)| {
+            if count > 0 {
+                sum.into_iter().map(|s| s / count as f64).collect()
+            } else {
+                vec![0.0; dim]
+            }
+        })
+        .collect()
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            points.push(vec![3.0 + 0.01 * i as f64, 3.0]);
+        }
+        let result = kmeans(&points, 2, 100, 42);
+        let first = result.labels[0];
+        for i in (0..20).step_by(2) {
+            assert_eq!(result.labels[i], first);
+        }
+        for i in (1..20).step_by(2) {
+            assert_ne!(result.labels[i], first);
+        }
+        assert!(result.inertia < 0.1);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let result = kmeans(&points, 3, 50, 1);
+        assert!(result.inertia < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64, (i / 4) as f64]).collect();
+        let a = kmeans(&points, 3, 100, 9);
+        let b = kmeans(&points, 3, 100, 9);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let points = vec![vec![1.0, 1.0]; 6];
+        let result = kmeans(&points, 2, 20, 3);
+        assert_eq!(result.labels.len(), 6);
+        assert!(result.inertia < 1e-18);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_clusters_panics() {
+        let points = vec![vec![0.0]];
+        let _ = kmeans(&points, 2, 10, 0);
+    }
+}

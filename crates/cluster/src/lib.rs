@@ -1,0 +1,19 @@
+//! # cluster — similarity and spectral-clustering machinery for TreeVQA splits
+//!
+//! Implements the split-side substrate of the paper: pairwise Hamiltonian distances are
+//! converted to a Gaussian affinity matrix ([`SimilarityMatrix::from_distances`], with the
+//! median pairwise distance as bandwidth), and a triggered split partitions the cluster's
+//! members by spectral clustering on that matrix ([`spectral_bipartition`]: normalized
+//! Laplacian → leading eigenvectors → k-means).  The dense symmetric eigensolver
+//! ([`symmetric_eigen`]) and seeded [`kmeans`] are exposed as reusable building blocks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod eigen;
+mod kmeans;
+mod spectral;
+
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use kmeans::{kmeans, KMeansResult};
+pub use spectral::{spectral_bipartition, SimilarityMatrix};

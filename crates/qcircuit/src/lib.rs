@@ -1,0 +1,28 @@
+//! # qcircuit — parameterized-circuit IR and ansatz builders
+//!
+//! This crate provides the circuit representation consumed by the simulators in `qsim`
+//! and the ansatz families used throughout the paper's evaluation:
+//!
+//! * [`HardwareEfficientAnsatz`] — EfficientSU2-style rotation + circular-CX layers
+//!   (the default VQE ansatz; 2 layers noiseless, 5 layers in the noisy study).
+//! * [`UccsdAnsatz`] — Trotterized UCCSD for the H₂ benchmark.
+//! * [`QaoaAnsatz`] — standard QAOA and multi-angle QAOA (ma-QAOA) for MaxCut.
+//!
+//! Circuits are plain data ([`Circuit`] holds a gate list); parameter values are bound at
+//! execution time, so one circuit object can be evaluated at many parameter vectors
+//! without rebuilding.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod ansatz;
+mod circuit;
+mod gate;
+mod qaoa;
+mod uccsd;
+
+pub use ansatz::{Entanglement, HardwareEfficientAnsatz};
+pub use circuit::Circuit;
+pub use gate::{Angle, Gate};
+pub use qaoa::{NonDiagonalCostError, QaoaAnsatz, QaoaStyle};
+pub use uccsd::UccsdAnsatz;

@@ -1,0 +1,22 @@
+//! # qgraph — combinatorial-optimization workload generators
+//!
+//! Provides the QAOA-side workloads of the paper's evaluation:
+//!
+//! * [`WeightedGraph`] with exact (brute-force) MaxCut for reference solutions.
+//! * [`maxcut_cost_hamiltonian`] — the minimization-form MaxCut cost operator.
+//! * [`Ieee14Family`] / [`ieee14_base_graph`] — the IEEE 14-bus test system and its
+//!   load-scaled instance families (Figure 12's workload).
+//! * [`pool_graph`] — Red-QAOA-style graph coarsening used by the classical initializer.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod graph;
+mod ieee14;
+mod maxcut;
+mod pooling;
+
+pub use graph::{edge_weight_variance, WeightedGraph};
+pub use ieee14::{ieee14_base_graph, Ieee14Family, IEEE14_BRANCHES};
+pub use maxcut::{approximation_ratio, cut_value_of_basis_state, maxcut_cost_hamiltonian};
+pub use pooling::{pool_graph, PooledGraph};

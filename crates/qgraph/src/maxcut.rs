@@ -1,0 +1,120 @@
+//! MaxCut ↔ Ising/QUBO cost Hamiltonians.
+//!
+//! The paper's QAOA benchmark (Sections 7.1 and 8.8) solves MaxCut on IEEE-14-derived
+//! graphs.  The textbook cost operator is `C = Σ_{(i,j)∈E} w_ij/2 (I − Z_i Z_j)`, whose
+//! **maximum** eigenvalue corresponds to the maximum cut.  Because every VQA component in
+//! this workspace minimizes, [`maxcut_cost_hamiltonian`] returns `−C`, so that the ground
+//! state of the returned operator encodes the maximum cut and the ground-state energy is
+//! `−(max cut value)`.
+
+use crate::graph::WeightedGraph;
+use qop::{Pauli, PauliOp, PauliString};
+
+/// Builds the minimization-form MaxCut cost Hamiltonian `−C` for a weighted graph.
+///
+/// Ground-state energy = −(maximum cut value); the ground state is a computational basis
+/// state encoding the optimal bipartition.
+///
+/// # Examples
+///
+/// ```
+/// use qgraph::{maxcut_cost_hamiltonian, WeightedGraph};
+/// use qop::{ground_energy, LanczosOptions};
+///
+/// let mut g = WeightedGraph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// g.add_edge(0, 2, 1.0);
+/// let h = maxcut_cost_hamiltonian(&g);
+/// let e0 = ground_energy(&h, &LanczosOptions::default());
+/// assert!((e0 + 2.0).abs() < 1e-8); // max cut of a unit triangle is 2
+/// ```
+pub fn maxcut_cost_hamiltonian(graph: &WeightedGraph) -> PauliOp {
+    let n = graph.num_nodes();
+    let mut op = PauliOp::zero(n);
+    for &(u, v, w) in graph.edges() {
+        // −C term: −w/2 · I + w/2 · Z_u Z_v
+        op.add_term(PauliString::identity(n), -0.5 * w);
+        op.add_term(
+            PauliString::from_sparse(n, &[(u, Pauli::Z), (v, Pauli::Z)]),
+            0.5 * w,
+        );
+    }
+    op.simplify(0.0);
+    op
+}
+
+/// The cut value encoded by a computational basis state under the minimization convention:
+/// `cut(b) = −⟨b|(−C)|b⟩`.
+pub fn cut_value_of_basis_state(graph: &WeightedGraph, basis: u64) -> f64 {
+    graph.cut_value(basis)
+}
+
+/// The MaxCut approximation ratio of an energy obtained from the minimization-form
+/// Hamiltonian: `ratio = (−energy) / max_cut`.
+///
+/// # Panics
+///
+/// Panics if `max_cut` is not positive.
+pub fn approximation_ratio(energy: f64, max_cut: f64) -> f64 {
+    assert!(max_cut > 0.0, "max cut must be positive");
+    (-energy) / max_cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qop::{ground_state, LanczosOptions, Statevector};
+
+    #[test]
+    fn triangle_hamiltonian_structure() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.0);
+        let h = maxcut_cost_hamiltonian(&g);
+        // 3 ZZ terms + 1 merged identity term.
+        assert_eq!(h.num_terms(), 4);
+        assert!((h.identity_coefficient() + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_state_energies_match_cut_values() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 3.0);
+        let h = maxcut_cost_hamiltonian(&g);
+        for basis in 0..16u64 {
+            let psi = Statevector::basis_state(4, basis);
+            let energy = h.expectation(&psi);
+            assert!(
+                (energy + g.cut_value(basis)).abs() < 1e-10,
+                "basis {basis}: energy {energy} vs cut {}",
+                g.cut_value(basis)
+            );
+        }
+    }
+
+    #[test]
+    fn ground_state_is_the_max_cut() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(0, 1, 1.5);
+        g.add_edge(1, 2, 0.5);
+        g.add_edge(2, 3, 2.5);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 0, 2.0);
+        g.add_edge(1, 3, 0.7);
+        let (max_cut, _) = g.max_cut_brute_force();
+        let h = maxcut_cost_hamiltonian(&g);
+        let gs = ground_state(&h, &LanczosOptions::default());
+        assert!((gs.energy + max_cut).abs() < 1e-7);
+        assert!((approximation_ratio(gs.energy, max_cut) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn approximation_ratio_is_fractional_for_suboptimal_energy() {
+        let ratio = approximation_ratio(-1.5, 2.0);
+        assert!((ratio - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,348 @@
+//! Matrix-free Lanczos ground-state solver.
+//!
+//! Every fidelity number in the paper is relative to the exact ground-state energy of the
+//! task Hamiltonian.  The authors obtain those references from classical diagonalization;
+//! here we provide a Lanczos iteration with full re-orthogonalization that works directly
+//! on [`PauliOp::apply`], so no dense matrix is ever formed.  It is accurate to ~1e-10 for
+//! the register sizes used by the experiment harness (≤ 16 qubits dense).
+
+use crate::complex::Complex64;
+use crate::op::PauliOp;
+use crate::statevector::Statevector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the Lanczos ground-state solver.
+#[derive(Clone, Debug)]
+pub struct LanczosOptions {
+    /// Maximum Krylov-space dimension.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the change of the smallest Ritz value between iterations.
+    pub tolerance: f64,
+    /// Seed for the random starting vector.
+    pub seed: u64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            max_iterations: 200,
+            tolerance: 1e-12,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of a Lanczos ground-state computation.
+#[derive(Clone, Debug)]
+pub struct GroundState {
+    /// The estimated ground-state energy (smallest eigenvalue).
+    pub energy: f64,
+    /// The corresponding eigenvector.
+    pub state: Statevector,
+    /// Number of Lanczos iterations performed.
+    pub iterations: usize,
+}
+
+/// Computes the ground state (smallest eigenvalue and eigenvector) of a Hermitian
+/// [`PauliOp`] using the Lanczos algorithm with full re-orthogonalization.
+///
+/// # Examples
+///
+/// ```
+/// use qop::{ground_state, LanczosOptions, PauliOp};
+///
+/// // H = -X has eigenvalues ±1; the ground state is |+⟩ with energy -1.
+/// let h = PauliOp::from_labels(1, &[("X", -1.0)]);
+/// let gs = ground_state(&h, &LanczosOptions::default());
+/// assert!((gs.energy + 1.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the operator has zero terms acting on zero qubits.
+pub fn ground_state(op: &PauliOp, options: &LanczosOptions) -> GroundState {
+    let n = op.num_qubits();
+    let dim = 1usize << n;
+    let m_max = options.max_iterations.min(dim).max(1);
+
+    // Random normalized start vector (real entries suffice for a Hermitian operator but we
+    // keep complex to be general — some Hamiltonians have Y terms with complex eigenvectors).
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut v0 = Statevector::zero_state(n).zeros_like();
+    {
+        let amps = v0.amplitudes_mut();
+        for a in amps.iter_mut() {
+            *a = Complex64::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5);
+        }
+    }
+    v0.normalize();
+
+    let mut basis: Vec<Statevector> = vec![v0];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+    let mut last_ritz = f64::INFINITY;
+    let mut converged_at = m_max;
+
+    for j in 0..m_max {
+        let vj = basis[j].clone();
+        let mut w = op.apply(&vj);
+        let alpha = vj.inner(&w).re;
+        alphas.push(alpha);
+
+        // w = w - alpha*vj - beta_{j-1}*v_{j-1}
+        w.axpy(Complex64::from_real(-alpha), &vj);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            let prev = basis[j - 1].clone();
+            w.axpy(Complex64::from_real(-beta_prev), &prev);
+        }
+        // Full re-orthogonalization against the whole basis (twice is classical Gram-Schmidt
+        // with refinement; once is enough at our problem sizes, we do two passes for safety).
+        for _ in 0..2 {
+            for b in &basis {
+                let coeff = b.inner(&w);
+                if coeff.norm() > 0.0 {
+                    w.axpy(-coeff, b);
+                }
+            }
+        }
+
+        // Ritz value check.
+        let (ritz_vals, _) = tridiag_eigen(&alphas, &betas);
+        let current = ritz_vals
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        if (last_ritz - current).abs() < options.tolerance && j > 2 {
+            converged_at = j + 1;
+            break;
+        }
+        last_ritz = current;
+
+        let beta = w.norm();
+        if beta < 1e-14 {
+            // Krylov space exhausted (exact invariant subspace found).
+            converged_at = j + 1;
+            break;
+        }
+        if basis.len() < m_max {
+            let mut next = w;
+            next.scale(1.0 / beta);
+            betas.push(beta);
+            basis.push(next);
+        } else {
+            converged_at = j + 1;
+            break;
+        }
+    }
+
+    // Solve the final tridiagonal problem and reconstruct the eigenvector.
+    let (vals, vecs) = tridiag_eigen(&alphas, &betas[..alphas.len().saturating_sub(1)]);
+    let (min_idx, &energy) = vals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("tridiagonal eigenproblem returned no eigenvalues");
+
+    let mut state = basis[0].zeros_like();
+    for (k, b) in basis.iter().enumerate().take(alphas.len()) {
+        let coeff = vecs[k][min_idx];
+        state.axpy(Complex64::from_real(coeff), b);
+    }
+    state.normalize();
+
+    GroundState {
+        energy,
+        state,
+        iterations: converged_at,
+    }
+}
+
+/// Convenience wrapper returning only the ground-state energy.
+pub fn ground_energy(op: &PauliOp, options: &LanczosOptions) -> f64 {
+    ground_state(op, options).energy
+}
+
+/// Eigen-decomposition of a real symmetric tridiagonal matrix (diagonal `alphas`,
+/// off-diagonal `betas`) via the implicit QL algorithm.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[row][col]` is component `row`
+/// of eigenvector `col` (columns match the eigenvalue order).
+fn tridiag_eigen(alphas: &[f64], betas: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = alphas.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut d: Vec<f64> = alphas.to_vec();
+    let mut e: Vec<f64> = vec![0.0; n];
+    for (i, &b) in betas.iter().enumerate().take(n.saturating_sub(1)) {
+        e[i] = b;
+    }
+    // z starts as identity; accumulates the rotations.
+    let mut z = vec![vec![0.0f64; n]; n];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tridiagonal QL failed to converge");
+
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate eigenvectors.
+                for row in z.iter_mut() {
+                    f = row[i + 1];
+                    row[i + 1] = s * row[i] + c * f;
+                    row[i] = c * row[i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    (d, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn tridiag_eigen_matches_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let (vals, vecs) = tridiag_eigen(&[2.0, 2.0], &[1.0]);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(close(sorted[0], 1.0, 1e-12));
+        assert!(close(sorted[1], 3.0, 1e-12));
+        // Eigenvector columns are orthonormal.
+        let dot = vecs[0][0] * vecs[0][1] + vecs[1][0] * vecs[1][1];
+        assert!(dot.abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_qubit_ground_states() {
+        let z = PauliOp::from_labels(1, &[("Z", 1.0)]);
+        let gs = ground_state(&z, &LanczosOptions::default());
+        assert!(close(gs.energy, -1.0, 1e-9));
+        // Ground state of Z is |1>.
+        assert!(close(gs.state.probability(1), 1.0, 1e-8));
+
+        let x = PauliOp::from_labels(1, &[("X", -1.0)]);
+        let gs = ground_state(&x, &LanczosOptions::default());
+        assert!(close(gs.energy, -1.0, 1e-9));
+        assert!(close(gs.state.probability(0), 0.5, 1e-8));
+    }
+
+    #[test]
+    fn two_qubit_ising_ground_energy() {
+        // H = -Z0Z1 - 0.5*(X0 + X1). Exact ground energy = -(1 + 0.25).sqrt()*... compute
+        // via known closed form for 2-site TFIM with open boundary:
+        // eigenvalues of [[-1, -h, -h, 0], [-h, 1, 0, -h], [-h, 0, 1, -h], [0, -h, -h, -1]]
+        // with h=0.5 -> ground energy = -sqrt(1 + 4h^2) = -sqrt(2) for this construction?
+        // Rather than rely on a closed form, compare against dense diagonalization via
+        // power iteration on (c*I - H).
+        let h = PauliOp::from_labels(2, &[("ZZ", -1.0), ("XI", -0.5), ("IX", -0.5)]);
+        let gs = ground_state(&h, &LanczosOptions::default());
+        let reference = dense_min_eigenvalue(&h);
+        assert!(close(gs.energy, reference, 1e-8));
+        // Eigenvector satisfies H|psi> = E|psi>.
+        let hpsi = h.apply(&gs.state);
+        let residual: f64 = hpsi
+            .amplitudes()
+            .iter()
+            .zip(gs.state.amplitudes().iter())
+            .map(|(a, b)| (*a - b.scale(gs.energy)).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!(residual < 1e-6, "residual too large: {residual}");
+    }
+
+    #[test]
+    fn four_qubit_heisenberg_matches_dense() {
+        let mut h = PauliOp::zero(4);
+        for i in 0..3usize {
+            for axis in ["X", "Y", "Z"] {
+                let mut label = vec!['I'; 4];
+                label[i] = axis.chars().next().unwrap();
+                label[i + 1] = axis.chars().next().unwrap();
+                let label: String = label.into_iter().collect();
+                h.add_term(crate::pauli::PauliString::from_label(&label).unwrap(), 1.0);
+            }
+        }
+        let gs = ground_state(&h, &LanczosOptions::default());
+        let reference = dense_min_eigenvalue(&h);
+        assert!(close(gs.energy, reference, 1e-7), "{} vs {}", gs.energy, reference);
+    }
+
+    /// Brute-force smallest eigenvalue via inverse-free power iteration on (sigma*I - H),
+    /// good enough as an independent reference for tiny systems in tests.
+    fn dense_min_eigenvalue(h: &PauliOp) -> f64 {
+        let shift = h.l1_norm() + 1.0;
+        // (shift*I - H) is positive definite with largest eigenvalue shift - E_min.
+        let mut v = Statevector::uniform_superposition(h.num_qubits());
+        // Slightly perturb to avoid orthogonal start.
+        {
+            let amps = v.amplitudes_mut();
+            for (i, a) in amps.iter_mut().enumerate() {
+                *a += Complex64::new(1e-3 * ((i % 7) as f64), 1e-3 * ((i % 3) as f64));
+            }
+        }
+        v.normalize();
+        let mut lambda = 0.0;
+        for _ in 0..5000 {
+            let hv = h.apply(&v);
+            let mut next = v.clone();
+            next.scale(shift);
+            next.axpy(Complex64::from_real(-1.0), &hv);
+            let n = next.normalize();
+            lambda = n;
+            v = next;
+        }
+        shift - lambda
+    }
+}

@@ -1,0 +1,255 @@
+//! Dense statevector storage and basic vector operations.
+//!
+//! The gate-level simulator lives in the `qsim` crate; this module only provides the
+//! underlying data structure plus the linear-algebra primitives that both the simulator
+//! and the Lanczos ground-state solver need (inner products, norms, overlaps, sampling
+//! probabilities).
+
+use crate::complex::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// A dense n-qubit statevector with `2^n` complex amplitudes.
+///
+/// Amplitude index `b` corresponds to the computational basis state whose qubit `q` value
+/// is bit `q` of `b` (little-endian qubit ordering, consistent with
+/// [`crate::PauliString`]).
+///
+/// # Examples
+///
+/// ```
+/// use qop::Statevector;
+///
+/// let psi = Statevector::basis_state(2, 0b10);
+/// assert_eq!(psi.num_qubits(), 2);
+/// assert!((psi.probability(0b10) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Statevector {
+    amplitudes: Vec<Complex64>,
+    num_qubits: usize,
+}
+
+impl Statevector {
+    /// Creates the all-zeros state `|0...0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 30` (a dense vector that large would not fit in memory).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        Self::basis_state(num_qubits, 0)
+    }
+
+    /// Creates the computational basis state `|basis⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 30` or `basis >= 2^num_qubits`.
+    pub fn basis_state(num_qubits: usize, basis: u64) -> Self {
+        assert!(
+            num_qubits <= 30,
+            "dense statevectors are limited to 30 qubits; use the Pauli-propagation backend for larger systems"
+        );
+        let dim = 1usize << num_qubits;
+        assert!((basis as usize) < dim, "basis index out of range");
+        let mut amplitudes = vec![Complex64::ZERO; dim];
+        amplitudes[basis as usize] = Complex64::ONE;
+        Statevector {
+            amplitudes,
+            num_qubits,
+        }
+    }
+
+    /// Creates a statevector from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amplitudes: Vec<Complex64>) -> Self {
+        let dim = amplitudes.len();
+        assert!(dim.is_power_of_two() && dim > 0, "length must be a power of two");
+        let num_qubits = dim.trailing_zeros() as usize;
+        Statevector {
+            amplitudes,
+            num_qubits,
+        }
+    }
+
+    /// Creates the uniform superposition `H^{⊗n}|0⟩` (the standard QAOA initial state).
+    pub fn uniform_superposition(num_qubits: usize) -> Self {
+        let dim = 1usize << num_qubits;
+        let amp = Complex64::from_real(1.0 / (dim as f64).sqrt());
+        Statevector {
+            amplitudes: vec![amp; dim],
+            num_qubits,
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension of the Hilbert space (`2^n`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Immutable view of the amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amplitudes
+    }
+
+    /// Mutable view of the amplitudes (used by the gate simulator in `qsim`).
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amplitudes
+    }
+
+    /// The amplitude of basis state `basis`.
+    #[inline]
+    pub fn amplitude(&self, basis: u64) -> Complex64 {
+        self.amplitudes[basis as usize]
+    }
+
+    /// The measurement probability of basis state `basis`.
+    #[inline]
+    pub fn probability(&self, basis: u64) -> f64 {
+        self.amplitudes[basis as usize].norm_sqr()
+    }
+
+    /// All measurement probabilities (in basis order).
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn inner(&self, other: &Statevector) -> Complex64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.amplitudes
+            .iter()
+            .zip(other.amplitudes.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// The squared overlap `|⟨self|other⟩|²` (state fidelity for pure states).
+    pub fn overlap(&self, other: &Statevector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// The Euclidean norm of the vector.
+    pub fn norm(&self) -> f64 {
+        self.amplitudes
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Normalizes the vector in place. Returns the previous norm.
+    ///
+    /// If the norm is zero the vector is left unchanged and `0.0` is returned.
+    pub fn normalize(&mut self) -> f64 {
+        let n = self.norm();
+        if n > 0.0 {
+            for a in &mut self.amplitudes {
+                *a = *a / n;
+            }
+        }
+        n
+    }
+
+    /// `self += coeff * other` (used by Lanczos and the Pauli-sum apply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn axpy(&mut self, coeff: Complex64, other: &Statevector) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.amplitudes.iter_mut().zip(other.amplitudes.iter()) {
+            *a += coeff * *b;
+        }
+    }
+
+    /// Multiplies every amplitude by a real scalar.
+    pub fn scale(&mut self, s: f64) {
+        for a in &mut self.amplitudes {
+            *a = a.scale(s);
+        }
+    }
+
+    /// Returns a zeroed vector of the same shape.
+    pub fn zeros_like(&self) -> Statevector {
+        Statevector {
+            amplitudes: vec![Complex64::ZERO; self.dim()],
+            num_qubits: self.num_qubits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_state_has_unit_probability() {
+        let psi = Statevector::basis_state(3, 0b101);
+        assert_eq!(psi.dim(), 8);
+        assert!((psi.probability(0b101) - 1.0).abs() < 1e-12);
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+        assert!((psi.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_superposition_is_normalized() {
+        let psi = Statevector::uniform_superposition(4);
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+        for b in 0..16 {
+            assert!((psi.probability(b) - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_product_and_overlap() {
+        let a = Statevector::basis_state(2, 0);
+        let b = Statevector::basis_state(2, 1);
+        assert_eq!(a.inner(&b), Complex64::ZERO);
+        assert!((a.overlap(&a) - 1.0).abs() < 1e-12);
+        assert!(a.overlap(&b).abs() < 1e-12);
+        let plus = Statevector::uniform_superposition(2);
+        assert!((a.overlap(&plus) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_and_axpy() {
+        let mut v = Statevector::basis_state(1, 0);
+        v.scale(3.0);
+        assert!((v.norm() - 3.0).abs() < 1e-12);
+        let prev = v.normalize();
+        assert!((prev - 3.0).abs() < 1e-12);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+
+        let mut w = Statevector::zero_state(1).zeros_like();
+        w.axpy(Complex64::new(0.0, 2.0), &v);
+        assert!((w.amplitude(0).im - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_infers_qubits() {
+        let v = Statevector::from_amplitudes(vec![Complex64::ONE; 8]);
+        assert_eq!(v.num_qubits(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let _ = Statevector::from_amplitudes(vec![Complex64::ONE; 3]);
+    }
+}

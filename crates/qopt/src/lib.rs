@@ -1,0 +1,177 @@
+//! # qopt — classical optimizers for variational quantum algorithms
+//!
+//! The paper's evaluations use SPSA (default) and COBYLA (optimizer-agnosticism study,
+//! Section 8.6, and the noisy study, Section 8.7).  This crate provides both, plus
+//! Nelder–Mead as an extra derivative-free baseline, behind a single step-wise
+//! [`Optimizer`] trait so the VQA loop (and TreeVQA's controller) can monitor the loss
+//! after *every* iteration — which is exactly what the sliding-window split monitor needs.
+//!
+//! ```
+//! use qopt::{Optimizer, Spsa, SpsaConfig};
+//!
+//! // Minimize a quadratic: SPSA should walk toward the minimum at 1.0.
+//! let mut spsa = Spsa::new(SpsaConfig { a: 0.3, ..Default::default() }, 42);
+//! let mut params = vec![0.0];
+//! let mut objective = |p: &[f64]| (p[0] - 1.0).powi(2);
+//! for _ in 0..200 {
+//!     spsa.step(&mut params, &mut objective);
+//! }
+//! assert!((params[0] - 1.0).abs() < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cobyla;
+mod nelder_mead;
+mod spsa;
+
+pub use cobyla::{Cobyla, CobylaConfig};
+pub use nelder_mead::{NelderMead, NelderMeadConfig};
+pub use spsa::{Spsa, SpsaConfig};
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics reported by one optimizer iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// How many times the objective function was evaluated during this iteration.
+    pub evaluations: usize,
+    /// The loss value representative of this iteration (used by TreeVQA's sliding-window
+    /// slope monitor).
+    pub loss: f64,
+}
+
+/// A step-wise, derivative-free optimizer.
+///
+/// Implementations mutate `params` in place on every [`Optimizer::step`] call and report
+/// how many objective evaluations they consumed, so the caller can charge execution shots
+/// accurately.
+pub trait Optimizer {
+    /// Performs one optimizer iteration.
+    fn step(
+        &mut self,
+        params: &mut Vec<f64>,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+    ) -> IterationStats;
+
+    /// Human-readable optimizer name.
+    fn name(&self) -> &'static str;
+
+    /// Resets internal state (iteration counters, simplex caches) so the optimizer can be
+    /// reused for a fresh run with inherited parameters — which is what TreeVQA's child
+    /// clusters do after a split.
+    fn reset(&mut self);
+}
+
+/// Which optimizer a VQA run should use, with its configuration.
+///
+/// This enum exists so higher-level crates can store the optimizer choice in plain-data
+/// experiment configurations (it is `Serialize`/`Deserialize`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerSpec {
+    /// Simultaneous Perturbation Stochastic Approximation.
+    Spsa(SpsaConfig),
+    /// COBYLA-style linear-approximation trust-region optimizer.
+    Cobyla(CobylaConfig),
+    /// Nelder–Mead simplex.
+    NelderMead(NelderMeadConfig),
+}
+
+impl OptimizerSpec {
+    /// The paper's default optimizer (SPSA with default gains).
+    pub fn default_spsa() -> Self {
+        OptimizerSpec::Spsa(SpsaConfig::default())
+    }
+
+    /// Builds a fresh optimizer instance with the given RNG seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Optimizer + Send> {
+        match self {
+            OptimizerSpec::Spsa(cfg) => Box::new(Spsa::new(cfg.clone(), seed)),
+            OptimizerSpec::Cobyla(cfg) => Box::new(Cobyla::new(cfg.clone())),
+            OptimizerSpec::NelderMead(cfg) => Box::new(NelderMead::new(cfg.clone())),
+        }
+    }
+
+    /// Name of the selected optimizer.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerSpec::Spsa(_) => "SPSA",
+            OptimizerSpec::Cobyla(_) => "COBYLA",
+            OptimizerSpec::NelderMead(_) => "NelderMead",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shifted quadratic bowl in `dim` dimensions.
+    fn quadratic(dim: usize) -> impl FnMut(&[f64]) -> f64 {
+        let _ = dim;
+        move |p: &[f64]| {
+            p.iter()
+                .enumerate()
+                .map(|(i, &x)| (x - (i as f64 + 1.0) * 0.1).powi(2))
+                .sum()
+        }
+    }
+
+    fn run(spec: &OptimizerSpec, dim: usize, iters: usize, seed: u64) -> f64 {
+        let mut opt = spec.build(seed);
+        let mut params = vec![0.5; dim];
+        let mut obj = quadratic(dim);
+        let mut last = f64::INFINITY;
+        for _ in 0..iters {
+            last = opt.step(&mut params, &mut obj).loss;
+        }
+        let final_val = quadratic(dim)(&params);
+        assert!(last.is_finite());
+        final_val
+    }
+
+    #[test]
+    fn all_optimizers_reduce_a_quadratic() {
+        let start = quadratic(4)(&[0.5; 4]);
+        for spec in [
+            OptimizerSpec::Spsa(SpsaConfig {
+                a: 0.2,
+                ..Default::default()
+            }),
+            OptimizerSpec::Cobyla(CobylaConfig::default()),
+            OptimizerSpec::NelderMead(NelderMeadConfig::default()),
+        ] {
+            let end = run(&spec, 4, 300, 11);
+            assert!(
+                end < start * 0.5,
+                "{} failed to reduce the objective: {end} vs {start}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_names_and_default() {
+        assert_eq!(OptimizerSpec::default_spsa().name(), "SPSA");
+        assert_eq!(OptimizerSpec::Cobyla(CobylaConfig::default()).name(), "COBYLA");
+        assert_eq!(
+            OptimizerSpec::NelderMead(NelderMeadConfig::default()).name(),
+            "NelderMead"
+        );
+    }
+
+    #[test]
+    fn evaluations_are_reported() {
+        let mut opt = OptimizerSpec::default_spsa().build(3);
+        let mut params = vec![0.1, 0.2];
+        let mut count = 0usize;
+        let mut obj = |p: &[f64]| {
+            count += 1;
+            p.iter().map(|x| x * x).sum()
+        };
+        let stats = opt.step(&mut params, &mut obj);
+        assert_eq!(stats.evaluations, count);
+        assert!(stats.evaluations >= 2);
+    }
+}

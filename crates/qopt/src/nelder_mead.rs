@@ -1,0 +1,219 @@
+//! Nelder–Mead simplex optimizer.
+//!
+//! Not used by the paper directly, but provided as an additional derivative-free baseline
+//! for the optimizer-agnosticism experiments and as an independent cross-check of the
+//! COBYLA implementation in tests.
+
+use crate::{IterationStats, Optimizer};
+use serde::{Deserialize, Serialize};
+
+/// Nelder–Mead coefficients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NelderMeadConfig {
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+    /// Reflection coefficient (α).
+    pub reflection: f64,
+    /// Expansion coefficient (γ).
+    pub expansion: f64,
+    /// Contraction coefficient (ρ).
+    pub contraction: f64,
+    /// Shrink coefficient (σ).
+    pub shrink: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            initial_step: 0.25,
+            reflection: 1.0,
+            expansion: 2.0,
+            contraction: 0.5,
+            shrink: 0.5,
+        }
+    }
+}
+
+/// The Nelder–Mead optimizer.
+#[derive(Clone, Debug)]
+pub struct NelderMead {
+    config: NelderMeadConfig,
+    simplex: Vec<(Vec<f64>, f64)>,
+}
+
+impl NelderMead {
+    /// Creates a new instance.
+    pub fn new(config: NelderMeadConfig) -> Self {
+        NelderMead {
+            config,
+            simplex: Vec::new(),
+        }
+    }
+
+    fn build_simplex(
+        &mut self,
+        params: &[f64],
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+    ) -> usize {
+        self.simplex.clear();
+        self.simplex.push((params.to_vec(), objective(params)));
+        for i in 0..params.len() {
+            let mut p = params.to_vec();
+            p[i] += self.config.initial_step;
+            let f = objective(&p);
+            self.simplex.push((p, f));
+        }
+        params.len() + 1
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn step(
+        &mut self,
+        params: &mut Vec<f64>,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+    ) -> IterationStats {
+        let n = params.len();
+        let mut evaluations = 0usize;
+        if self.simplex.len() != n + 1 {
+            evaluations += self.build_simplex(params, objective);
+        }
+        self.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let best = self.simplex[0].clone();
+        let worst_idx = self.simplex.len() - 1;
+        let worst = self.simplex[worst_idx].clone();
+        let second_worst_value = self.simplex[worst_idx - 1].1;
+
+        // Centroid of all vertices except the worst.
+        let mut centroid = vec![0.0f64; n];
+        for (point, _) in self.simplex.iter().take(worst_idx) {
+            for (c, x) in centroid.iter_mut().zip(point.iter()) {
+                *c += x;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= worst_idx as f64;
+        }
+
+        let cfg = &self.config;
+        let lerp = |from: &[f64], towards: &[f64], t: f64| -> Vec<f64> {
+            from.iter()
+                .zip(towards.iter())
+                .map(|(a, b)| a + t * (b - a))
+                .collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &worst.0, -cfg.reflection);
+        let f_reflected = objective(&reflected);
+        evaluations += 1;
+
+        if f_reflected < best.1 {
+            // Expansion.
+            let expanded = lerp(&centroid, &worst.0, -cfg.expansion);
+            let f_expanded = objective(&expanded);
+            evaluations += 1;
+            self.simplex[worst_idx] = if f_expanded < f_reflected {
+                (expanded, f_expanded)
+            } else {
+                (reflected, f_reflected)
+            };
+        } else if f_reflected < second_worst_value {
+            self.simplex[worst_idx] = (reflected, f_reflected);
+        } else {
+            // Contraction.
+            let contracted = lerp(&centroid, &worst.0, cfg.contraction);
+            let f_contracted = objective(&contracted);
+            evaluations += 1;
+            if f_contracted < worst.1 {
+                self.simplex[worst_idx] = (contracted, f_contracted);
+            } else {
+                // Shrink toward the best vertex.
+                for i in 1..self.simplex.len() {
+                    let shrunk = lerp(&best.0, &self.simplex[i].0, cfg.shrink);
+                    let f = objective(&shrunk);
+                    evaluations += 1;
+                    self.simplex[i] = (shrunk, f);
+                }
+            }
+        }
+
+        self.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        *params = self.simplex[0].0.clone();
+        IterationStats {
+            evaluations,
+            loss: self.simplex[0].1,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "NelderMead"
+    }
+
+    fn reset(&mut self) {
+        self.simplex.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = NelderMead::new(NelderMeadConfig::default());
+        let mut params = vec![1.5, -1.5, 0.8];
+        let mut obj = |p: &[f64]| p.iter().map(|x| (x - 0.2).powi(2)).sum();
+        for _ in 0..250 {
+            opt.step(&mut params, &mut obj);
+        }
+        let loss: f64 = params.iter().map(|x| (x - 0.2).powi(2)).sum();
+        assert!(loss < 1e-4, "{loss}");
+    }
+
+    #[test]
+    fn handles_anisotropic_objectives() {
+        let mut opt = NelderMead::new(NelderMeadConfig::default());
+        // Classic Rosenbrock start, far from the (1, 1) minimum.
+        let mut params = vec![-1.2, 1.0];
+        let mut obj = |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
+        let start = obj(&params);
+        for _ in 0..500 {
+            opt.step(&mut params, &mut obj);
+        }
+        let end = 100.0 * (params[1] - params[0] * params[0]).powi(2) + (1.0 - params[0]).powi(2);
+        assert!(end < start * 0.05, "{end} vs {start}");
+    }
+
+    #[test]
+    fn loss_is_monotone_non_increasing_across_steps() {
+        let mut opt = NelderMead::new(NelderMeadConfig::default());
+        let mut params = vec![0.9, -0.3];
+        let mut obj = |p: &[f64]| p.iter().map(|x| x * x).sum();
+        let mut last = f64::INFINITY;
+        for _ in 0..100 {
+            let stats = opt.step(&mut params, &mut obj);
+            assert!(stats.loss <= last + 1e-12);
+            last = stats.loss;
+        }
+    }
+
+    #[test]
+    fn reset_rebuilds_simplex_next_step() {
+        let mut opt = NelderMead::new(NelderMeadConfig::default());
+        let mut params = vec![0.4];
+        let mut obj = |p: &[f64]| p[0] * p[0];
+        opt.step(&mut params, &mut obj);
+        opt.reset();
+        let mut count = 0usize;
+        let mut counting_obj = |p: &[f64]| {
+            count += 1;
+            p[0] * p[0]
+        };
+        opt.step(&mut params, &mut counting_obj);
+        assert!(count >= 2, "simplex should be rebuilt after reset");
+    }
+}

@@ -1,0 +1,292 @@
+//! Simultaneous Perturbation Stochastic Approximation (SPSA).
+//!
+//! SPSA estimates the gradient from exactly two objective evaluations per iteration by
+//! perturbing all parameters simultaneously along a random ±1 direction — this is the
+//! "mini-batch size of 2" the paper uses for its shot accounting (Section 7.3).  Gain
+//! sequences follow Spall's standard recommendations:
+//! `a_k = a / (A + k + 1)^α`, `c_k = c / (k + 1)^γ` with `α = 0.602`, `γ = 0.101`.
+
+use crate::{IterationStats, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// SPSA gain-sequence configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpsaConfig {
+    /// Gain numerator `a` of the update step size.
+    pub a: f64,
+    /// Perturbation magnitude numerator `c`.
+    pub c: f64,
+    /// Step-size decay exponent `α`.
+    pub alpha: f64,
+    /// Perturbation decay exponent `γ`.
+    pub gamma: f64,
+    /// Stability constant `A` added to the iteration count in the step-size denominator.
+    pub stability: f64,
+    /// Optional clip on the per-coordinate update magnitude (guards against the occasional
+    /// huge stochastic-gradient spike when shot noise is large). `None` disables clipping.
+    pub max_update: Option<f64>,
+    /// Automatic gain calibration: if `Some(target)`, the first call to
+    /// [`crate::Optimizer::step`] spends a handful of extra objective evaluations to
+    /// estimate the typical gradient magnitude and rescales `a` so that the first update
+    /// moves each parameter by roughly `target` radians (the standard Spall/Qiskit
+    /// calibration).  `None` uses `a` verbatim.
+    pub calibrate_first_step: Option<f64>,
+    /// Number of gradient samples used by the calibration.
+    pub calibration_samples: usize,
+}
+
+impl Default for SpsaConfig {
+    fn default() -> Self {
+        SpsaConfig {
+            a: 0.15,
+            c: 0.1,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 10.0,
+            max_update: Some(1.0),
+            calibrate_first_step: Some(0.15),
+            calibration_samples: 5,
+        }
+    }
+}
+
+/// The SPSA optimizer.
+#[derive(Clone, Debug)]
+pub struct Spsa {
+    config: SpsaConfig,
+    iteration: usize,
+    rng: StdRng,
+    seed: u64,
+    calibrated_a: Option<f64>,
+}
+
+impl Spsa {
+    /// Creates a new SPSA instance with the given configuration and RNG seed.
+    pub fn new(config: SpsaConfig, seed: u64) -> Self {
+        Spsa {
+            config,
+            iteration: 0,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            calibrated_a: None,
+        }
+    }
+
+    /// The current iteration counter.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// The effective gain numerator (calibrated if calibration has run).
+    pub fn effective_a(&self) -> f64 {
+        self.calibrated_a.unwrap_or(self.config.a)
+    }
+
+    /// The current step-size gain `a_k`.
+    pub fn step_size(&self) -> f64 {
+        let k = self.iteration as f64;
+        self.effective_a() / (self.config.stability + k + 1.0).powf(self.config.alpha)
+    }
+
+    /// Estimates the typical stochastic-gradient magnitude and rescales `a` so that the
+    /// first update moves each coordinate by about `target` (Spall's calibration rule).
+    fn calibrate(
+        &mut self,
+        params: &[f64],
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        target: f64,
+    ) -> usize {
+        let samples = self.config.calibration_samples.max(1);
+        let c0 = self.config.c.max(1e-6);
+        let dim = params.len();
+        let mut magnitude_sum = 0.0;
+        for _ in 0..samples {
+            let delta: Vec<f64> = (0..dim)
+                .map(|_| if self.rng.random::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let plus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + c0 * d).collect();
+            let minus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - c0 * d).collect();
+            let diff = (objective(&plus) - objective(&minus)) / (2.0 * c0);
+            magnitude_sum += diff.abs();
+        }
+        let mean_magnitude = magnitude_sum / samples as f64;
+        if mean_magnitude > 1e-10 {
+            self.calibrated_a =
+                Some(target * (self.config.stability + 1.0).powf(self.config.alpha) / mean_magnitude);
+        }
+        2 * samples
+    }
+
+    /// The current perturbation magnitude `c_k`.
+    pub fn perturbation(&self) -> f64 {
+        let k = self.iteration as f64;
+        self.config.c / (k + 1.0).powf(self.config.gamma)
+    }
+}
+
+impl Optimizer for Spsa {
+    fn step(
+        &mut self,
+        params: &mut Vec<f64>,
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+    ) -> IterationStats {
+        let dim = params.len();
+        let mut calibration_evals = 0usize;
+        if self.iteration == 0 && self.calibrated_a.is_none() {
+            if let Some(target) = self.config.calibrate_first_step {
+                calibration_evals = self.calibrate(params, objective, target);
+            }
+        }
+        let a_k = self.step_size();
+        let c_k = self.perturbation();
+
+        // Rademacher perturbation direction.
+        let delta: Vec<f64> = (0..dim)
+            .map(|_| if self.rng.random::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+
+        let plus: Vec<f64> = params
+            .iter()
+            .zip(&delta)
+            .map(|(p, d)| p + c_k * d)
+            .collect();
+        let minus: Vec<f64> = params
+            .iter()
+            .zip(&delta)
+            .map(|(p, d)| p - c_k * d)
+            .collect();
+
+        let f_plus = objective(&plus);
+        let f_minus = objective(&minus);
+        let diff = (f_plus - f_minus) / (2.0 * c_k);
+
+        for (p, d) in params.iter_mut().zip(&delta) {
+            // ghat_i = diff / delta_i and delta_i = ±1, so ghat_i = diff * delta_i.
+            let mut update = a_k * diff * d;
+            if let Some(clip) = self.config.max_update {
+                update = update.clamp(-clip, clip);
+            }
+            *p -= update;
+        }
+
+        self.iteration += 1;
+        IterationStats {
+            evaluations: 2 + calibration_evals,
+            loss: 0.5 * (f_plus + f_minus),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SPSA"
+    }
+
+    fn reset(&mut self) {
+        self.iteration = 0;
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.calibrated_a = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gains_decay_with_iterations() {
+        let mut spsa = Spsa::new(SpsaConfig::default(), 1);
+        let a0 = spsa.step_size();
+        let c0 = spsa.perturbation();
+        let mut params = vec![0.0; 3];
+        let mut obj = |p: &[f64]| p.iter().map(|x| x * x).sum();
+        for _ in 0..50 {
+            spsa.step(&mut params, &mut obj);
+        }
+        assert!(spsa.step_size() < a0);
+        assert!(spsa.perturbation() < c0);
+        assert_eq!(spsa.iteration(), 50);
+    }
+
+    #[test]
+    fn converges_on_separable_quadratic() {
+        let mut spsa = Spsa::new(
+            SpsaConfig {
+                a: 0.3,
+                ..Default::default()
+            },
+            7,
+        );
+        let target = [0.7, -0.4, 1.1, 0.0, -0.9];
+        let mut params = vec![0.0; 5];
+        let mut obj = |p: &[f64]| -> f64 {
+            p.iter()
+                .zip(target.iter())
+                .map(|(x, t)| (x - t).powi(2))
+                .sum()
+        };
+        for _ in 0..600 {
+            spsa.step(&mut params, &mut obj);
+        }
+        let final_loss: f64 = params
+            .iter()
+            .zip(target.iter())
+            .map(|(x, t)| (x - t).powi(2))
+            .sum();
+        assert!(final_loss < 0.05, "final loss {final_loss}");
+    }
+
+    #[test]
+    fn tolerates_noisy_objectives() {
+        // Additive noise should not prevent coarse convergence — this is SPSA's selling
+        // point for shot-noisy VQA objectives.
+        let mut spsa = Spsa::new(SpsaConfig::default(), 99);
+        let mut noise_rng = StdRng::seed_from_u64(5);
+        let mut params = vec![2.0, -2.0];
+        let mut obj = |p: &[f64]| -> f64 {
+            let clean: f64 = p.iter().map(|x| x * x).sum();
+            clean + 0.01 * (noise_rng.random::<f64>() - 0.5)
+        };
+        for _ in 0..800 {
+            spsa.step(&mut params, &mut obj);
+        }
+        let clean: f64 = params.iter().map(|x| x * x).sum();
+        assert!(clean < 0.5, "noisy convergence too poor: {clean}");
+    }
+
+    #[test]
+    fn reset_restores_iteration_and_rng() {
+        let mut spsa = Spsa::new(SpsaConfig::default(), 21);
+        let mut params_a = vec![0.5; 2];
+        let mut obj = |p: &[f64]| p.iter().map(|x| x * x).sum();
+        for _ in 0..10 {
+            spsa.step(&mut params_a, &mut obj);
+        }
+        spsa.reset();
+        assert_eq!(spsa.iteration(), 0);
+        let mut params_b = vec![0.5; 2];
+        let mut spsa2 = Spsa::new(SpsaConfig::default(), 21);
+        let s1 = spsa.step(&mut params_b, &mut obj);
+        let mut params_c = vec![0.5; 2];
+        let s2 = spsa2.step(&mut params_c, &mut obj);
+        assert_eq!(params_b, params_c);
+        assert_eq!(s1.loss, s2.loss);
+    }
+
+    #[test]
+    fn update_clipping_bounds_step() {
+        let mut spsa = Spsa::new(
+            SpsaConfig {
+                a: 100.0,
+                max_update: Some(0.1),
+                ..Default::default()
+            },
+            3,
+        );
+        let mut params = vec![0.0];
+        let mut obj = |p: &[f64]| 100.0 * p[0];
+        let before = params[0];
+        spsa.step(&mut params, &mut obj);
+        assert!((params[0] - before).abs() <= 0.1 + 1e-12);
+    }
+}

@@ -1,0 +1,292 @@
+//! Finite-shot expectation-value estimation.
+//!
+//! Given the exact output state of the simulator, these estimators produce the *noisy*
+//! expectation value an experimentalist would obtain from a finite number of measurement
+//! shots.  Two sampling models are provided:
+//!
+//! * [`SamplingMethod::Exact`] — no sampling noise (the paper's noiseless statevector
+//!   runs, which still *charge* shots for cost accounting).
+//! * [`SamplingMethod::Analytic`] — per-term Gaussian sampling noise with the exact
+//!   binomial variance `(1 − ⟨P⟩²)/s`.  Statistically equivalent to measuring each term
+//!   with `s` shots, at a fraction of the simulation cost.
+//! * [`SamplingMethod::Multinomial`] — true bitstring sampling per qubit-wise-commuting
+//!   group (slower; used in tests to validate the analytic model).
+
+use crate::shots::ShotLedger;
+use qop::{group_qwc, PauliOp, PauliString, Statevector};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How measurement sampling noise is generated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMethod {
+    /// Exact expectation values (no sampling noise).
+    Exact,
+    /// Gaussian noise with the exact per-term binomial variance.
+    Analytic,
+    /// True multinomial bitstring sampling per qubit-wise-commuting group.
+    Multinomial,
+}
+
+/// Configuration of the shot estimator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Shots allocated to each Pauli term of the measured Hamiltonian.
+    pub shots_per_pauli: u64,
+    /// Sampling model.
+    pub method: SamplingMethod,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            shots_per_pauli: crate::shots::DEFAULT_SHOTS_PER_PAULI,
+            method: SamplingMethod::Exact,
+        }
+    }
+}
+
+/// Estimates `⟨ψ|H|ψ⟩` under the configured sampling model, charging the ledger.
+///
+/// The shot charge is always `shots_per_pauli × num_terms`, independent of the sampling
+/// model, because the paper's cost accounting is defined that way (Section 7.3).
+pub fn estimate_expectation(
+    op: &PauliOp,
+    state: &Statevector,
+    config: &EstimatorConfig,
+    ledger: &mut ShotLedger,
+    rng: &mut StdRng,
+) -> f64 {
+    ledger.charge_evaluation(config.shots_per_pauli, op.num_terms());
+    match config.method {
+        SamplingMethod::Exact => op.expectation(state),
+        SamplingMethod::Analytic => analytic_sampled_expectation(op, state, config.shots_per_pauli, rng),
+        SamplingMethod::Multinomial => {
+            multinomial_sampled_expectation(op, state, config.shots_per_pauli, rng)
+        }
+    }
+}
+
+/// Per-term Gaussian model: each Pauli expectation `⟨P⟩` is replaced by the sample mean of
+/// `s` ±1 outcomes, approximated by `N(⟨P⟩, (1 − ⟨P⟩²)/s)` and clamped to `[-1, 1]`.
+pub fn analytic_sampled_expectation(
+    op: &PauliOp,
+    state: &Statevector,
+    shots_per_pauli: u64,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut total = 0.0;
+    for term in op.terms() {
+        let exact = if term.string.is_identity() {
+            1.0
+        } else {
+            PauliOp::string_expectation(&term.string, state)
+        };
+        let sampled = if term.string.is_identity() || shots_per_pauli == 0 {
+            exact
+        } else {
+            let variance = ((1.0 - exact * exact) / shots_per_pauli as f64).max(0.0);
+            let noisy = exact + gaussian(rng) * variance.sqrt();
+            noisy.clamp(-1.0, 1.0)
+        };
+        total += term.coefficient * sampled;
+    }
+    total
+}
+
+/// True sampling: rotate each qubit-wise-commuting group to its measurement basis,
+/// sample bitstrings from the exact distribution, and average the ±1 eigenvalues.
+pub fn multinomial_sampled_expectation(
+    op: &PauliOp,
+    state: &Statevector,
+    shots_per_pauli: u64,
+    rng: &mut StdRng,
+) -> f64 {
+    let groups = group_qwc(op);
+    let probs = state.probabilities();
+    let mut total = 0.0;
+    for group in &groups {
+        // Basis-rotated probabilities: we measure each qubit in the Pauli basis demanded by
+        // the group's measurement basis. Rotating the state is equivalent to rotating each
+        // term; for simplicity we rotate the state once per group.
+        let rotated = rotate_to_measurement_basis(state, &group.measurement_basis);
+        let rotated_probs = rotated.probabilities();
+        // Draw shots_per_pauli samples for the whole group.
+        let shots = shots_per_pauli.max(1);
+        let mut counts = vec![0u64; rotated_probs.len()];
+        for _ in 0..shots {
+            let outcome = sample_index(&rotated_probs, rng);
+            counts[outcome] += 1;
+        }
+        for &idx in &group.term_indices {
+            let term = &op.terms()[idx];
+            if term.string.is_identity() {
+                total += term.coefficient;
+                continue;
+            }
+            // After rotation, the term is diagonal: its eigenvalue on bitstring b is
+            // (-1)^{popcount(b & support)}.
+            let support: u64 = term
+                .string
+                .iter_non_identity()
+                .fold(0u64, |acc, (q, _)| acc | (1u64 << q));
+            let mut mean = 0.0;
+            for (b, &cnt) in counts.iter().enumerate() {
+                if cnt == 0 {
+                    continue;
+                }
+                let parity = ((b as u64) & support).count_ones() % 2;
+                let eig = if parity == 0 { 1.0 } else { -1.0 };
+                mean += eig * cnt as f64;
+            }
+            mean /= shots as f64;
+            total += term.coefficient * mean;
+        }
+    }
+    // Silence the unused variable if every term was identity.
+    let _ = probs;
+    total
+}
+
+/// Rotates `state` so that measuring in the computational basis realizes measurement of
+/// the Paulis in `basis` (X → H, Y → S†·H applied before measurement).
+fn rotate_to_measurement_basis(state: &Statevector, basis: &PauliString) -> Statevector {
+    use qcircuit::{Circuit, Gate};
+    let n = state.num_qubits();
+    let mut circ = Circuit::new(n);
+    for q in 0..n {
+        match basis.pauli_at(q) {
+            qop::Pauli::X => circ.push(Gate::H(q)),
+            qop::Pauli::Y => {
+                circ.push(Gate::Sdg(q));
+                circ.push(Gate::H(q));
+            }
+            _ => {}
+        }
+    }
+    crate::simulator::run_circuit(&circ, &[], state)
+}
+
+/// Samples an index from a discrete probability distribution.
+fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
+    let r: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn exact_method_matches_operator_expectation() {
+        let op = PauliOp::from_labels(2, &[("ZZ", 0.7), ("XI", -0.3)]);
+        let psi = Statevector::uniform_superposition(2);
+        let mut ledger = ShotLedger::new();
+        let cfg = EstimatorConfig {
+            shots_per_pauli: 4096,
+            method: SamplingMethod::Exact,
+        };
+        let e = estimate_expectation(&op, &psi, &cfg, &mut ledger, &mut rng());
+        assert!((e - op.expectation(&psi)).abs() < 1e-12);
+        assert_eq!(ledger.total(), 4096 * 2);
+    }
+
+    #[test]
+    fn analytic_sampling_converges_with_shots() {
+        let op = PauliOp::from_labels(2, &[("ZZ", 1.0), ("XX", 0.5)]);
+        let psi = Statevector::uniform_superposition(2);
+        let exact = op.expectation(&psi);
+        let mut r = rng();
+        let noisy_small: f64 = (0..64)
+            .map(|_| analytic_sampled_expectation(&op, &psi, 16, &mut r))
+            .map(|e| (e - exact).abs())
+            .sum::<f64>()
+            / 64.0;
+        let noisy_large: f64 = (0..64)
+            .map(|_| analytic_sampled_expectation(&op, &psi, 16384, &mut r))
+            .map(|e| (e - exact).abs())
+            .sum::<f64>()
+            / 64.0;
+        assert!(
+            noisy_large < noisy_small,
+            "error should shrink with more shots: {noisy_large} vs {noisy_small}"
+        );
+    }
+
+    #[test]
+    fn multinomial_sampling_is_unbiased_on_z_terms() {
+        let op = PauliOp::from_labels(1, &[("Z", 1.0)]);
+        // A state with <Z> = cos(0.8).
+        let mut circ = qcircuit::Circuit::new(1);
+        circ.push(qcircuit::Gate::Ry(0, qcircuit::Angle::Fixed(0.8)));
+        let psi = crate::simulator::run_circuit(&circ, &[], &Statevector::zero_state(1));
+        let exact = op.expectation(&psi);
+        let mut r = rng();
+        let mean: f64 = (0..32)
+            .map(|_| multinomial_sampled_expectation(&op, &psi, 2048, &mut r))
+            .sum::<f64>()
+            / 32.0;
+        assert!((mean - exact).abs() < 0.02, "{mean} vs {exact}");
+    }
+
+    #[test]
+    fn multinomial_handles_x_and_y_bases() {
+        let op = PauliOp::from_labels(1, &[("X", 1.0), ("Y", 0.5)]);
+        let psi = Statevector::uniform_superposition(1); // <X> = 1, <Y> = 0
+        let mut r = rng();
+        let mean: f64 = (0..32)
+            .map(|_| multinomial_sampled_expectation(&op, &psi, 2048, &mut r))
+            .sum::<f64>()
+            / 32.0;
+        assert!((mean - 1.0).abs() < 0.03, "{mean}");
+    }
+
+    #[test]
+    fn identity_terms_are_noise_free() {
+        let op = PauliOp::from_labels(2, &[("II", -3.0)]);
+        let psi = Statevector::uniform_superposition(2);
+        let mut r = rng();
+        let e = analytic_sampled_expectation(&op, &psi, 8, &mut r);
+        assert!((e + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_and_multinomial_agree_statistically() {
+        let op = PauliOp::from_labels(2, &[("ZZ", 0.6), ("XI", 0.4), ("IY", -0.2)]);
+        let mut circ = qcircuit::Circuit::new(2);
+        circ.push(qcircuit::Gate::Ry(0, qcircuit::Angle::Fixed(0.7)));
+        circ.push(qcircuit::Gate::Cx(0, 1));
+        let psi = crate::simulator::run_circuit(&circ, &[], &Statevector::zero_state(2));
+        let mut r = rng();
+        let trials = 48;
+        let a: f64 = (0..trials)
+            .map(|_| analytic_sampled_expectation(&op, &psi, 1024, &mut r))
+            .sum::<f64>()
+            / trials as f64;
+        let m: f64 = (0..trials)
+            .map(|_| multinomial_sampled_expectation(&op, &psi, 1024, &mut r))
+            .sum::<f64>()
+            / trials as f64;
+        assert!((a - m).abs() < 0.05, "analytic {a} vs multinomial {m}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # qsim — quantum-execution simulators for the TreeVQA reproduction
+//!
+//! Three execution paths, mirroring the paper's simulation framework (Section 7.4):
+//!
+//! * [`run_circuit`] — exact dense statevector simulation (Qiskit Aer's
+//!   `StatevectorSimulator` role).
+//! * [`estimate_expectation`] — finite-shot estimation layered on the exact state, with
+//!   a [`ShotLedger`] that implements the paper's shot-cost accounting.
+//! * [`PauliPropagator`] — Heisenberg-picture Pauli propagation with weight truncation
+//!   for large systems (the `PauliPropagation` role).
+//!
+//! Analytic hardware-noise models ([`NoiseModel`]) stand in for density-matrix noise
+//! simulation; see DESIGN.md for the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod estimator;
+mod noise;
+mod pauliprop;
+mod shots;
+mod simulator;
+
+pub use estimator::{
+    analytic_sampled_expectation, estimate_expectation, multinomial_sampled_expectation,
+    EstimatorConfig, SamplingMethod,
+};
+pub use noise::{attenuation_factor, noisy_expectation, CircuitNoiseProfile, NoiseModel};
+pub use pauliprop::{PauliPropagator, PauliPropagatorConfig};
+pub use shots::{ShotLedger, DEFAULT_SHOTS_PER_PAULI};
+pub use simulator::{apply_gate, run_circuit};

@@ -1,0 +1,337 @@
+//! Dense statevector circuit simulator.
+//!
+//! This plays the role of Qiskit Aer's `StatevectorSimulator` in the paper's evaluation:
+//! it executes a parameterized [`Circuit`] exactly (no shot noise) and returns the final
+//! [`Statevector`].  Shot noise and hardware noise are layered on top by the estimator and
+//! noise modules.
+
+use qcircuit::{Circuit, Gate};
+use qop::{Complex64, PauliString, Statevector};
+
+/// Executes `circuit` with bound parameter values `params`, starting from `initial`.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::{Circuit, Gate};
+/// use qop::Statevector;
+/// use qsim::run_circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::H(0));
+/// bell.push(Gate::Cx(0, 1));
+/// let out = run_circuit(&bell, &[], &Statevector::zero_state(2));
+/// assert!((out.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((out.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the circuit and state register sizes differ, or if a parameterized gate
+/// references an index beyond `params.len()`.
+pub fn run_circuit(circuit: &Circuit, params: &[f64], initial: &Statevector) -> Statevector {
+    assert_eq!(
+        circuit.num_qubits(),
+        initial.num_qubits(),
+        "circuit acts on {} qubits but the initial state has {}",
+        circuit.num_qubits(),
+        initial.num_qubits()
+    );
+    let mut state = initial.clone();
+    for gate in circuit.gates() {
+        apply_gate(&mut state, gate, params);
+    }
+    state
+}
+
+/// Applies a single gate in place.
+pub fn apply_gate(state: &mut Statevector, gate: &Gate, params: &[f64]) {
+    match gate {
+        Gate::H(q) => apply_single_qubit(state, *q, &H_MATRIX),
+        Gate::X(q) => apply_single_qubit(state, *q, &X_MATRIX),
+        Gate::Y(q) => apply_single_qubit(state, *q, &Y_MATRIX),
+        Gate::Z(q) => apply_single_qubit(state, *q, &Z_MATRIX),
+        Gate::S(q) => apply_single_qubit(state, *q, &S_MATRIX),
+        Gate::Sdg(q) => apply_single_qubit(state, *q, &SDG_MATRIX),
+        Gate::Cx(c, t) => apply_cx(state, *c, *t),
+        Gate::Cz(c, t) => apply_cz(state, *c, *t),
+        Gate::Rx(q, a) => {
+            let theta = a.resolve(params);
+            apply_single_qubit(state, *q, &rx_matrix(theta));
+        }
+        Gate::Ry(q, a) => {
+            let theta = a.resolve(params);
+            apply_single_qubit(state, *q, &ry_matrix(theta));
+        }
+        Gate::Rz(q, a) => {
+            let theta = a.resolve(params);
+            apply_single_qubit(state, *q, &rz_matrix(theta));
+        }
+        Gate::PauliRotation(string, a) => {
+            let theta = a.resolve(params);
+            apply_pauli_rotation(state, string, theta);
+        }
+    }
+}
+
+type Matrix2 = [[Complex64; 2]; 2];
+
+const fn c(re: f64, im: f64) -> Complex64 {
+    Complex64::new(re, im)
+}
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+static H_MATRIX: Matrix2 = [
+    [c(FRAC_1_SQRT_2, 0.0), c(FRAC_1_SQRT_2, 0.0)],
+    [c(FRAC_1_SQRT_2, 0.0), c(-FRAC_1_SQRT_2, 0.0)],
+];
+static X_MATRIX: Matrix2 = [[c(0.0, 0.0), c(1.0, 0.0)], [c(1.0, 0.0), c(0.0, 0.0)]];
+static Y_MATRIX: Matrix2 = [[c(0.0, 0.0), c(0.0, -1.0)], [c(0.0, 1.0), c(0.0, 0.0)]];
+static Z_MATRIX: Matrix2 = [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(-1.0, 0.0)]];
+static S_MATRIX: Matrix2 = [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(0.0, 1.0)]];
+static SDG_MATRIX: Matrix2 = [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(0.0, -1.0)]];
+
+/// `RX(θ) = exp(-i θ/2 X)`.
+fn rx_matrix(theta: f64) -> Matrix2 {
+    let (s, co) = (theta / 2.0).sin_cos();
+    [
+        [c(co, 0.0), c(0.0, -s)],
+        [c(0.0, -s), c(co, 0.0)],
+    ]
+}
+
+/// `RY(θ) = exp(-i θ/2 Y)`.
+fn ry_matrix(theta: f64) -> Matrix2 {
+    let (s, co) = (theta / 2.0).sin_cos();
+    [[c(co, 0.0), c(-s, 0.0)], [c(s, 0.0), c(co, 0.0)]]
+}
+
+/// `RZ(θ) = exp(-i θ/2 Z)`.
+fn rz_matrix(theta: f64) -> Matrix2 {
+    let (s, co) = (theta / 2.0).sin_cos();
+    [
+        [c(co, -s), c(0.0, 0.0)],
+        [c(0.0, 0.0), c(co, s)],
+    ]
+}
+
+/// Applies an arbitrary 2×2 unitary to qubit `q`.
+fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
+    let dim = state.dim();
+    let bit = 1usize << q;
+    let amps = state.amplitudes_mut();
+    let mut base = 0usize;
+    while base < dim {
+        if base & bit == 0 {
+            let i0 = base;
+            let i1 = base | bit;
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+        base += 1;
+    }
+}
+
+/// Applies CX with the given control and target.
+fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
+    assert_ne!(control, target, "CX control and target must differ");
+    let dim = state.dim();
+    let cbit = 1usize << control;
+    let tbit = 1usize << target;
+    let amps = state.amplitudes_mut();
+    for i in 0..dim {
+        if i & cbit != 0 && i & tbit == 0 {
+            amps.swap(i, i | tbit);
+        }
+    }
+}
+
+/// Applies CZ with the given control and target (symmetric).
+fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
+    assert_ne!(control, target, "CZ control and target must differ");
+    let dim = state.dim();
+    let cbit = 1usize << control;
+    let tbit = 1usize << target;
+    let amps = state.amplitudes_mut();
+    for (i, a) in amps.iter_mut().enumerate().take(dim) {
+        if i & cbit != 0 && i & tbit != 0 {
+            *a = -*a;
+        }
+    }
+}
+
+/// Applies `exp(-i θ/2 P)` for a Pauli string `P`, using `P² = I`:
+/// `exp(-iθ/2 P)|ψ⟩ = cos(θ/2)|ψ⟩ − i·sin(θ/2)·P|ψ⟩`.
+fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta: f64) {
+    if string.is_identity() {
+        // Global phase only; expectation values are unaffected, so skip it.
+        return;
+    }
+    let (s, co) = (theta / 2.0).sin_cos();
+    let dim = state.dim();
+    let old = state.clone();
+    let old_amps = old.amplitudes();
+    let amps = state.amplitudes_mut();
+    for a in amps.iter_mut() {
+        *a = a.scale(co);
+    }
+    let minus_i_sin = Complex64::new(0.0, -s);
+    for b in 0..dim as u64 {
+        let a = old_amps[b as usize];
+        if a == Complex64::ZERO {
+            continue;
+        }
+        let (b2, phase) = string.apply_to_basis(b);
+        amps[b2 as usize] += minus_i_sin * phase * a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Angle;
+    use qop::PauliOp;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn hadamard_creates_superposition() {
+        let mut circ = Circuit::new(1);
+        circ.push(Gate::H(0));
+        let out = run_circuit(&circ, &[], &Statevector::zero_state(1));
+        assert!(close(out.probability(0), 0.5));
+        assert!(close(out.probability(1), 0.5));
+    }
+
+    #[test]
+    fn bell_state_and_ghz() {
+        let mut ghz = Circuit::new(3);
+        ghz.push(Gate::H(0));
+        ghz.push(Gate::Cx(0, 1));
+        ghz.push(Gate::Cx(1, 2));
+        let out = run_circuit(&ghz, &[], &Statevector::zero_state(3));
+        assert!(close(out.probability(0b000), 0.5));
+        assert!(close(out.probability(0b111), 0.5));
+        assert!(close(out.norm(), 1.0));
+    }
+
+    #[test]
+    fn rx_rotates_z_expectation() {
+        let z = PauliOp::from_labels(1, &[("Z", 1.0)]);
+        for &theta in &[0.0, 0.3, 1.2, std::f64::consts::PI] {
+            let mut circ = Circuit::new(1);
+            circ.push(Gate::Rx(0, Angle::param(0)));
+            let out = run_circuit(&circ, &[theta], &Statevector::zero_state(1));
+            assert!(
+                close(z.expectation(&out), theta.cos()),
+                "theta={theta}: {} vs {}",
+                z.expectation(&out),
+                theta.cos()
+            );
+        }
+    }
+
+    #[test]
+    fn ry_rotates_between_basis_states() {
+        let mut circ = Circuit::new(1);
+        circ.push(Gate::Ry(0, Angle::param(0)));
+        let out = run_circuit(&circ, &[std::f64::consts::PI], &Statevector::zero_state(1));
+        assert!(close(out.probability(1), 1.0));
+    }
+
+    #[test]
+    fn rz_is_diagonal_phase() {
+        let mut circ = Circuit::new(1);
+        circ.push(Gate::H(0));
+        circ.push(Gate::Rz(0, Angle::param(0)));
+        circ.push(Gate::H(0));
+        // H Rz(θ) H |0> gives P(0) = cos²(θ/2).
+        let theta = 0.8f64;
+        let out = run_circuit(&circ, &[theta], &Statevector::zero_state(1));
+        assert!(close(out.probability(0), (theta / 2.0).cos().powi(2)));
+    }
+
+    #[test]
+    fn pauli_rotation_matches_dedicated_rotations() {
+        // exp(-iθ/2 Z0Z1) acting on |++> must equal the textbook CX-RZ-CX construction.
+        let theta = 0.9;
+        let zz = PauliString::from_label("ZZ").unwrap();
+        let mut a = Circuit::new(2);
+        a.push(Gate::H(0));
+        a.push(Gate::H(1));
+        a.push(Gate::PauliRotation(zz, Angle::param(0)));
+
+        let mut b = Circuit::new(2);
+        b.push(Gate::H(0));
+        b.push(Gate::H(1));
+        b.push(Gate::Cx(0, 1));
+        b.push(Gate::Rz(1, Angle::param(0)));
+        b.push(Gate::Cx(0, 1));
+
+        let sa = run_circuit(&a, &[theta], &Statevector::zero_state(2));
+        let sb = run_circuit(&b, &[theta], &Statevector::zero_state(2));
+        assert!(close(sa.overlap(&sb), 1.0));
+    }
+
+    #[test]
+    fn single_qubit_rotation_gates_match_pauli_rotation_path() {
+        for (gate_ctor, label) in [
+            (Gate::Rx as fn(usize, Angle) -> Gate, "X"),
+            (Gate::Ry as fn(usize, Angle) -> Gate, "Y"),
+            (Gate::Rz as fn(usize, Angle) -> Gate, "Z"),
+        ] {
+            let theta = 1.1;
+            let mut a = Circuit::new(1);
+            a.push(Gate::H(0));
+            a.push(gate_ctor(0, Angle::param(0)));
+            let mut b = Circuit::new(1);
+            b.push(Gate::H(0));
+            b.push(Gate::PauliRotation(
+                PauliString::from_label(label).unwrap(),
+                Angle::param(0),
+            ));
+            let sa = run_circuit(&a, &[theta], &Statevector::zero_state(1));
+            let sb = run_circuit(&b, &[theta], &Statevector::zero_state(1));
+            assert!(close(sa.overlap(&sb), 1.0), "mismatch for R{label}");
+        }
+    }
+
+    #[test]
+    fn cz_phases_the_11_component() {
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::H(0));
+        circ.push(Gate::H(1));
+        circ.push(Gate::Cz(0, 1));
+        let out = run_circuit(&circ, &[], &Statevector::zero_state(2));
+        assert!(close(out.amplitude(0b11).re, -0.5));
+        assert!(close(out.amplitude(0b01).re, 0.5));
+    }
+
+    #[test]
+    fn s_and_sdg_cancel() {
+        let mut circ = Circuit::new(1);
+        circ.push(Gate::H(0));
+        circ.push(Gate::S(0));
+        circ.push(Gate::Sdg(0));
+        circ.push(Gate::H(0));
+        let out = run_circuit(&circ, &[], &Statevector::zero_state(1));
+        assert!(close(out.probability(0), 1.0));
+    }
+
+    #[test]
+    fn unitarity_preserves_norm_for_random_ansatz() {
+        use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+        let ansatz = HardwareEfficientAnsatz::new(4, 2, Entanglement::Circular);
+        let circ = ansatz.build();
+        let params: Vec<f64> = (0..circ.num_parameters())
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        let out = run_circuit(&circ, &params, &Statevector::zero_state(4));
+        assert!(close(out.norm(), 1.0));
+    }
+}

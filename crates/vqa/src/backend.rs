@@ -1,0 +1,499 @@
+//! Execution backends: how `⟨ψ(θ)|H|ψ(θ)⟩` is produced and how shots are charged.
+//!
+//! The paper evaluates TreeVQA as a plug-and-play wrapper over several execution
+//! substrates (noiseless statevector, shot-sampled, noisy device models, Pauli
+//! propagation).  The [`Backend`] trait captures the one operation every substrate must
+//! provide — evaluate one *charged* observable (costing shots) and any number of *free*
+//! observables (classical recombination / tracking, which the paper notes costs no quantum
+//! shots) on the same prepared state.
+
+use crate::task::InitialState;
+use qcircuit::Circuit;
+use qop::{PauliOp, Statevector};
+use qsim::{
+    analytic_sampled_expectation, attenuation_factor, run_circuit, CircuitNoiseProfile,
+    NoiseModel, PauliPropagator, PauliPropagatorConfig, ShotLedger,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A quantum-execution substrate.
+pub trait Backend {
+    /// Prepares `|ψ(θ)⟩ = U(θ)|init⟩` once, charges shots for estimating `charged_op`, and
+    /// additionally returns exact "tracking" expectations for each operator in `free_ops`
+    /// at zero shot cost.
+    ///
+    /// Returns `(charged_value, free_values)`.
+    fn evaluate(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        charged_op: &PauliOp,
+        free_ops: &[&PauliOp],
+    ) -> (f64, Vec<f64>);
+
+    /// Evaluates `op` on the prepared state **without charging any shots**.
+    ///
+    /// Used for metric probes (fidelity-vs-shots histories) and for TreeVQA's
+    /// post-processing step, both of which the paper treats as classical recombination of
+    /// already-logged data rather than additional quantum execution.
+    fn probe(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        op: &PauliOp,
+    ) -> f64;
+
+    /// Total shots charged so far.
+    fn shots_used(&self) -> u64;
+
+    /// Resets the shot counter (used when reusing a backend across experiment arms).
+    fn reset_shots(&mut self);
+
+    /// Shots charged per Pauli term per evaluation (the paper's 4096 constant by default).
+    fn shots_per_pauli(&self) -> u64;
+
+    /// Human-readable backend name.
+    fn name(&self) -> &'static str;
+}
+
+/// Exact statevector backend: no sampling noise, but shots are still charged according to
+/// the paper's cost model.  This is the configuration behind all noiseless results.
+#[derive(Debug)]
+pub struct StatevectorBackend {
+    shots_per_pauli: u64,
+    ledger: ShotLedger,
+}
+
+impl StatevectorBackend {
+    /// Creates a backend with the paper's default of 4096 shots per Pauli term.
+    pub fn new() -> Self {
+        Self::with_shots(qsim::DEFAULT_SHOTS_PER_PAULI)
+    }
+
+    /// Creates a backend with an explicit shots-per-Pauli constant.
+    pub fn with_shots(shots_per_pauli: u64) -> Self {
+        StatevectorBackend {
+            shots_per_pauli,
+            ledger: ShotLedger::new(),
+        }
+    }
+}
+
+impl Default for StatevectorBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn prepare_state(circuit: &Circuit, params: &[f64], initial: &InitialState) -> Statevector {
+    let init = initial.prepare(circuit.num_qubits());
+    run_circuit(circuit, params, &init)
+}
+
+impl Backend for StatevectorBackend {
+    fn evaluate(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        charged_op: &PauliOp,
+        free_ops: &[&PauliOp],
+    ) -> (f64, Vec<f64>) {
+        let state = prepare_state(circuit, params, initial);
+        self.ledger
+            .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
+        let charged = charged_op.expectation(&state);
+        let free = free_ops.iter().map(|op| op.expectation(&state)).collect();
+        (charged, free)
+    }
+
+    fn probe(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        op: &PauliOp,
+    ) -> f64 {
+        op.expectation(&prepare_state(circuit, params, initial))
+    }
+
+    fn shots_used(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    fn reset_shots(&mut self) {
+        self.ledger.reset();
+    }
+
+    fn shots_per_pauli(&self) -> u64 {
+        self.shots_per_pauli
+    }
+
+    fn name(&self) -> &'static str {
+        "statevector"
+    }
+}
+
+/// Shot-sampled statevector backend: the charged observable receives per-term binomial
+/// sampling noise matching the allotted shots; tracking observables remain exact.
+#[derive(Debug)]
+pub struct SampledBackend {
+    shots_per_pauli: u64,
+    ledger: ShotLedger,
+    rng: StdRng,
+}
+
+impl SampledBackend {
+    /// Creates a sampled backend with an RNG seed (deterministic experiments).
+    pub fn new(shots_per_pauli: u64, seed: u64) -> Self {
+        SampledBackend {
+            shots_per_pauli,
+            ledger: ShotLedger::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Backend for SampledBackend {
+    fn evaluate(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        charged_op: &PauliOp,
+        free_ops: &[&PauliOp],
+    ) -> (f64, Vec<f64>) {
+        let state = prepare_state(circuit, params, initial);
+        self.ledger
+            .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
+        let charged =
+            analytic_sampled_expectation(charged_op, &state, self.shots_per_pauli, &mut self.rng);
+        let free = free_ops.iter().map(|op| op.expectation(&state)).collect();
+        (charged, free)
+    }
+
+    fn probe(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        op: &PauliOp,
+    ) -> f64 {
+        op.expectation(&prepare_state(circuit, params, initial))
+    }
+
+    fn shots_used(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    fn reset_shots(&mut self) {
+        self.ledger.reset();
+    }
+
+    fn shots_per_pauli(&self) -> u64 {
+        self.shots_per_pauli
+    }
+
+    fn name(&self) -> &'static str {
+        "sampled"
+    }
+}
+
+/// Noisy backend: the analytic device-noise attenuation of `qsim::noise` is applied to the
+/// charged observable on top of shot sampling; tracking observables are attenuated but not
+/// sampled.
+#[derive(Debug)]
+pub struct NoisyBackend {
+    shots_per_pauli: u64,
+    ledger: ShotLedger,
+    rng: StdRng,
+    model: NoiseModel,
+    /// Ansatz repetitions used for the per-layer depolarizing channel.
+    layers: usize,
+}
+
+impl NoisyBackend {
+    /// Creates a noisy backend from a noise model and the ansatz repetition count.
+    pub fn new(model: NoiseModel, layers: usize, shots_per_pauli: u64, seed: u64) -> Self {
+        NoisyBackend {
+            shots_per_pauli,
+            ledger: ShotLedger::new(),
+            rng: StdRng::seed_from_u64(seed),
+            model,
+            layers,
+        }
+    }
+
+    /// The backend's noise model.
+    pub fn model(&self) -> &NoiseModel {
+        &self.model
+    }
+
+    fn noisy_exact(&self, op: &PauliOp, state: &Statevector, profile: &CircuitNoiseProfile) -> f64 {
+        qsim::noisy_expectation(op, state, &self.model, profile)
+    }
+}
+
+impl Backend for NoisyBackend {
+    fn evaluate(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        charged_op: &PauliOp,
+        free_ops: &[&PauliOp],
+    ) -> (f64, Vec<f64>) {
+        let state = prepare_state(circuit, params, initial);
+        let profile = CircuitNoiseProfile::from_circuit(circuit, self.layers);
+        self.ledger
+            .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
+        // Attenuate each term, then add shot noise on top of the attenuated value.
+        let attenuated = self.noisy_exact(charged_op, &state, &profile);
+        let shot_noise = {
+            // Sample the *difference* between a sampled and an exact estimate of the
+            // attenuated observable; reusing the analytic sampler on the ideal state and
+            // rescaling keeps the variance model simple and unbiased.
+            let sampled =
+                analytic_sampled_expectation(charged_op, &state, self.shots_per_pauli, &mut self.rng);
+            sampled - charged_op.expectation(&state)
+        };
+        let charged = attenuated + shot_noise;
+        let free = free_ops
+            .iter()
+            .map(|op| self.noisy_exact(op, &state, &profile))
+            .collect();
+        (charged, free)
+    }
+
+    fn probe(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        op: &PauliOp,
+    ) -> f64 {
+        // Probes report the *ideal* energy of the prepared state: fidelity metrics measure
+        // how good the optimized state is, independent of readout-time attenuation.
+        op.expectation(&prepare_state(circuit, params, initial))
+    }
+
+    fn shots_used(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    fn reset_shots(&mut self) {
+        self.ledger.reset();
+    }
+
+    fn shots_per_pauli(&self) -> u64 {
+        self.shots_per_pauli
+    }
+
+    fn name(&self) -> &'static str {
+        "noisy"
+    }
+}
+
+/// Pauli-propagation backend for large registers (no dense state is ever formed).
+///
+/// Only basis-state initial states are supported; optionally applies the per-layer
+/// depolarizing attenuation of the large-scale noisy study.
+#[derive(Debug)]
+pub struct PauliPropagationBackend {
+    propagator: PauliPropagator,
+    shots_per_pauli: u64,
+    ledger: ShotLedger,
+    noise: Option<(NoiseModel, usize)>,
+}
+
+impl PauliPropagationBackend {
+    /// Creates a noiseless Pauli-propagation backend.
+    pub fn new(config: PauliPropagatorConfig, shots_per_pauli: u64) -> Self {
+        PauliPropagationBackend {
+            propagator: PauliPropagator::new(config),
+            shots_per_pauli,
+            ledger: ShotLedger::new(),
+            noise: None,
+        }
+    }
+
+    /// Adds a per-layer depolarizing noise model (Section 8.4's noisy configuration).
+    pub fn with_noise(mut self, model: NoiseModel, layers: usize) -> Self {
+        self.noise = Some((model, layers));
+        self
+    }
+
+    fn expectation(&self, circuit: &Circuit, params: &[f64], op: &PauliOp, basis: u64) -> f64 {
+        match &self.noise {
+            None => self.propagator.expectation(circuit, params, op, basis),
+            Some((model, layers)) => {
+                // Attenuate each term according to its weight before propagation; the
+                // depolarizing layer commutes with the (unitary) propagation for this
+                // analytic model.
+                let profile = CircuitNoiseProfile::from_circuit(circuit, *layers);
+                let mut damped = PauliOp::zero(op.num_qubits());
+                for t in op.terms() {
+                    damped.add_term(
+                        t.string,
+                        t.coefficient * attenuation_factor(model, &profile, t.string.weight()),
+                    );
+                }
+                self.propagator.expectation(circuit, params, &damped, basis)
+            }
+        }
+    }
+}
+
+impl Backend for PauliPropagationBackend {
+    fn evaluate(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        charged_op: &PauliOp,
+        free_ops: &[&PauliOp],
+    ) -> (f64, Vec<f64>) {
+        let basis = initial
+            .basis_index()
+            .expect("the Pauli-propagation backend requires a basis-state initial state");
+        self.ledger
+            .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
+        let charged = self.expectation(circuit, params, charged_op, basis);
+        let free = free_ops
+            .iter()
+            .map(|op| self.expectation(circuit, params, op, basis))
+            .collect();
+        (charged, free)
+    }
+
+    fn probe(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        op: &PauliOp,
+    ) -> f64 {
+        let basis = initial
+            .basis_index()
+            .expect("the Pauli-propagation backend requires a basis-state initial state");
+        self.expectation(circuit, params, op, basis)
+    }
+
+    fn shots_used(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    fn reset_shots(&mut self) {
+        self.ledger.reset();
+    }
+
+    fn shots_per_pauli(&self) -> u64 {
+        self.shots_per_pauli
+    }
+
+    fn name(&self) -> &'static str {
+        "pauli-propagation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+
+    fn demo_setup() -> (Circuit, Vec<f64>, PauliOp, PauliOp) {
+        let circuit = HardwareEfficientAnsatz::new(3, 1, Entanglement::Linear).build();
+        let params: Vec<f64> = (0..circuit.num_parameters()).map(|i| 0.1 * i as f64).collect();
+        let h1 = PauliOp::from_labels(3, &[("ZZI", -1.0), ("IXI", 0.3)]);
+        let h2 = PauliOp::from_labels(3, &[("ZZI", -0.8), ("IIX", 0.2)]);
+        (circuit, params, h1, h2)
+    }
+
+    #[test]
+    fn statevector_backend_charges_shots_and_matches_exact() {
+        let (circuit, params, h1, h2) = demo_setup();
+        let mut backend = StatevectorBackend::with_shots(1000);
+        let (charged, free) =
+            backend.evaluate(&circuit, &params, &InitialState::Basis(0), &h1, &[&h2]);
+        assert_eq!(backend.shots_used(), 1000 * h1.num_terms() as u64);
+        let state = prepare_state(&circuit, &params, &InitialState::Basis(0));
+        assert!((charged - h1.expectation(&state)).abs() < 1e-12);
+        assert!((free[0] - h2.expectation(&state)).abs() < 1e-12);
+        backend.reset_shots();
+        assert_eq!(backend.shots_used(), 0);
+        assert_eq!(backend.name(), "statevector");
+    }
+
+    #[test]
+    fn sampled_backend_is_noisy_but_unbiased() {
+        let (circuit, params, h1, _) = demo_setup();
+        let mut backend = SampledBackend::new(256, 7);
+        let exact = {
+            let state = prepare_state(&circuit, &params, &InitialState::Basis(0));
+            h1.expectation(&state)
+        };
+        let n = 64;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                backend
+                    .evaluate(&circuit, &params, &InitialState::Basis(0), &h1, &[])
+                    .0
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - exact).abs() < 0.05, "sampled mean {mean} vs exact {exact}");
+        assert_eq!(backend.shots_used(), 256 * h1.num_terms() as u64 * n);
+    }
+
+    #[test]
+    fn noisy_backend_attenuates_relative_to_ideal() {
+        let (circuit, params, h1, _) = demo_setup();
+        let ideal = {
+            let state = prepare_state(&circuit, &params, &InitialState::Basis(0));
+            h1.expectation(&state)
+        };
+        let model = NoiseModel::by_name("mumbai").unwrap();
+        let mut backend = NoisyBackend::new(model, 5, 0, 3);
+        // shots_per_pauli = 0 disables sampling noise in the analytic sampler, isolating
+        // the attenuation effect.
+        let (noisy, _) = backend.evaluate(&circuit, &params, &InitialState::Basis(0), &h1, &[]);
+        assert!(noisy.abs() <= ideal.abs() + 1e-9);
+        assert_eq!(backend.name(), "noisy");
+    }
+
+    #[test]
+    fn pauli_propagation_backend_matches_statevector_for_small_systems() {
+        let (circuit, params, h1, h2) = demo_setup();
+        let mut dense = StatevectorBackend::with_shots(10);
+        let mut prop = PauliPropagationBackend::new(
+            PauliPropagatorConfig {
+                max_weight: 3,
+                coefficient_threshold: 1e-14,
+                max_terms: 1_000_000,
+            },
+            10,
+        );
+        let (a, fa) = dense.evaluate(&circuit, &params, &InitialState::Basis(0b101), &h1, &[&h2]);
+        let (b, fb) = prop.evaluate(&circuit, &params, &InitialState::Basis(0b101), &h1, &[&h2]);
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        assert!((fa[0] - fb[0]).abs() < 1e-7);
+        assert_eq!(dense.shots_used(), prop.shots_used());
+    }
+
+    #[test]
+    #[should_panic]
+    fn pauli_propagation_rejects_superposition_initial_state() {
+        let (circuit, params, h1, _) = demo_setup();
+        let mut prop = PauliPropagationBackend::new(PauliPropagatorConfig::default(), 10);
+        let _ = prop.evaluate(
+            &circuit,
+            &params,
+            &InitialState::UniformSuperposition,
+            &h1,
+            &[],
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # vqa — the VQA execution layer
+//!
+//! Sits between the simulators (`qsim`) and TreeVQA (`treevqa`):
+//!
+//! * [`VqaTask`] / [`VqaApplication`] — the paper's task/application terminology.
+//! * [`Backend`] — one trait over all execution substrates (exact, shot-sampled, noisy,
+//!   Pauli propagation), with explicit shot accounting.
+//! * [`run_single_vqa`] / [`run_baseline`] — conventional VQA, the paper's baseline.
+//! * [`cafqa_initialize`] / [`red_qaoa_initial_point`] — classical warm starts.
+//! * [`metrics`] — fidelity-vs-shots analysis shared by all experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backend;
+mod init;
+pub mod metrics;
+mod runner;
+mod task;
+
+pub use backend::{
+    Backend, NoisyBackend, PauliPropagationBackend, SampledBackend, StatevectorBackend,
+};
+pub use init::{cafqa_initialize, red_qaoa_initial_point, CafqaResult};
+pub use runner::{
+    run_baseline, run_single_vqa, BaselineRunResult, IterationRecord, VqaRunConfig, VqaRunResult,
+};
+pub use task::{InitialState, VqaApplication, VqaTask};

@@ -1,0 +1,174 @@
+//! Evaluation metrics: fidelity-vs-shots analysis over convergence histories.
+//!
+//! The paper's two headline plots are (a) shots required to reach a fidelity threshold
+//! (Figure 6) and (b) fidelity achieved under a fixed shot budget (Figure 7).  Both are
+//! derived from per-run convergence histories; the helpers here perform that derivation
+//! for any runner (baseline or TreeVQA) that records [`IterationRecord`]s.
+
+use crate::runner::{IterationRecord, VqaRunResult};
+use crate::task::VqaTask;
+
+/// The cumulative shots at which a single run first reaches `threshold` fidelity on its
+/// task (using the best-so-far energy), or `None` if it never does or the task has no
+/// reference energy.
+pub fn shots_to_reach_fidelity(
+    history: &[IterationRecord],
+    task: &VqaTask,
+    threshold: f64,
+) -> Option<u64> {
+    for record in history {
+        let fidelity = task.fidelity(record.best_energy)?;
+        if fidelity >= threshold {
+            return Some(record.cumulative_shots);
+        }
+    }
+    None
+}
+
+/// The best fidelity a run achieves within a shot budget, or `None` if the task has no
+/// reference energy.  Returns 0.0 if no history entry fits the budget.
+pub fn fidelity_at_budget(history: &[IterationRecord], task: &VqaTask, budget: u64) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for record in history {
+        if record.cumulative_shots > budget {
+            break;
+        }
+        let fidelity = task.fidelity(record.best_energy)?;
+        best = Some(best.map_or(fidelity, |b: f64| b.max(fidelity)));
+    }
+    Some(best.unwrap_or(0.0))
+}
+
+/// Total baseline shots needed for *every* task of an application to reach `threshold`
+/// fidelity, assuming each independent task stops as soon as it reaches the threshold
+/// (the most favourable accounting for the baseline).  `None` if any task never reaches it.
+pub fn baseline_shots_for_threshold(
+    results: &[VqaRunResult],
+    tasks: &[VqaTask],
+    threshold: f64,
+) -> Option<u64> {
+    assert_eq!(results.len(), tasks.len(), "one result per task required");
+    let mut total = 0u64;
+    for (result, task) in results.iter().zip(tasks) {
+        total += shots_to_reach_fidelity(&result.history, task, threshold)?;
+    }
+    Some(total)
+}
+
+/// The minimum fidelity across tasks that a baseline achieves when each task is limited to
+/// an equal share of `total_budget` shots.
+pub fn baseline_min_fidelity_at_budget(
+    results: &[VqaRunResult],
+    tasks: &[VqaTask],
+    total_budget: u64,
+) -> Option<f64> {
+    assert_eq!(results.len(), tasks.len(), "one result per task required");
+    let per_task = total_budget / results.len().max(1) as u64;
+    let mut min_fid = f64::INFINITY;
+    for (result, task) in results.iter().zip(tasks) {
+        let f = fidelity_at_budget(&result.history, task, per_task)?;
+        min_fid = min_fid.min(f);
+    }
+    Some(min_fid)
+}
+
+/// The mean fidelity across tasks for a vector of achieved energies.
+pub fn mean_fidelity(tasks: &[VqaTask], energies: &[f64]) -> Option<f64> {
+    assert_eq!(tasks.len(), energies.len(), "one energy per task required");
+    let mut total = 0.0;
+    for (task, &energy) in tasks.iter().zip(energies) {
+        total += task.fidelity(energy)?;
+    }
+    Some(total / tasks.len() as f64)
+}
+
+/// The shot-savings ratio `baseline / treevqa`, the paper's headline metric.
+///
+/// Returns `None` when the TreeVQA count is zero (undefined ratio).
+pub fn shot_savings_ratio(baseline_shots: u64, treevqa_shots: u64) -> Option<f64> {
+    if treevqa_shots == 0 {
+        None
+    } else {
+        Some(baseline_shots as f64 / treevqa_shots as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qop::PauliOp;
+
+    fn task_with_reference(reference: f64) -> VqaTask {
+        let mut t = VqaTask::new("t", 0.0, PauliOp::from_labels(1, &[("Z", 1.0)]));
+        t.reference_energy = Some(reference);
+        t
+    }
+
+    fn record(shots: u64, best: f64) -> IterationRecord {
+        IterationRecord {
+            iteration: 0,
+            cumulative_shots: shots,
+            loss: best,
+            exact_energy: best,
+            best_energy: best,
+        }
+    }
+
+    #[test]
+    fn shots_to_reach_fidelity_finds_first_crossing() {
+        let task = task_with_reference(-1.0);
+        // Energies approach -1.0, i.e. fidelity rises toward 1.
+        let history = vec![record(100, -0.5), record(200, -0.9), record(300, -0.99)];
+        assert_eq!(shots_to_reach_fidelity(&history, &task, 0.85), Some(200));
+        assert_eq!(shots_to_reach_fidelity(&history, &task, 0.99), Some(300));
+        assert_eq!(shots_to_reach_fidelity(&history, &task, 0.999), None);
+    }
+
+    #[test]
+    fn fidelity_at_budget_respects_the_budget() {
+        let task = task_with_reference(-1.0);
+        let history = vec![record(100, -0.5), record(200, -0.9), record(300, -0.99)];
+        assert!((fidelity_at_budget(&history, &task, 250).unwrap() - 0.9).abs() < 1e-12);
+        assert!((fidelity_at_budget(&history, &task, 1000).unwrap() - 0.99).abs() < 1e-12);
+        assert_eq!(fidelity_at_budget(&history, &task, 50), Some(0.0));
+    }
+
+    #[test]
+    fn baseline_aggregation_sums_per_task_shots() {
+        let tasks = vec![task_with_reference(-1.0), task_with_reference(-2.0)];
+        let results = vec![
+            VqaRunResult {
+                task_label: "a".into(),
+                final_params: vec![],
+                final_energy: -0.99,
+                best_energy: -0.99,
+                shots_used: 300,
+                history: vec![record(100, -0.5), record(300, -0.99)],
+            },
+            VqaRunResult {
+                task_label: "b".into(),
+                final_params: vec![],
+                final_energy: -1.99,
+                best_energy: -1.99,
+                shots_used: 400,
+                history: vec![record(200, -1.5), record(400, -1.99)],
+            },
+        ];
+        assert_eq!(
+            baseline_shots_for_threshold(&results, &tasks, 0.9),
+            Some(300 + 400)
+        );
+        assert_eq!(baseline_shots_for_threshold(&results, &tasks, 0.999), None);
+        let min_fid = baseline_min_fidelity_at_budget(&results, &tasks, 800).unwrap();
+        assert!((min_fid - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_fidelity_and_savings_ratio() {
+        let tasks = vec![task_with_reference(-1.0), task_with_reference(-1.0)];
+        let mean = mean_fidelity(&tasks, &[-1.0, -0.9]).unwrap();
+        assert!((mean - 0.95).abs() < 1e-12);
+        assert_eq!(shot_savings_ratio(1000, 100), Some(10.0));
+        assert_eq!(shot_savings_ratio(1000, 0), None);
+    }
+}

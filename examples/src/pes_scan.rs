@@ -1,0 +1,77 @@
+//! Potential-energy-surface (PES) scan with TreeVQA.
+//!
+//! Reconstructs the paper's motivating use case (Section 2.3): a molecule's energy
+//! landscape is built from many VQA tasks, one per geometry.  This example scans the LiH
+//! family over ten bond lengths, runs TreeVQA once for the whole family, and prints the
+//! resulting PES next to the exact curve, together with the execution tree that shows how
+//! the tasks branched.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p treevqa-examples --bin pes_scan
+//! ```
+
+use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qchem::MoleculeSpec;
+use qopt::{OptimizerSpec, SpsaConfig};
+use treevqa::{SplitPolicy, TreeVqa, TreeVqaConfig};
+use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
+
+fn main() {
+    let molecule = MoleculeSpec::lih();
+    let num_tasks = 10;
+    println!(
+        "PES scan: {} over [{:.2}, {:.2}] Å with {} geometries",
+        molecule.name, molecule.bond_min, molecule.bond_max, num_tasks
+    );
+
+    let tasks: Vec<VqaTask> = molecule
+        .tasks(num_tasks)
+        .into_iter()
+        .map(|(bond, ham)| {
+            VqaTask::with_computed_reference(format!("r={bond:.3}"), bond, ham)
+        })
+        .collect();
+    let ansatz = HardwareEfficientAnsatz::new(molecule.num_qubits, 2, Entanglement::Circular).build();
+    let application = VqaApplication::new(
+        "LiH-PES",
+        tasks,
+        ansatz,
+        InitialState::Basis(molecule.hartree_fock_state()),
+    );
+
+    let config = TreeVqaConfig {
+        max_cluster_iterations: 180,
+        optimizer: OptimizerSpec::Spsa(SpsaConfig {
+            a: 0.25,
+            ..Default::default()
+        }),
+        split_policy: SplitPolicy::Adaptive {
+            warmup_iterations: 30,
+            window_size: 15,
+            epsilon_split: 2e-3,
+        },
+        record_every: 10,
+        seed: 3,
+        ..Default::default()
+    };
+
+    let tree_vqa = TreeVqa::new(application, config);
+    let mut backend = StatevectorBackend::new();
+    let result = tree_vqa.run(&mut backend);
+
+    println!("\n  bond (Å)   E_TreeVQA      E_exact        fidelity");
+    for (outcome, task) in result.per_task.iter().zip(&tree_vqa.application().tasks) {
+        println!(
+            "  {:>7.3}   {:+.6}   {:+.6}    {:.4}",
+            outcome.parameter,
+            outcome.energy,
+            task.reference_energy.unwrap_or(f64::NAN),
+            outcome.fidelity.unwrap_or(f64::NAN)
+        );
+    }
+    println!("\n  total shots: {}", result.total_shots);
+    println!("  tree critical depth: {}", result.tree.critical_depth());
+    println!("  execution tree:\n{}", result.tree.render());
+}

@@ -1,0 +1,1 @@
+//! Integration-test-only crate; tests live in the tests/ subdirectory.

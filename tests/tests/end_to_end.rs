@@ -1,0 +1,237 @@
+//! Cross-crate integration tests: full TreeVQA runs against the conventional baseline on
+//! small applications, exercising the whole stack (workload generators → ansatz →
+//! simulator → optimizer → controller → metrics).
+
+use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qchem::{MoleculeSpec, SpinChainFamily};
+use qopt::OptimizerSpec;
+use qsim::PauliPropagatorConfig;
+use treevqa::{SplitPolicy, TreeVqa, TreeVqaConfig};
+use vqa::{
+    metrics, run_baseline, Backend, InitialState, PauliPropagationBackend, StatevectorBackend,
+    VqaApplication, VqaRunConfig, VqaTask,
+};
+
+fn tfim_application(num_tasks: usize) -> VqaApplication {
+    let family = SpinChainFamily {
+        num_sites: 4,
+        ..SpinChainFamily::tfim_benchmark()
+    };
+    let tasks: Vec<VqaTask> = family
+        .tasks(num_tasks)
+        .into_iter()
+        .map(|(h, ham)| VqaTask::with_computed_reference(format!("h={h:.2}"), h, ham))
+        .collect();
+    let ansatz = HardwareEfficientAnsatz::new(4, 2, Entanglement::Circular).build();
+    VqaApplication::new("tfim-it", tasks, ansatz, InitialState::Basis(0))
+}
+
+#[test]
+fn treevqa_matches_or_beats_baseline_fidelity_under_equal_budget() {
+    let app = tfim_application(4);
+    let iterations = 150;
+
+    let baseline_config = VqaRunConfig {
+        max_iterations: iterations,
+        optimizer: OptimizerSpec::default_spsa(),
+        seed: 3,
+        record_every: 5,
+    };
+    let zeros = vec![0.0; app.num_parameters()];
+    let baseline = run_baseline(&app, &zeros, &baseline_config, &mut |_| {
+        Box::new(StatevectorBackend::new()) as Box<dyn Backend>
+    });
+
+    let tree_config = TreeVqaConfig {
+        max_cluster_iterations: iterations,
+        record_every: 5,
+        seed: 3,
+        ..Default::default()
+    };
+    let tree = TreeVqa::new(app.clone(), tree_config);
+    let mut backend = StatevectorBackend::new();
+    let result = tree.run(&mut backend);
+
+    // Under the baseline's own total budget, TreeVQA's minimum fidelity must be at least
+    // comparable (the paper's Figure 7 behaviour).  Allow a small tolerance for noise.
+    let budget = baseline.total_shots;
+    let baseline_fid =
+        metrics::baseline_min_fidelity_at_budget(&baseline.per_task, &app.tasks, budget).unwrap();
+    let tree_fid = result.min_fidelity_at_budget(budget).unwrap();
+    assert!(
+        tree_fid >= baseline_fid - 0.05,
+        "TreeVQA fidelity {tree_fid} should not be much worse than baseline {baseline_fid}"
+    );
+
+    // Final accuracy must be sensible and every task must be answered.
+    assert_eq!(result.per_task.len(), 4);
+    assert!(result.min_fidelity().unwrap() > 0.6);
+    assert!(result.total_shots > 0);
+    // The execution tree is well formed: at least the root, every leaf non-retired.
+    assert!(result.tree.num_nodes() >= 1);
+    assert!(result.tree.critical_depth() >= 1);
+}
+
+#[test]
+fn treevqa_saves_shots_at_a_common_fidelity_threshold_for_similar_tasks() {
+    // Very similar tasks (narrow sweep) are where shared execution pays off most.
+    let family = SpinChainFamily {
+        num_sites: 4,
+        param_min: 0.55,
+        param_max: 0.65,
+        ..SpinChainFamily::tfim_benchmark()
+    };
+    let tasks: Vec<VqaTask> = family
+        .tasks(4)
+        .into_iter()
+        .map(|(h, ham)| VqaTask::with_computed_reference(format!("h={h:.2}"), h, ham))
+        .collect();
+    let ansatz = HardwareEfficientAnsatz::new(4, 2, Entanglement::Circular).build();
+    let app = VqaApplication::new("tfim-similar", tasks, ansatz, InitialState::Basis(0));
+
+    let iterations = 200;
+    let zeros = vec![0.0; app.num_parameters()];
+    let baseline = run_baseline(
+        &app,
+        &zeros,
+        &VqaRunConfig {
+            max_iterations: iterations,
+            optimizer: OptimizerSpec::default_spsa(),
+            seed: 5,
+            record_every: 2,
+        },
+        &mut |_| Box::new(StatevectorBackend::new()) as Box<dyn Backend>,
+    );
+    let tree = TreeVqa::new(
+        app.clone(),
+        TreeVqaConfig {
+            max_cluster_iterations: iterations,
+            record_every: 2,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let mut backend = StatevectorBackend::new();
+    let result = tree.run(&mut backend);
+
+    // Find the highest threshold both methods reach and compare shots there.
+    let mut checked = false;
+    for threshold in [0.95, 0.9, 0.85, 0.8, 0.75, 0.7] {
+        let b = metrics::baseline_shots_for_threshold(&baseline.per_task, &app.tasks, threshold);
+        let t = result.shots_to_reach_min_fidelity(threshold);
+        if let (Some(b), Some(t)) = (b, t) {
+            assert!(
+                (t as f64) <= 1.2 * b as f64,
+                "TreeVQA should not need many more shots than the baseline at fidelity {threshold}: {t} vs {b}"
+            );
+            checked = true;
+            break;
+        }
+    }
+    assert!(checked, "no common fidelity threshold was reached by both methods");
+}
+
+#[test]
+fn forced_single_split_produces_exactly_two_leaves() {
+    let app = tfim_application(4);
+    let config = TreeVqaConfig {
+        max_cluster_iterations: 60,
+        split_policy: SplitPolicy::ForcedSingle { at_fraction: 0.5 },
+        record_every: 10,
+        ..Default::default()
+    };
+    let tree = TreeVqa::new(app, config);
+    let mut backend = StatevectorBackend::new();
+    let result = tree.run(&mut backend);
+    assert_eq!(result.tree.num_splits(), 1);
+    assert_eq!(result.tree.leaves().len(), 2);
+    assert_eq!(result.tree.critical_depth(), 2);
+}
+
+#[test]
+fn never_split_policy_keeps_a_single_cluster() {
+    let app = tfim_application(3);
+    let config = TreeVqaConfig {
+        max_cluster_iterations: 40,
+        split_policy: SplitPolicy::Never,
+        record_every: 10,
+        ..Default::default()
+    };
+    let tree = TreeVqa::new(app, config);
+    let mut backend = StatevectorBackend::new();
+    let result = tree.run(&mut backend);
+    assert_eq!(result.tree.num_nodes(), 1);
+    assert_eq!(result.tree.num_splits(), 0);
+    assert_eq!(result.tree.critical_depth(), 1);
+}
+
+#[test]
+fn shot_budget_terminates_the_run_early() {
+    let app = tfim_application(3);
+    let per_eval = 4096 * app.tasks[0].hamiltonian.num_terms() as u64;
+    let config = TreeVqaConfig {
+        shot_budget: 20 * per_eval,
+        max_cluster_iterations: 10_000,
+        record_every: 5,
+        ..Default::default()
+    };
+    let tree = TreeVqa::new(app, config);
+    let mut backend = StatevectorBackend::new();
+    let result = tree.run(&mut backend);
+    // The run must stop shortly after exceeding the budget (within one round's worth of
+    // evaluations), not run to the enormous iteration cap.
+    assert!(result.total_shots >= 20 * per_eval);
+    assert!(result.total_shots < 60 * per_eval);
+}
+
+#[test]
+fn statevector_and_pauli_propagation_backends_agree_on_small_systems() {
+    let molecule = MoleculeSpec::h2();
+    let tasks: Vec<VqaTask> = molecule
+        .tasks(3)
+        .into_iter()
+        .map(|(b, h)| VqaTask::new(format!("r={b:.3}"), b, h))
+        .collect();
+    let ansatz = HardwareEfficientAnsatz::new(4, 1, Entanglement::Linear).build();
+    let app = VqaApplication::new(
+        "h2-backend-check",
+        tasks,
+        ansatz,
+        InitialState::Basis(molecule.hartree_fock_state()),
+    );
+    let params: Vec<f64> = (0..app.num_parameters()).map(|i| 0.11 * i as f64).collect();
+
+    let mut exact = StatevectorBackend::new();
+    let mut prop = PauliPropagationBackend::new(
+        PauliPropagatorConfig {
+            max_weight: 4,
+            coefficient_threshold: 1e-12,
+            max_terms: 1_000_000,
+        },
+        qsim::DEFAULT_SHOTS_PER_PAULI,
+    );
+    for task in &app.tasks {
+        let a = exact.probe(&app.ansatz, &params, &app.initial_state, &task.hamiltonian);
+        let b = prop.probe(&app.ansatz, &params, &app.initial_state, &task.hamiltonian);
+        assert!((a - b).abs() < 1e-7, "{a} vs {b} for {}", task.label);
+    }
+}
+
+#[test]
+fn post_processing_never_worsens_a_task_relative_to_its_own_cluster() {
+    let app = tfim_application(4);
+    let config = TreeVqaConfig {
+        max_cluster_iterations: 80,
+        record_every: 5,
+        ..Default::default()
+    };
+    let tree = TreeVqa::new(app.clone(), config);
+    let mut backend = StatevectorBackend::new();
+    let result = tree.run(&mut backend);
+    // Post-processed energies are the best over all final states and the recorded
+    // trajectory, so they can never exceed the last recorded per-task best.
+    let last = result.history.last().unwrap();
+    for (outcome, &recorded) in result.per_task.iter().zip(&last.per_task_best_energy) {
+        assert!(outcome.energy <= recorded + 1e-9);
+    }
+}
