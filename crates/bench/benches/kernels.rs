@@ -1,12 +1,17 @@
 //! Criterion micro-benchmarks for the compute kernels underlying every experiment:
 //! Pauli-sum expectation values, circuit simulation, Pauli propagation, Lanczos ground
-//! states, spectral clustering, and a miniature end-to-end TreeVQA step.
+//! states, spectral clustering, and a miniature end-to-end TreeVQA step — plus
+//! before/after comparisons of the optimized gate/expectation kernels against the naive
+//! reference implementations retained in `qsim::reference`.
+//!
+//! Running `cargo bench -p treevqa_bench --bench kernels` also writes a machine-readable
+//! `BENCH_kernels.json` summary (all timings) and prints the fast-vs-naive speedup table.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use criterion::{criterion_group, BatchSize, Criterion};
 use qchem::MoleculeSpec;
-use qop::{ground_energy, LanczosOptions, Statevector};
-use qsim::{run_circuit, PauliPropagator, PauliPropagatorConfig};
+use qcircuit::{Angle, Entanglement, Gate, HardwareEfficientAnsatz};
+use qop::{ground_energy, Complex64, LanczosOptions, PauliOp, PauliString, Statevector};
+use qsim::{reference, run_circuit, PauliPropagator, PauliPropagatorConfig};
 use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
 
@@ -21,7 +26,9 @@ fn bench_expectation(c: &mut Criterion) {
 
 fn bench_circuit_simulation(c: &mut Criterion) {
     let ansatz = HardwareEfficientAnsatz::new(8, 2, Entanglement::Circular).build();
-    let params: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.1 * i as f64).collect();
+    let params: Vec<f64> = (0..ansatz.num_parameters())
+        .map(|i| 0.1 * i as f64)
+        .collect();
     let init = Statevector::zero_state(8);
     c.bench_function("statevector_hea_8q_2rep", |b| {
         b.iter(|| std::hint::black_box(run_circuit(&ansatz, &params, &init)))
@@ -30,7 +37,9 @@ fn bench_circuit_simulation(c: &mut Criterion) {
 
 fn bench_pauli_propagation(c: &mut Criterion) {
     let ansatz = HardwareEfficientAnsatz::new(16, 1, Entanglement::Linear).build();
-    let params: Vec<f64> = (0..ansatz.num_parameters()).map(|i| 0.05 * i as f64).collect();
+    let params: Vec<f64> = (0..ansatz.num_parameters())
+        .map(|i| 0.05 * i as f64)
+        .collect();
     let ham = MoleculeSpec::c2h2().hamiltonian(1.2);
     let prop = PauliPropagator::new(PauliPropagatorConfig {
         max_weight: 4,
@@ -75,7 +84,8 @@ fn bench_treevqa_short_run(c: &mut Criterion) {
         .into_iter()
         .map(|(bond, ham)| VqaTask::new(format!("r={bond:.3}"), bond, ham))
         .collect();
-    let ansatz = HardwareEfficientAnsatz::new(molecule.num_qubits, 1, Entanglement::Circular).build();
+    let ansatz =
+        HardwareEfficientAnsatz::new(molecule.num_qubits, 1, Entanglement::Circular).build();
     let app = VqaApplication::new(
         "bench",
         tasks,
@@ -89,11 +99,168 @@ fn bench_treevqa_short_run(c: &mut Criterion) {
     };
     c.bench_function("treevqa_30_iterations_h2_3_tasks", |b| {
         b.iter_batched(
-            || (TreeVqa::new(app.clone(), config.clone()), StatevectorBackend::new()),
+            || {
+                (
+                    TreeVqa::new(app.clone(), config.clone()),
+                    StatevectorBackend::new(),
+                )
+            },
             |(tree, mut backend)| std::hint::black_box(tree.run(&mut backend)),
             BatchSize::SmallInput,
         )
     });
+}
+
+/// A dense normalized state with structure on every amplitude.
+fn dense_state(num_qubits: usize) -> Statevector {
+    let dim = 1usize << num_qubits;
+    let mut psi = Statevector::from_amplitudes(
+        (0..dim)
+            .map(|i| Complex64::new((i as f64 * 0.137).sin() + 0.2, (i as f64 * 0.291).cos()))
+            .collect(),
+    );
+    psi.normalize();
+    psi
+}
+
+/// A Jordan–Wigner double-excitation string — the shape every UCCSD Pauli rotation in
+/// the hot path actually has: X/Y on four spread orbital sites, Z-chains between them.
+fn uccsd_rotation_string(num_qubits: usize) -> PauliString {
+    let sites = [0, num_qubits / 3, 2 * num_qubits / 3, num_qubits - 1];
+    let label: String = (0..num_qubits)
+        .map(|q| {
+            if q == sites[0] || q == sites[2] {
+                'X'
+            } else if q == sites[1] || q == sites[3] {
+                'Y'
+            } else {
+                'Z'
+            }
+        })
+        .collect();
+    PauliString::from_label(&label).unwrap()
+}
+
+/// A weight-heavy Pauli string mixing X, Y and Z across the register, the worst case for
+/// the rotation kernel (dense phase logic, maximal x-mask span — every second qubit
+/// contributes to the pair permutation).
+fn mixed_rotation_string(num_qubits: usize) -> PauliString {
+    let label: String = (0..num_qubits)
+        .map(|q| match q % 4 {
+            0 => 'X',
+            1 => 'Z',
+            2 => 'Y',
+            _ => 'I',
+        })
+        .collect();
+    PauliString::from_label(&label).unwrap()
+}
+
+/// A synthetic Hamiltonian with `2n` terms spanning diagonal and off-diagonal strings.
+fn synthetic_hamiltonian(num_qubits: usize) -> PauliOp {
+    let mut op = PauliOp::zero(num_qubits);
+    for q in 0..num_qubits {
+        // Diagonal ZZ chain (takes the diagonal fast path).
+        let mut label = vec!['I'; num_qubits];
+        label[q] = 'Z';
+        label[(q + 1) % num_qubits] = 'Z';
+        let zz: String = label.iter().collect();
+        op.add_term(PauliString::from_label(&zz).unwrap(), 1.0 - 0.01 * q as f64);
+        // Off-diagonal XY pair (general pairwise path).
+        let mut label = vec!['I'; num_qubits];
+        label[q] = 'X';
+        label[(q + 2) % num_qubits] = 'Y';
+        let xy: String = label.iter().collect();
+        op.add_term(PauliString::from_label(&xy).unwrap(), 0.3 + 0.01 * q as f64);
+    }
+    op.simplify(0.0);
+    op
+}
+
+/// The qubit sizes for the fast-vs-naive comparisons (paper-scale register sweep).
+const COMPARE_QUBITS: [usize; 4] = [12, 16, 20, 22];
+
+fn bench_single_qubit_kernels(c: &mut Criterion) {
+    for n in COMPARE_QUBITS {
+        let gate = Gate::Rx(n / 2, Angle::Fixed(0.7));
+        let mut state = dense_state(n);
+        c.bench_function(&format!("single_qubit_rx/fast/{n}q"), |b| {
+            b.iter(|| qsim::apply_gate(&mut state, &gate, &[]))
+        });
+        let mut state = dense_state(n);
+        c.bench_function(&format!("single_qubit_rx/naive/{n}q"), |b| {
+            b.iter(|| reference::apply_gate(&mut state, &gate, &[]))
+        });
+    }
+}
+
+fn bench_cx_ladder_kernels(c: &mut Criterion) {
+    for n in COMPARE_QUBITS {
+        let ladder: Vec<Gate> = (0..n - 1).map(|q| Gate::Cx(q, q + 1)).collect();
+        let mut state = dense_state(n);
+        c.bench_function(&format!("cx_ladder/fast/{n}q"), |b| {
+            b.iter(|| {
+                for gate in &ladder {
+                    qsim::apply_gate(&mut state, gate, &[]);
+                }
+            })
+        });
+        let mut state = dense_state(n);
+        c.bench_function(&format!("cx_ladder/naive/{n}q"), |b| {
+            b.iter(|| {
+                for gate in &ladder {
+                    reference::apply_gate(&mut state, gate, &[]);
+                }
+            })
+        });
+    }
+}
+
+fn bench_pauli_rotation_kernels(c: &mut Criterion) {
+    // The headline comparison uses the UCCSD/Jordan–Wigner excitation shape (the strings
+    // the VQE hot loop actually rotates by); the x-dense worst case is tracked separately.
+    for n in COMPARE_QUBITS {
+        let string = uccsd_rotation_string(n);
+        let mut state = dense_state(n);
+        c.bench_function(&format!("pauli_rotation/fast/{n}q"), |b| {
+            b.iter(|| qsim::apply_pauli_rotation(&mut state, &string, 0.9))
+        });
+        let mut state = dense_state(n);
+        c.bench_function(&format!("pauli_rotation/naive/{n}q"), |b| {
+            b.iter(|| reference::apply_pauli_rotation(&mut state, &string, 0.9))
+        });
+    }
+    for n in COMPARE_QUBITS {
+        let string = mixed_rotation_string(n);
+        let mut state = dense_state(n);
+        c.bench_function(&format!("pauli_rotation_xdense/fast/{n}q"), |b| {
+            b.iter(|| qsim::apply_pauli_rotation(&mut state, &string, 0.9))
+        });
+        let mut state = dense_state(n);
+        c.bench_function(&format!("pauli_rotation_xdense/naive/{n}q"), |b| {
+            b.iter(|| reference::apply_pauli_rotation(&mut state, &string, 0.9))
+        });
+    }
+}
+
+fn bench_expectation_kernels(c: &mut Criterion) {
+    for n in COMPARE_QUBITS {
+        let op = synthetic_hamiltonian(n);
+        let state = dense_state(n);
+        c.bench_function(&format!("hamiltonian_expectation/fast/{n}q"), |b| {
+            b.iter(|| std::hint::black_box(op.expectation(&state)))
+        });
+        c.bench_function(&format!("hamiltonian_expectation/naive/{n}q"), |b| {
+            b.iter(|| {
+                let serial: f64 = op
+                    .terms()
+                    .iter()
+                    .map(|t| t.coefficient * PauliOp::string_expectation_naive(&t.string, &state))
+                    .sum();
+                std::hint::black_box(serial)
+            })
+        });
+    }
 }
 
 fn configure() -> Criterion {
@@ -106,4 +273,44 @@ criterion_group! {
     targets = bench_expectation, bench_circuit_simulation, bench_pauli_propagation,
               bench_lanczos, bench_spectral_clustering, bench_treevqa_short_run
 }
-criterion_main!(kernels);
+
+criterion_group! {
+    name = kernel_comparisons;
+    config = configure();
+    targets = bench_single_qubit_kernels, bench_cx_ladder_kernels,
+              bench_pauli_rotation_kernels, bench_expectation_kernels
+}
+
+/// Prints the fast-vs-naive speedup table from the recorded results.
+fn print_speedups() {
+    let results = criterion::all_results();
+    let median = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
+    println!("\n== fast-vs-naive kernel speedups (median) ==");
+    for kernel in [
+        "single_qubit_rx",
+        "cx_ladder",
+        "pauli_rotation",
+        "pauli_rotation_xdense",
+        "hamiltonian_expectation",
+    ] {
+        for n in COMPARE_QUBITS {
+            if let (Some(fast), Some(naive)) = (
+                median(&format!("{kernel}/fast/{n}q")),
+                median(&format!("{kernel}/naive/{n}q")),
+            ) {
+                println!("{kernel:<24} {n:>2}q  {:.2}x", naive / fast);
+            }
+        }
+    }
+}
+
+fn main() {
+    // Comparisons run first so a long tail of macro benches cannot starve them.
+    kernel_comparisons();
+    kernels();
+    print_speedups();
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let entries =
+        criterion::write_summary_json(json_path).expect("failed to write BENCH_kernels.json");
+    println!("\nwrote {json_path} ({entries} benchmarks)");
+}

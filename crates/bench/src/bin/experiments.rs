@@ -32,8 +32,8 @@ fn main() {
         std::process::exit(2);
     }
     let all = [
-        "tab1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab2", "fig12",
-        "fig13", "fig14",
+        "tab1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab2", "fig12", "fig13",
+        "fig14",
     ];
     let requested: Vec<String> = if args.iter().any(|a| a == "all") {
         all.iter().map(|s| s.to_string()).collect()
@@ -63,7 +63,10 @@ fn main() {
 /// Table 1: chemistry benchmark characteristics.
 fn tab1() {
     println!("Table 1 — chemistry benchmarks (scaled reproduction)");
-    println!("{:<8} {:>8} {:>8} {:>16} {:>10}", "molecule", "qubits", "terms", "bond range (Å)", "eq (Å)");
+    println!(
+        "{:<8} {:>8} {:>8} {:>16} {:>10}",
+        "molecule", "qubits", "terms", "bond range (Å)", "eq (Å)"
+    );
     let mut rows = Vec::new();
     for spec in MoleculeSpec::all_benchmarks() {
         let terms = spec.hamiltonian(spec.equilibrium_bond).num_terms();
@@ -76,7 +79,12 @@ fn tab1() {
             spec.name, spec.num_qubits, terms, spec.bond_min, spec.bond_max, spec.equilibrium_bond
         ));
     }
-    let path = write_csv("tab1_benchmarks.csv", "molecule,qubits,terms,bond_min,bond_max,eq_bond", &rows).unwrap();
+    let path = write_csv(
+        "tab1_benchmarks.csv",
+        "molecule,qubits,terms,bond_min,bond_max,eq_bond",
+        &rows,
+    )
+    .unwrap();
     println!("wrote {}", path.display());
 }
 
@@ -84,7 +92,10 @@ fn tab1() {
 fn fig4() {
     let molecule = MoleculeSpec::lih();
     let bonds = molecule.bond_lengths(10);
-    println!("Figure 4 — LiH similarity heatmaps over {} bond lengths", bonds.len());
+    println!(
+        "Figure 4 — LiH similarity heatmaps over {} bond lengths",
+        bonds.len()
+    );
     let opts = LanczosOptions::default();
     let states: Vec<_> = bonds
         .iter()
@@ -111,7 +122,11 @@ fn fig4() {
     }
     let header = format!(
         "bond,{}",
-        bonds.iter().map(|b| format!("{b:.3}")).collect::<Vec<_>>().join(",")
+        bonds
+            .iter()
+            .map(|b| format!("{b:.3}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     let p1 = write_csv("fig4b_ground_state_overlap.csv", &header, &overlap_rows).unwrap();
     let p2 = write_csv("fig4c_hamiltonian_similarity.csv", &header, &sim_rows).unwrap();
@@ -198,7 +213,11 @@ fn fig7() {
 fn fig8() {
     println!("Figure 8 — shot savings vs task precision");
     let mut rows = Vec::new();
-    for molecule in [MoleculeSpec::hf(), MoleculeSpec::lih(), MoleculeSpec::beh2()] {
+    for molecule in [
+        MoleculeSpec::hf(),
+        MoleculeSpec::lih(),
+        MoleculeSpec::beh2(),
+    ] {
         println!("\n  {}", molecule.name);
         for &num_tasks in &[3usize, 5, 7, 10] {
             let span = molecule.bond_max - molecule.bond_min;
@@ -237,6 +256,7 @@ fn fig8() {
 
 /// Figure 9: large-scale benchmarks (25-site Ising, C₂H₂ proxy) with Pauli propagation,
 /// noiseless and with a 1 % depolarizing layer.
+#[allow(clippy::type_complexity)]
 fn fig9() {
     println!("Figure 9 — large-scale per-task savings (Pauli propagation backend)");
     let mut rows = Vec::new();
@@ -246,11 +266,19 @@ fn fig9() {
             SpinChainFamily::large_ising_benchmark().tasks(6),
             0,
         ),
-        ("C2H2", MoleculeSpec::c2h2().tasks(6), MoleculeSpec::c2h2().hartree_fock_state()),
+        (
+            "C2H2",
+            MoleculeSpec::c2h2().tasks(6),
+            MoleculeSpec::c2h2().hartree_fock_state(),
+        ),
     ];
     for noisy in [false, true] {
         for (name, tasks, hf) in &cases {
-            let label = if noisy { format!("{name} (noisy)") } else { (*name).to_string() };
+            let label = if noisy {
+                format!("{name} (noisy)")
+            } else {
+                (*name).to_string()
+            };
             let num_qubits = tasks[0].1.num_qubits();
             let vtasks: Vec<vqa::VqaTask> = tasks
                 .iter()
@@ -262,7 +290,8 @@ fn fig9() {
                 qcircuit::Entanglement::Linear,
             )
             .build();
-            let app = vqa::VqaApplication::new(label.clone(), vtasks, ansatz, InitialState::Basis(*hf));
+            let app =
+                vqa::VqaApplication::new(label.clone(), vtasks, ansatz, InitialState::Basis(*hf));
             let make_backend = || -> Box<dyn Backend> {
                 let config = PauliPropagatorConfig {
                     max_weight: 4,
@@ -336,7 +365,10 @@ fn fig10() {
         .iter()
         .map(|t| t.fidelity(cafqa.energy).unwrap_or(0.0))
         .collect();
-    let cafqa_fid = cafqa_fidelities.iter().cloned().fold(f64::INFINITY, f64::min);
+    let cafqa_fid = cafqa_fidelities
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     println!("  CAFQA initialization fidelity (worst task): {cafqa_fid:.3}");
 
     let config = ComparisonConfig {
@@ -368,10 +400,7 @@ fn fig11() {
     let panels = vqe_panels(120, optimizer);
     let mut rows = Vec::new();
     for (name, comparison) in &panels {
-        let fid = comparison
-            .treevqa
-            .min_fidelity()
-            .unwrap_or(f64::NAN);
+        let fid = comparison.treevqa.min_fidelity().unwrap_or(f64::NAN);
         match comparison.best_common_threshold() {
             Some((threshold, _, _, ratio)) => {
                 println!("  {name:<24} savings {ratio:>6.1}x at fidelity {threshold:.2} (TreeVQA fid {fid:.3})");
@@ -415,16 +444,24 @@ fn tab2() {
                 29,
             )) as Box<dyn Backend>
         });
-        let max_fid = metrics::mean_fidelity(&app.tasks, &comparison.treevqa.energies())
-            .unwrap_or(f64::NAN);
+        let max_fid =
+            metrics::mean_fidelity(&app.tasks, &comparison.treevqa.energies()).unwrap_or(f64::NAN);
         let savings = comparison
             .best_common_threshold()
             .map(|(_, _, _, r)| r)
             .unwrap_or(f64::NAN);
-        println!("  {:<10} max avg fidelity {max_fid:.3}   savings {savings:>6.1}x", model.name);
+        println!(
+            "  {:<10} max avg fidelity {max_fid:.3}   savings {savings:>6.1}x",
+            model.name
+        );
         rows.push(format!("{},{max_fid:.4},{savings:.3}", model.name));
     }
-    let path = write_csv("tab2_noisy_backends.csv", "backend,max_avg_fidelity,savings", &rows).unwrap();
+    let path = write_csv(
+        "tab2_noisy_backends.csv",
+        "backend,max_avg_fidelity,savings",
+        &rows,
+    )
+    .unwrap();
     println!("wrote {}", path.display());
 }
 
@@ -492,7 +529,12 @@ fn fig13() {
             rows.push(format!("{},{percent},{mean_error:.4}", molecule.name));
         }
     }
-    let path = write_csv("fig13_split_timing.csv", "molecule,split_percent,mean_error_percent", &rows).unwrap();
+    let path = write_csv(
+        "fig13_split_timing.csv",
+        "molecule,split_percent,mean_error_percent",
+        &rows,
+    )
+    .unwrap();
     println!("\nwrote {}", path.display());
 }
 

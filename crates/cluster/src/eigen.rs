@@ -30,6 +30,7 @@ pub struct SymmetricEigen {
 /// assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-10);
 /// assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-10);
 /// ```
+#[allow(clippy::needless_range_loop)]
 pub fn symmetric_eigen(matrix: &[Vec<f64>]) -> SymmetricEigen {
     let n = matrix.len();
     assert!(n > 0, "matrix must be non-empty");

@@ -39,7 +39,10 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iterations: usize, seed: u64) -
     assert!(!points.is_empty(), "no points to cluster");
     assert!(k <= points.len(), "more clusters than points");
     let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensionality");
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensionality"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -110,12 +113,15 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iterations: usize, seed: u64) -
                     .iter()
                     .enumerate()
                     .max_by(|a, b| {
-                        squared_distance(a.1, &centroids_snapshot(points, &labels, dim, k)[labels[a.0]])
-                            .partial_cmp(&squared_distance(
-                                b.1,
-                                &centroids_snapshot(points, &labels, dim, k)[labels[b.0]],
-                            ))
-                            .unwrap()
+                        squared_distance(
+                            a.1,
+                            &centroids_snapshot(points, &labels, dim, k)[labels[a.0]],
+                        )
+                        .partial_cmp(&squared_distance(
+                            b.1,
+                            &centroids_snapshot(points, &labels, dim, k)[labels[b.0]],
+                        ))
+                        .unwrap()
                     })
                     .map(|(i, _)| i)
                     .unwrap_or(0);
@@ -140,7 +146,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iterations: usize, seed: u64) -
     }
 }
 
-fn centroids_snapshot(points: &[Vec<f64>], labels: &[usize], dim: usize, k: usize) -> Vec<Vec<f64>> {
+fn centroids_snapshot(
+    points: &[Vec<f64>],
+    labels: &[usize],
+    dim: usize,
+    k: usize,
+) -> Vec<Vec<f64>> {
     let mut sums = vec![vec![0.0f64; dim]; k];
     let mut counts = vec![0usize; k];
     for (p, &label) in points.iter().zip(labels) {
@@ -196,7 +207,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let points: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64, (i / 4) as f64]).collect();
+        let points: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
+            .collect();
         let a = kmeans(&points, 3, 100, 9);
         let b = kmeans(&points, 3, 100, 9);
         assert_eq!(a.labels, b.labels);

@@ -190,7 +190,7 @@ fn median(values: &mut [f64]) -> f64 {
     }
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = values.len() / 2;
-    if values.len() % 2 == 0 {
+    if values.len().is_multiple_of(2) {
         0.5 * (values[mid - 1] + values[mid])
     } else {
         values[mid]
@@ -212,7 +212,10 @@ mod tests {
         for i in 0..3 {
             assert!((s.get(i, i) - 1.0).abs() < 1e-12);
         }
-        assert!(s.get(0, 1) > s.get(0, 2), "closer pairs must be more similar");
+        assert!(
+            s.get(0, 1) > s.get(0, 2),
+            "closer pairs must be more similar"
+        );
         assert!(s.get(0, 1) <= 1.0 && s.get(0, 2) > 0.0);
     }
 
@@ -229,10 +232,7 @@ mod tests {
 
     #[test]
     fn laplacian_rows_reflect_normalization() {
-        let s = SimilarityMatrix::new(vec![
-            vec![1.0, 0.5],
-            vec![0.5, 1.0],
-        ]);
+        let s = SimilarityMatrix::new(vec![vec![1.0, 0.5], vec![0.5, 1.0]]);
         let lap = s.normalized_laplacian();
         // Symmetric, diagonal in (0, 1], off-diagonal negative.
         assert!((lap[0][1] - lap[1][0]).abs() < 1e-12);
@@ -249,7 +249,11 @@ mod tests {
             .collect();
         let n = positions.len();
         let distances: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| (positions[i] - positions[j]).abs()).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| (positions[i] - positions[j]).abs())
+                    .collect()
+            })
             .collect();
         let s = SimilarityMatrix::from_distances(&distances);
         let labels = spectral_bipartition(&s, 11);

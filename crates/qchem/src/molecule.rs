@@ -262,8 +262,7 @@ impl MoleculeSpec {
 
             let coefficient = if string.is_identity() {
                 // Morse-like curve: E(re) = offset − well_depth, rising toward dissociation.
-                let morse =
-                    2.0 * self.well_depth * (1.0 - (-decay * (bond - re)).exp()).powi(2);
+                let morse = 2.0 * self.well_depth * (1.0 - (-decay * (bond - re)).exp()).powi(2);
                 -(self.num_electrons as f64) * 0.25 - self.well_depth + morse
             } else {
                 // Category scaling, mirroring real molecular Hamiltonians: the single-Z
@@ -280,8 +279,16 @@ impl MoleculeSpec {
                 } else if string.weight() == 1 {
                     // Single Z on qubit q: occupied orbitals favour |1⟩ (positive
                     // coefficient), virtual orbitals favour |0⟩ (negative coefficient).
-                    let qubit = string.iter_non_identity().next().map(|(q, _)| q).unwrap_or(0);
-                    let sign = if qubit < self.num_electrons { 1.0 } else { -1.0 };
+                    let qubit = string
+                        .iter_non_identity()
+                        .next()
+                        .map(|(q, _)| q)
+                        .unwrap_or(0);
+                    let sign = if qubit < self.num_electrons {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     (1.0, sign)
                 } else {
                     (0.25, if base >= 0.0 { 1.0 } else { -1.0 })
@@ -343,8 +350,14 @@ mod tests {
         let h_c = spec.hamiltonian(1.70);
         let near = h_a.l1_distance(&h_b);
         let far = h_a.l1_distance(&h_c);
-        assert!(near < far, "nearby bonds must be closer in l1: {near} vs {far}");
-        assert!(near < 0.2, "0.01 Å step should move coefficients only slightly: {near}");
+        assert!(
+            near < far,
+            "nearby bonds must be closer in l1: {near} vs {far}"
+        );
+        assert!(
+            near < 0.2,
+            "0.01 Å step should move coefficients only slightly: {near}"
+        );
     }
 
     #[test]
@@ -354,7 +367,10 @@ mod tests {
         let gs_a = qop::ground_state(&spec.hamiltonian(0.74), &opts);
         let gs_b = qop::ground_state(&spec.hamiltonian(0.77), &opts);
         let overlap = gs_a.state.overlap(&gs_b.state);
-        assert!(overlap > 0.9, "adiabatic continuity violated: overlap {overlap}");
+        assert!(
+            overlap > 0.9,
+            "adiabatic continuity violated: overlap {overlap}"
+        );
     }
 
     #[test]
@@ -381,7 +397,9 @@ mod tests {
         assert!((ten[9] - spec.bond_max).abs() < 1e-12);
         let stepped = spec.bond_lengths_with_step(0.03);
         assert!(stepped.len() >= 9);
-        assert!(stepped.windows(2).all(|w| (w[1] - w[0] - 0.03).abs() < 1e-9));
+        assert!(stepped
+            .windows(2)
+            .all(|w| (w[1] - w[0] - 0.03).abs() < 1e-9));
         assert_eq!(spec.bond_lengths(1), vec![spec.equilibrium_bond]);
     }
 

@@ -136,8 +136,7 @@ impl SpinChainFamily {
         }
         (0..count)
             .map(|i| {
-                self.param_min
-                    + (self.param_max - self.param_min) * i as f64 / (count - 1) as f64
+                self.param_min + (self.param_max - self.param_min) * i as f64 / (count - 1) as f64
             })
             .collect()
     }

@@ -73,7 +73,11 @@ impl QaoaAnsatz {
     /// # Panics
     ///
     /// Panics if `layers == 0`.
-    pub fn new(cost: &PauliOp, layers: usize, style: QaoaStyle) -> Result<Self, NonDiagonalCostError> {
+    pub fn new(
+        cost: &PauliOp,
+        layers: usize,
+        style: QaoaStyle,
+    ) -> Result<Self, NonDiagonalCostError> {
         assert!(layers > 0, "QAOA needs at least one layer");
         let mut phasing_terms = Vec::new();
         for (idx, term) in cost.terms().iter().enumerate() {
@@ -186,8 +190,8 @@ impl QaoaAnsatz {
                 let mut v = Vec::with_capacity((m + n) * p);
                 for l in 0..p {
                     let frac = (l as f64 + 0.5) / p as f64;
-                    v.extend(std::iter::repeat(0.4 * frac).take(m));
-                    v.extend(std::iter::repeat(0.4 * (1.0 - frac)).take(n));
+                    v.extend(std::iter::repeat_n(0.4 * frac, m));
+                    v.extend(std::iter::repeat_n(0.4 * (1.0 - frac), n));
                 }
                 v
             }

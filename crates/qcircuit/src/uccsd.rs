@@ -222,11 +222,7 @@ mod tests {
         let c = a.build();
         assert_eq!(c.num_parameters(), a.num_parameters());
         // Hartree–Fock prep: one X per electron.
-        let x_count = c
-            .gates()
-            .iter()
-            .filter(|g| matches!(g, Gate::X(_)))
-            .count();
+        let x_count = c.gates().iter().filter(|g| matches!(g, Gate::X(_))).count();
         assert_eq!(x_count, 2);
     }
 

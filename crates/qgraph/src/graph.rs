@@ -52,7 +52,10 @@ impl WeightedGraph {
     /// Panics if either endpoint is out of range, if `u == v`, or if the edge already
     /// exists.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.num_nodes && v < self.num_nodes, "vertex out of range");
+        assert!(
+            u < self.num_nodes && v < self.num_nodes,
+            "vertex out of range"
+        );
         assert_ne!(u, v, "self-loops are not allowed");
         let (a, b) = if u < v { (u, v) } else { (v, u) };
         assert!(
@@ -154,7 +157,11 @@ pub fn edge_weight_variance(graphs: &[WeightedGraph]) -> f64 {
     let num_edges = graphs[0].num_edges();
     for g in graphs {
         assert_eq!(g.num_edges(), num_edges, "graphs must share topology");
-        assert_eq!(g.num_nodes(), graphs[0].num_nodes(), "graphs must share topology");
+        assert_eq!(
+            g.num_nodes(),
+            graphs[0].num_nodes(),
+            "graphs must share topology"
+        );
         for (e, e0) in g.edges().iter().zip(graphs[0].edges()) {
             assert_eq!((e.0, e.1), (e0.0, e0.1), "graphs must share edge order");
         }
@@ -230,8 +237,14 @@ mod tests {
 
     #[test]
     fn variance_grows_with_spread() {
-        let narrow: Vec<WeightedGraph> = [0.9, 1.0, 1.1].iter().map(|&s| triangle().scaled(s)).collect();
-        let wide: Vec<WeightedGraph> = [0.5, 1.0, 1.5].iter().map(|&s| triangle().scaled(s)).collect();
+        let narrow: Vec<WeightedGraph> = [0.9, 1.0, 1.1]
+            .iter()
+            .map(|&s| triangle().scaled(s))
+            .collect();
+        let wide: Vec<WeightedGraph> = [0.5, 1.0, 1.5]
+            .iter()
+            .map(|&s| triangle().scaled(s))
+            .collect();
         assert!(edge_weight_variance(&wide) > edge_weight_variance(&narrow));
     }
 

@@ -143,8 +143,15 @@ mod tests {
         assert_eq!(g.num_nodes(), 14);
         assert_eq!(g.num_edges(), 20);
         // Weights are normalized into (0, 1].
-        assert!(g.edges().iter().all(|&(_, _, w)| w > 0.0 && w <= 1.0 + 1e-12));
-        let max_w = g.edges().iter().map(|&(_, _, w)| w).fold(f64::MIN, f64::max);
+        assert!(g
+            .edges()
+            .iter()
+            .all(|&(_, _, w)| w > 0.0 && w <= 1.0 + 1e-12));
+        let max_w = g
+            .edges()
+            .iter()
+            .map(|&(_, _, w)| w)
+            .fold(f64::MIN, f64::max);
         assert!((max_w - 1.0).abs() < 1e-12);
     }
 
@@ -168,7 +175,10 @@ mod tests {
         let v_wide = wide.edge_weight_variance();
         let v_mid = mid.edge_weight_variance();
         let v_narrow = narrow.edge_weight_variance();
-        assert!(v_wide > v_mid && v_mid > v_narrow, "{v_wide} > {v_mid} > {v_narrow}");
+        assert!(
+            v_wide > v_mid && v_mid > v_narrow,
+            "{v_wide} > {v_mid} > {v_narrow}"
+        );
         assert!(v_narrow > 0.0);
     }
 
@@ -204,6 +214,9 @@ mod tests {
             .collect();
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.05, "edge responses to load should differ: {min}..{max}");
+        assert!(
+            max - min > 0.05,
+            "edge responses to load should differ: {min}..{max}"
+        );
     }
 }

@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn all_z_terms_form_one_group() {
-        let h = PauliOp::from_labels(3, &[("ZZI", 1.0), ("IZZ", 0.5), ("ZIZ", 0.25), ("ZII", 0.1)]);
+        let h = PauliOp::from_labels(
+            3,
+            &[("ZZI", 1.0), ("IZZ", 0.5), ("ZIZ", 0.25), ("ZII", 0.1)],
+        );
         let groups = group_qwc(&h);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].term_indices.len(), 4);
@@ -101,7 +104,13 @@ mod tests {
     fn every_term_is_assigned_exactly_once() {
         let h = PauliOp::from_labels(
             3,
-            &[("ZZI", 1.0), ("XIX", 0.5), ("IZZ", 0.2), ("XXI", 0.3), ("YYI", 0.1)],
+            &[
+                ("ZZI", 1.0),
+                ("XIX", 0.5),
+                ("IZZ", 0.2),
+                ("XXI", 0.3),
+                ("YYI", 0.1),
+            ],
         );
         let groups = group_qwc(&h);
         let mut seen = vec![false; h.num_terms()];

@@ -110,10 +110,7 @@ pub fn ground_state(op: &PauliOp, options: &LanczosOptions) -> GroundState {
 
         // Ritz value check.
         let (ritz_vals, _) = tridiag_eigen(&alphas, &betas);
-        let current = ritz_vals
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let current = ritz_vals.iter().cloned().fold(f64::INFINITY, f64::min);
         if (last_ritz - current).abs() < options.tolerance && j > 2 {
             converged_at = j + 1;
             break;
@@ -316,7 +313,12 @@ mod tests {
         }
         let gs = ground_state(&h, &LanczosOptions::default());
         let reference = dense_min_eigenvalue(&h);
-        assert!(close(gs.energy, reference, 1e-7), "{} vs {}", gs.energy, reference);
+        assert!(
+            close(gs.energy, reference, 1e-7),
+            "{} vs {}",
+            gs.energy,
+            reference
+        );
     }
 
     /// Brute-force smallest eigenvalue via inverse-free power iteration on (sigma*I - H),

@@ -30,6 +30,8 @@ mod complex;
 mod grouping;
 mod lanczos;
 mod op;
+#[doc(hidden)]
+pub mod par;
 mod pauli;
 mod statevector;
 
@@ -37,5 +39,6 @@ pub use complex::Complex64;
 pub use grouping::{group_qwc, measurement_rotations, num_qwc_groups, QwcGroup};
 pub use lanczos::{ground_energy, ground_state, GroundState, LanczosOptions};
 pub use op::{PauliOp, PauliTerm};
+pub use par::parallel_threshold;
 pub use pauli::{Pauli, PauliString};
 pub use statevector::Statevector;

@@ -7,8 +7,10 @@
 //! states rather than materializing the `2^n × 2^n` matrix.
 
 use crate::complex::Complex64;
+use crate::par::{self, SendPtr, I_POWERS, MIN_PAR_INDICES};
 use crate::pauli::PauliString;
 use crate::statevector::Statevector;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -25,7 +27,10 @@ pub struct PauliTerm {
 impl PauliTerm {
     /// Creates a new term.
     pub fn new(string: PauliString, coefficient: f64) -> Self {
-        PauliTerm { string, coefficient }
+        PauliTerm {
+            string,
+            coefficient,
+        }
     }
 }
 
@@ -138,9 +143,7 @@ impl PauliOp {
         self.terms = merged
             .into_iter()
             .filter(|(_, c)| c.abs() > tolerance)
-            .map(|((x, z), c)| {
-                PauliTerm::new(PauliString::from_masks(x, z, self.num_qubits), c)
-            })
+            .map(|((x, z), c)| PauliTerm::new(PauliString::from_masks(x, z, self.num_qubits), c))
             .collect();
     }
 
@@ -261,7 +264,8 @@ impl PauliOp {
     pub fn coefficients_over(&self, superset: &[PauliString]) -> Vec<f64> {
         let mut map: BTreeMap<(u64, u64), f64> = BTreeMap::new();
         for t in &self.terms {
-            *map.entry((t.string.x_mask(), t.string.z_mask())).or_insert(0.0) += t.coefficient;
+            *map.entry((t.string.x_mask(), t.string.z_mask()))
+                .or_insert(0.0) += t.coefficient;
         }
         superset
             .iter()
@@ -277,37 +281,143 @@ impl PauliOp {
     ///
     /// Panics if the statevector register size differs.
     pub fn apply(&self, psi: &Statevector) -> Statevector {
-        assert_eq!(psi.num_qubits(), self.num_qubits, "register size mismatch");
         let mut out = psi.zeros_like();
-        let amps = psi.amplitudes();
-        let out_amps = out.amplitudes_mut();
-        for term in &self.terms {
-            for b in 0..amps.len() as u64 {
-                let a = amps[b as usize];
-                if a == Complex64::ZERO {
-                    continue;
-                }
-                let (b2, phase) = term.string.apply_to_basis(b);
-                out_amps[b2 as usize] += phase * a * term.coefficient;
-            }
-        }
+        self.apply_into(psi, &mut out);
         out
     }
 
+    /// Writes `H|ψ⟩` into `out`, reusing its allocation (any previous contents are
+    /// overwritten).
+    ///
+    /// The kernel runs in *gather* form: `out[b] = Σ_k c_k · phase_k(b ^ x_k) · ψ[b ^ x_k]`,
+    /// so every output amplitude is owned by exactly one loop iteration.  That makes each
+    /// output index independent — the loop is branch-free and parallelizes over output
+    /// chunks for registers at or above [`crate::parallel_threshold`] amplitudes — and all
+    /// terms are accumulated in one pass over the state, instead of one scatter pass per
+    /// term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either register size differs from the operator's.
+    pub fn apply_into(&self, psi: &Statevector, out: &mut Statevector) {
+        assert_eq!(psi.num_qubits(), self.num_qubits, "register size mismatch");
+        assert_eq!(
+            out.num_qubits(),
+            self.num_qubits,
+            "output register size mismatch"
+        );
+        let dim = psi.dim();
+        // Per-term constants, hoisted out of the amplitude loop.
+        let prepared: Vec<(usize, u64, u32, f64)> = self
+            .terms
+            .iter()
+            .map(|t| {
+                let x = t.string.x_mask();
+                let z = t.string.z_mask();
+                (x as usize, z, (x & z).count_ones(), t.coefficient)
+            })
+            .collect();
+        let amps = psi.amplitudes();
+        let gather = |b: usize| {
+            let mut acc = Complex64::ZERO;
+            for &(x, z, num_y, coeff) in &prepared {
+                let src = b ^ x;
+                // P|src⟩ = i^num_y · (-1)^popcount(src & z) · |b⟩.
+                let k4 = ((num_y + 2 * (src as u64 & z).count_ones()) & 3) as usize;
+                acc += I_POWERS[k4] * amps[src] * coeff;
+            }
+            acc
+        };
+        let out_amps = out.amplitudes_mut();
+        if par::use_parallel(dim * self.terms.len().max(1)) {
+            let ptr = SendPtr(out_amps.as_mut_ptr());
+            (0..dim)
+                .into_par_iter()
+                .with_min_len(MIN_PAR_INDICES)
+                .for_each(|b| {
+                    // SAFETY: each output index is written by exactly one worker.
+                    unsafe { *ptr.add(b) = gather(b) };
+                });
+        } else {
+            for (b, o) in out_amps.iter_mut().enumerate() {
+                *o = gather(b);
+            }
+        }
+    }
+
     /// The expectation value `⟨ψ|H|ψ⟩` (exact, no shot noise).
+    ///
+    /// Parallelizes over Hamiltonian terms when `num_terms × 2^n` crosses
+    /// [`crate::parallel_threshold`]; each term uses the branch-free single-string kernel
+    /// with a diagonal fast path (see [`PauliOp::string_expectation`]).
     ///
     /// # Panics
     ///
     /// Panics if the statevector register size differs.
     pub fn expectation(&self, psi: &Statevector) -> f64 {
+        let nterms = self.terms.len();
+        if nterms == 0 {
+            return 0.0;
+        }
+        if nterms == 1 {
+            // Single term: parallelize over amplitudes instead of terms.
+            let t = &self.terms[0];
+            return t.coefficient * Self::string_expectation(&t.string, psi);
+        }
+        if par::use_parallel(nterms * psi.dim()) {
+            return (0..nterms)
+                .into_par_iter()
+                .map(|i| {
+                    let t = &self.terms[i];
+                    t.coefficient * string_expectation_serial(&t.string, psi)
+                })
+                .sum();
+        }
         self.terms
             .iter()
-            .map(|t| t.coefficient * Self::string_expectation(&t.string, psi))
+            .map(|t| t.coefficient * string_expectation_serial(&t.string, psi))
             .sum()
     }
 
     /// The exact expectation value `⟨ψ|P|ψ⟩` of a single Pauli string.
+    ///
+    /// Two branch-free paths: diagonal strings (`x_mask == 0`) reduce to
+    /// `Σ_b |ψ_b|² · (-1)^popcount(b & z_mask)`, and general strings accumulate
+    /// `Re⟨ψ_{b⊕x}| i^{n_Y} (-1)^popcount(b & z) |ψ_b⟩` pairwise.  Large registers are
+    /// split into per-thread chunks (deterministic reduction order for a fixed thread
+    /// count).
     pub fn string_expectation(string: &PauliString, psi: &Statevector) -> f64 {
+        let dim = psi.dim();
+        if par::use_parallel(dim) {
+            let x = string.x_mask() as usize;
+            let z = string.z_mask();
+            let amps = psi.amplitudes();
+            if x == 0 {
+                return (0..dim)
+                    .into_par_iter()
+                    .with_min_len(MIN_PAR_INDICES)
+                    .map(|b| {
+                        let sign = 1.0 - 2.0 * ((b as u64 & z).count_ones() & 1) as f64;
+                        amps[b].norm_sqr() * sign
+                    })
+                    .sum();
+            }
+            let num_y = (string.x_mask() & z).count_ones();
+            return (0..dim)
+                .into_par_iter()
+                .with_min_len(MIN_PAR_INDICES)
+                .map(|b| {
+                    let k4 = ((num_y + 2 * (b as u64 & z).count_ones()) & 3) as usize;
+                    (amps[b ^ x].conj() * I_POWERS[k4] * amps[b]).re
+                })
+                .sum();
+        }
+        string_expectation_serial(string, psi)
+    }
+
+    /// The original scalar expectation kernel (scan + `apply_to_basis` + zero-amplitude
+    /// test), retained as the correctness baseline for property tests and benches.
+    pub fn string_expectation_naive(string: &PauliString, psi: &Statevector) -> f64 {
         let amps = psi.amplitudes();
         let mut acc = Complex64::ZERO;
         for b in 0..amps.len() as u64 {
@@ -325,9 +435,20 @@ impl PauliOp {
     /// post-processing step, which recombines logged per-term expectations with
     /// different coefficient vectors at zero quantum cost).
     pub fn term_expectations(&self, psi: &Statevector) -> Vec<f64> {
+        let nterms = self.terms.len();
+        if nterms == 1 {
+            // Single term: parallelize over amplitudes instead of terms.
+            return vec![Self::string_expectation(&self.terms[0].string, psi)];
+        }
+        if par::use_parallel(nterms * psi.dim()) {
+            return (0..nterms)
+                .into_par_iter()
+                .map(|i| string_expectation_serial(&self.terms[i].string, psi))
+                .collect();
+        }
         self.terms
             .iter()
-            .map(|t| Self::string_expectation(&t.string, psi))
+            .map(|t| string_expectation_serial(&t.string, psi))
             .collect()
     }
 
@@ -367,6 +488,50 @@ impl PauliOp {
             terms,
         }
     }
+}
+
+/// Serial branch-free single-string expectation with the diagonal fast path.
+///
+/// Off-diagonal strings use the involution-pair identity: the `b` and `b ^ x_mask`
+/// contributions are complex conjugates, so the sum over each pair is
+/// `2·Re(conj(ψ_{b1}) · phase0 · ψ_{b0})` — half the index math, popcounts and loads of
+/// the full scan.
+fn string_expectation_serial(string: &PauliString, psi: &Statevector) -> f64 {
+    let amps = psi.amplitudes();
+    let x = string.x_mask() as usize;
+    let z = string.z_mask();
+    if x == 0 {
+        // Diagonal string: ⟨P⟩ = Σ_b |ψ_b|² · (-1)^popcount(b & z).
+        let mut acc = 0.0;
+        for (b, a) in amps.iter().enumerate() {
+            let sign = 1.0 - 2.0 * ((b as u64 & z).count_ones() & 1) as f64;
+            acc += a.norm_sqr() * sign;
+        }
+        return acc;
+    }
+    // Pairwise walk in the same block layout as the gate kernels: blocks of 2^(pivot+1)
+    // amplitudes, i0 = base + off, i1 = base + 2^pivot + (off ^ xl).
+    let num_y = (string.x_mask() & z).count_ones();
+    let pivot = (63 - (x as u64).leading_zeros()) as usize;
+    let pbit = 1usize << pivot;
+    let xl = x & (pbit - 1);
+    let z_low = z & (pbit as u64 - 1);
+    let mut acc = 0.0;
+    for (block_index, block) in amps.chunks_exact(pbit << 1).enumerate() {
+        let base = block_index * (pbit << 1);
+        let base_popc = num_y + 2 * (base as u64 & z).count_ones();
+        let (los, his) = block.split_at(pbit);
+        for off in 0..pbit {
+            let partner = off ^ xl;
+            let k4 = ((base_popc + 2 * (off as u64 & z_low).count_ones()) & 3) as usize;
+            // SAFETY: off and partner are both < pbit, the length of each half-slice.
+            let t = unsafe {
+                his.get_unchecked(partner).conj() * I_POWERS[k4] * *los.get_unchecked(off)
+            };
+            acc += 2.0 * t.re;
+        }
+    }
+    acc
 }
 
 impl fmt::Display for PauliOp {
@@ -462,6 +627,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn dense_matrix_is_hermitian_and_matches_expectation() {
         let h = PauliOp::from_labels(2, &[("ZZ", 0.7), ("XY", -0.2), ("IX", 0.4)]);
         let m = h.to_dense();
@@ -513,6 +679,72 @@ mod tests {
         assert_eq!(h2.num_qubits(), 2);
         let psi = Statevector::basis_state(2, 0b10); // qubit0=0, qubit1=1
         assert!(close(h2.expectation(&psi), 1.0));
+    }
+
+    #[test]
+    fn fast_expectation_matches_naive_kernel() {
+        // A dense state with structure on every amplitude, so phase errors cannot hide.
+        let n = 6;
+        let dim = 1usize << n;
+        let mut psi = Statevector::from_amplitudes(
+            (0..dim)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect(),
+        );
+        psi.normalize();
+        let h = PauliOp::from_labels(
+            n,
+            &[
+                ("ZZIIZZ", 0.7),
+                ("XIYIZX", -0.2),
+                ("YYYYYY", 0.4),
+                ("IIXXII", -0.9),
+                ("ZIIIII", 1.3),
+                ("IIIIII", -0.5),
+            ],
+        );
+        let via_naive: f64 = h
+            .terms()
+            .iter()
+            .map(|t| t.coefficient * PauliOp::string_expectation_naive(&t.string, &psi))
+            .sum();
+        assert!(close(h.expectation(&psi), via_naive));
+        for t in h.terms() {
+            assert!(close(
+                PauliOp::string_expectation(&t.string, &psi),
+                PauliOp::string_expectation_naive(&t.string, &psi)
+            ));
+        }
+    }
+
+    #[test]
+    fn apply_into_matches_naive_scatter_and_reuses_buffer() {
+        let n = 5;
+        let dim = 1usize << n;
+        let mut psi = Statevector::from_amplitudes(
+            (0..dim)
+                .map(|i| Complex64::new((i as f64 * 0.23).cos(), (i as f64 * 0.41).sin()))
+                .collect(),
+        );
+        psi.normalize();
+        let h = PauliOp::from_labels(n, &[("ZZXIY", 0.6), ("IXIXI", -0.3), ("YIZIZ", 0.9)]);
+        // Naive scatter using apply_to_basis, the original implementation.
+        let mut expected = psi.zeros_like();
+        for term in h.terms() {
+            for b in 0..dim as u64 {
+                let (b2, phase) = term.string.apply_to_basis(b);
+                let contribution = phase * psi.amplitude(b) * term.coefficient;
+                expected.amplitudes_mut()[b2 as usize] += contribution;
+            }
+        }
+        let mut out = psi.zeros_like();
+        let buffer = out.amplitudes().as_ptr();
+        h.apply_into(&psi, &mut out);
+        assert_eq!(buffer, out.amplitudes().as_ptr(), "apply_into reallocated");
+        for b in 0..dim as u64 {
+            let d = expected.amplitude(b) - out.amplitude(b);
+            assert!(d.norm() < 1e-10, "mismatch at {b}");
+        }
     }
 
     #[test]

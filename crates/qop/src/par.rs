@@ -1,0 +1,58 @@
+//! Shared parallel-execution policy for the dense kernels.
+//!
+//! `qop` sits at the bottom of the workspace, so the size threshold that decides when a
+//! kernel is worth multi-threading lives here; `qsim` re-exports [`parallel_threshold`]
+//! and documents it as the simulation stack's tuning knob.
+
+use crate::complex::Complex64;
+use std::sync::OnceLock;
+
+/// Minimum number of indices a worker thread will take in a parallel kernel.
+pub const MIN_PAR_INDICES: usize = 1 << 12;
+
+/// The four powers of `i`, indexed by exponent mod 4 (shared by every phase kernel).
+pub const I_POWERS: [Complex64; 4] = [
+    Complex64::new(1.0, 0.0),
+    Complex64::new(0.0, 1.0),
+    Complex64::new(-1.0, 0.0),
+    Complex64::new(0.0, -1.0),
+];
+
+/// The amount of per-call work (measured in amplitude visits) at which the dense kernels
+/// in `qop` and `qsim` switch from serial to multi-threaded execution.
+///
+/// Defaults to `2^14`; override with the `QSIM_PAR_THRESHOLD` environment variable (a
+/// plain count, read once per process; `0` forces every kernel serial).
+pub fn parallel_threshold() -> usize {
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("QSIM_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1 << 14)
+    })
+}
+
+/// Whether a kernel visiting `work` amplitudes should run in parallel.
+#[inline]
+pub fn use_parallel(work: usize) -> bool {
+    let t = parallel_threshold();
+    t != 0 && work >= t && rayon::current_num_threads() > 1
+}
+
+/// Raw pointer wrapper for sharing a mutable amplitude buffer across worker threads.
+///
+/// Safe only because every parallel kernel partitions the index space disjointly.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// `index` must be in bounds and written by at most one thread at a time.
+    #[inline(always)]
+    pub unsafe fn add(self, index: usize) -> *mut T {
+        unsafe { self.0.add(index) }
+    }
+}

@@ -63,6 +63,7 @@ impl Pauli {
     ///
     /// Returns `(product, k)` where the true product is `i^k * product` and
     /// `k ∈ {0, 1, 2, 3}` (i.e. the phase is `i^k`).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Pauli) -> (Pauli, u8) {
         use Pauli::*;
         match (self, rhs) {
@@ -303,7 +304,7 @@ impl PauliString {
     pub fn commutes_with(&self, other: &PauliString) -> bool {
         let a = (self.x_mask & other.z_mask).count_ones();
         let b = (self.z_mask & other.x_mask).count_ones();
-        (a + b) % 2 == 0
+        (a + b).is_multiple_of(2)
     }
 
     /// Returns `true` if the strings commute **qubit-wise**: on every qubit the two
@@ -386,7 +387,9 @@ impl PauliString {
 
     /// Formats as a dense label, qubit 0 first (e.g. `"XIZY"`).
     pub fn label(&self) -> String {
-        (0..self.num_qubits).map(|q| self.pauli_at(q).label()).collect()
+        (0..self.num_qubits)
+            .map(|q| self.pauli_at(q).label())
+            .collect()
     }
 
     /// Iterates over `(qubit, Pauli)` pairs for the non-identity factors.

@@ -23,10 +23,28 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(psi.num_qubits(), 2);
 /// assert!((psi.probability(0b10) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Statevector {
     amplitudes: Vec<Complex64>,
     num_qubits: usize,
+}
+
+// Manual Clone so that `clone_from` forwards to `Vec::clone_from`, which reuses the
+// destination's allocation when capacities match.  The optimizer inner loops in `qsim`
+// and `vqa` rely on this to re-prepare states into scratch buffers allocation-free (the
+// derived impl would fall back to `*self = source.clone()`, reallocating every call).
+impl Clone for Statevector {
+    fn clone(&self) -> Self {
+        Statevector {
+            amplitudes: self.amplitudes.clone(),
+            num_qubits: self.num_qubits,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.amplitudes.clone_from(&source.amplitudes);
+        self.num_qubits = source.num_qubits;
+    }
 }
 
 impl Statevector {
@@ -66,7 +84,10 @@ impl Statevector {
     /// Panics if the length is not a power of two.
     pub fn from_amplitudes(amplitudes: Vec<Complex64>) -> Self {
         let dim = amplitudes.len();
-        assert!(dim.is_power_of_two() && dim > 0, "length must be a power of two");
+        assert!(
+            dim.is_power_of_two() && dim > 0,
+            "length must be a power of two"
+        );
         let num_qubits = dim.trailing_zeros() as usize;
         Statevector {
             amplitudes,
@@ -125,6 +146,29 @@ impl Statevector {
         self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
     }
 
+    /// Writes all measurement probabilities into `out`, reusing its allocation.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.amplitudes.iter().map(|a| a.norm_sqr()));
+    }
+
+    /// Resets this vector to the basis state `|basis⟩` in place (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis >= 2^num_qubits`.
+    pub fn set_basis_state(&mut self, basis: u64) {
+        assert!((basis as usize) < self.dim(), "basis index out of range");
+        self.amplitudes.fill(Complex64::ZERO);
+        self.amplitudes[basis as usize] = Complex64::ONE;
+    }
+
+    /// Resets this vector to the uniform superposition `H^{⊗n}|0⟩` in place.
+    pub fn set_uniform_superposition(&mut self) {
+        let amp = Complex64::from_real(1.0 / (self.dim() as f64).sqrt());
+        self.amplitudes.fill(amp);
+    }
+
     /// The inner product `⟨self|other⟩`.
     ///
     /// # Panics
@@ -159,8 +203,11 @@ impl Statevector {
     pub fn normalize(&mut self) -> f64 {
         let n = self.norm();
         if n > 0.0 {
+            // One division, then multiplies: f64 division is several times the latency of
+            // a multiply and does not pipeline as well on this loop.
+            let inv = 1.0 / n;
             for a in &mut self.amplitudes {
-                *a = *a / n;
+                *a = a.scale(inv);
             }
         }
         n

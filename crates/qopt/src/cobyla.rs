@@ -60,11 +60,7 @@ impl Cobyla {
         self.radius
     }
 
-    fn build_simplex(
-        &mut self,
-        params: &[f64],
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> usize {
+    fn build_simplex(&mut self, params: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> usize {
         let n = params.len();
         self.simplex.clear();
         let f0 = objective(params);
@@ -187,6 +183,7 @@ impl Optimizer for Cobyla {
 
 /// Solves `A x = b` in place by Gaussian elimination with partial pivoting.  Returns
 /// `None` if the matrix is (numerically) singular.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {

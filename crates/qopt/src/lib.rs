@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn spec_names_and_default() {
         assert_eq!(OptimizerSpec::default_spsa().name(), "SPSA");
-        assert_eq!(OptimizerSpec::Cobyla(CobylaConfig::default()).name(), "COBYLA");
+        assert_eq!(
+            OptimizerSpec::Cobyla(CobylaConfig::default()).name(),
+            "COBYLA"
+        );
         assert_eq!(
             OptimizerSpec::NelderMead(NelderMeadConfig::default()).name(),
             "NelderMead"

@@ -50,11 +50,7 @@ impl NelderMead {
         }
     }
 
-    fn build_simplex(
-        &mut self,
-        params: &[f64],
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> usize {
+    fn build_simplex(&mut self, params: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> usize {
         self.simplex.clear();
         self.simplex.push((params.to_vec(), objective(params)));
         for i in 0..params.len() {

@@ -113,8 +113,9 @@ impl Spsa {
         }
         let mean_magnitude = magnitude_sum / samples as f64;
         if mean_magnitude > 1e-10 {
-            self.calibrated_a =
-                Some(target * (self.config.stability + 1.0).powf(self.config.alpha) / mean_magnitude);
+            self.calibrated_a = Some(
+                target * (self.config.stability + 1.0).powf(self.config.alpha) / mean_magnitude,
+            );
         }
         2 * samples
     }

@@ -61,7 +61,9 @@ pub fn estimate_expectation(
     ledger.charge_evaluation(config.shots_per_pauli, op.num_terms());
     match config.method {
         SamplingMethod::Exact => op.expectation(state),
-        SamplingMethod::Analytic => analytic_sampled_expectation(op, state, config.shots_per_pauli, rng),
+        SamplingMethod::Analytic => {
+            analytic_sampled_expectation(op, state, config.shots_per_pauli, rng)
+        }
         SamplingMethod::Multinomial => {
             multinomial_sampled_expectation(op, state, config.shots_per_pauli, rng)
         }
@@ -104,17 +106,21 @@ pub fn multinomial_sampled_expectation(
     rng: &mut StdRng,
 ) -> f64 {
     let groups = group_qwc(op);
-    let probs = state.probabilities();
     let mut total = 0.0;
+    // Scratch buffers shared across groups: the rotated state, its probability vector and
+    // the outcome histogram are each allocated once per call, not once per group.
+    let mut rotated = state.clone();
+    let mut rotated_probs: Vec<f64> = Vec::with_capacity(state.dim());
+    let mut counts = vec![0u64; state.dim()];
     for group in &groups {
         // Basis-rotated probabilities: we measure each qubit in the Pauli basis demanded by
         // the group's measurement basis. Rotating the state is equivalent to rotating each
         // term; for simplicity we rotate the state once per group.
-        let rotated = rotate_to_measurement_basis(state, &group.measurement_basis);
-        let rotated_probs = rotated.probabilities();
+        rotate_to_measurement_basis_into(state, &group.measurement_basis, &mut rotated);
+        rotated.probabilities_into(&mut rotated_probs);
         // Draw shots_per_pauli samples for the whole group.
         let shots = shots_per_pauli.max(1);
-        let mut counts = vec![0u64; rotated_probs.len()];
+        counts.fill(0);
         for _ in 0..shots {
             let outcome = sample_index(&rotated_probs, rng);
             counts[outcome] += 1;
@@ -144,28 +150,30 @@ pub fn multinomial_sampled_expectation(
             total += term.coefficient * mean;
         }
     }
-    // Silence the unused variable if every term was identity.
-    let _ = probs;
     total
 }
 
-/// Rotates `state` so that measuring in the computational basis realizes measurement of
-/// the Paulis in `basis` (X → H, Y → S†·H applied before measurement).
-fn rotate_to_measurement_basis(state: &Statevector, basis: &PauliString) -> Statevector {
-    use qcircuit::{Circuit, Gate};
-    let n = state.num_qubits();
-    let mut circ = Circuit::new(n);
-    for q in 0..n {
+/// Rotates `state` into `out` so that measuring in the computational basis realizes
+/// measurement of the Paulis in `basis` (X → H, Y → S†·H applied before measurement).
+/// Applies the rotation gates directly to the reused `out` buffer — no circuit object and
+/// no statevector allocation per group.
+fn rotate_to_measurement_basis_into(
+    state: &Statevector,
+    basis: &PauliString,
+    out: &mut Statevector,
+) {
+    use qcircuit::Gate;
+    out.clone_from(state);
+    for q in 0..state.num_qubits() {
         match basis.pauli_at(q) {
-            qop::Pauli::X => circ.push(Gate::H(q)),
+            qop::Pauli::X => crate::simulator::apply_gate(out, &Gate::H(q), &[]),
             qop::Pauli::Y => {
-                circ.push(Gate::Sdg(q));
-                circ.push(Gate::H(q));
+                crate::simulator::apply_gate(out, &Gate::Sdg(q), &[]);
+                crate::simulator::apply_gate(out, &Gate::H(q), &[]);
             }
             _ => {}
         }
     }
-    crate::simulator::run_circuit(&circ, &[], state)
 }
 
 /// Samples an index from a discrete probability distribution.

@@ -11,6 +11,20 @@
 //!
 //! Analytic hardware-noise models ([`NoiseModel`]) stand in for density-matrix noise
 //! simulation; see DESIGN.md for the substitution rationale.
+//!
+//! ## Performance and the parallelism threshold knob
+//!
+//! The dense gate kernels are branch-free, allocation-free and data-parallel (see the
+//! design notes on [`run_circuit`]'s module).  Parallelism is gated on register size:
+//! statevectors with at least [`parallel_threshold`] amplitudes (default `2^14`, i.e.
+//! 14 qubits) are processed by multiple threads via `rayon`-style chunked iteration, while
+//! smaller registers stay serial because thread fan-out would cost more than the kernel.
+//! Tune or disable this with the `QSIM_PAR_THRESHOLD` environment variable (an amplitude
+//! count; `0` forces serial execution, useful for profiling and determinism studies), and
+//! cap the worker count with `RAYON_NUM_THREADS`.  Optimizer inner loops should prefer
+//! [`run_circuit_into`]/[`run_circuit_in_place`] over [`run_circuit`] to avoid per-call
+//! state allocation; the original unoptimized kernels are kept in [`reference`] as the
+//! correctness and speedup baseline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,4 +42,8 @@ pub use estimator::{
 pub use noise::{attenuation_factor, noisy_expectation, CircuitNoiseProfile, NoiseModel};
 pub use pauliprop::{PauliPropagator, PauliPropagatorConfig};
 pub use shots::{ShotLedger, DEFAULT_SHOTS_PER_PAULI};
-pub use simulator::{apply_gate, run_circuit};
+pub use simulator::{
+    apply_cx, apply_cz, apply_gate, apply_pauli_rotation, apply_single_qubit, parallel_threshold,
+    reference, run_circuit, run_circuit_in_place, run_circuit_into, rx_matrix, ry_matrix,
+    rz_matrix, Matrix2,
+};

@@ -132,7 +132,11 @@ impl CircuitNoiseProfile {
 /// Gate depolarization acts on the whole register, so it is charged per gate; readout and
 /// per-layer depolarization act per measured/affected qubit, so they are charged per unit
 /// of term weight.
-pub fn attenuation_factor(model: &NoiseModel, profile: &CircuitNoiseProfile, term_weight: u32) -> f64 {
+pub fn attenuation_factor(
+    model: &NoiseModel,
+    profile: &CircuitNoiseProfile,
+    term_weight: u32,
+) -> f64 {
     if model.is_noiseless() || term_weight == 0 {
         return 1.0;
     }
@@ -141,10 +145,8 @@ pub fn attenuation_factor(model: &NoiseModel, profile: &CircuitNoiseProfile, ter
     // sensitive per term: effective exponent = gates * weight / n.
     let n = profile.num_qubits.max(1) as f64;
     let w = term_weight as f64;
-    let single = (1.0 - model.single_qubit_error)
-        .powf(profile.single_qubit_gates as f64 * w / n);
-    let double = (1.0 - model.two_qubit_error)
-        .powf(profile.two_qubit_gates as f64 * 2.0 * w / n);
+    let single = (1.0 - model.single_qubit_error).powf(profile.single_qubit_gates as f64 * w / n);
+    let double = (1.0 - model.two_qubit_error).powf(profile.two_qubit_gates as f64 * 2.0 * w / n);
     let readout = (1.0 - 2.0 * model.readout_error).max(0.0).powf(w);
     let layer = (1.0 - model.per_layer_error).powf(profile.layers as f64 * w);
     single * double * readout * layer

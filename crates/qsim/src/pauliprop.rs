@@ -314,6 +314,7 @@ fn pauli_from_code(c: usize) -> qop::Pauli {
     }
 }
 
+#[allow(clippy::needless_range_loop)]
 fn build_two_qubit_table(kind: TwoQubitKind) -> [(usize, f64); 16] {
     // Dense 4×4 matrices over basis |t c⟩ ordering where bit 0 = control, bit 1 = target
     // (consistent with PauliString::apply_to_basis on a 2-qubit register with control=0,
@@ -399,7 +400,8 @@ fn build_two_qubit_table(kind: TwoQubitKind) -> [(usize, f64); 16] {
                 }
             }
         }
-        table[code] = found.expect("Clifford conjugation must map Pauli pairs to signed Pauli pairs");
+        table[code] =
+            found.expect("Clifford conjugation must map Pauli pairs to signed Pauli pairs");
     }
     table
 }
@@ -456,7 +458,10 @@ mod tests {
         circ.push(Gate::Cz(1, 2));
         circ.push(Gate::X(2));
         circ.push(Gate::Sdg(0));
-        let op = PauliOp::from_labels(3, &[("ZZI", 0.7), ("XIX", -0.4), ("IYZ", 0.3), ("III", 1.0)]);
+        let op = PauliOp::from_labels(
+            3,
+            &[("ZZI", 0.7), ("XIX", -0.4), ("IYZ", 0.3), ("III", 1.0)],
+        );
         let prop = PauliPropagator::new(PauliPropagatorConfig {
             max_weight: 3,
             ..Default::default()
@@ -477,7 +482,13 @@ mod tests {
             .collect();
         let op = PauliOp::from_labels(
             4,
-            &[("ZZII", -1.0), ("IZZI", -1.0), ("IIZZ", -1.0), ("XIII", -0.4), ("IIIX", -0.4)],
+            &[
+                ("ZZII", -1.0),
+                ("IZZI", -1.0),
+                ("IIZZ", -1.0),
+                ("XIII", -0.4),
+                ("IIIX", -0.4),
+            ],
         );
         // No truncation: max weight = register size, tiny threshold.
         let prop = PauliPropagator::new(PauliPropagatorConfig {
@@ -520,10 +531,13 @@ mod tests {
         let params: Vec<f64> = (0..circ.num_parameters()).map(|i| 0.1 * i as f64).collect();
         let mut op = PauliOp::zero(10);
         for q in 0..9 {
-            let mut label = vec!['I'; 10];
+            let mut label = ['I'; 10];
             label[q] = 'Z';
             label[q + 1] = 'Z';
-            op.add_term(PauliString::from_label(&label.iter().collect::<String>()).unwrap(), -1.0);
+            op.add_term(
+                PauliString::from_label(&label.iter().collect::<String>()).unwrap(),
+                -1.0,
+            );
         }
         let prop = PauliPropagator::new(PauliPropagatorConfig {
             max_weight: 4,
@@ -551,13 +565,18 @@ mod tests {
         // cheap for truncated propagation.
         let ansatz = HardwareEfficientAnsatz::new(20, 1, Entanglement::Linear);
         let circ = ansatz.build();
-        let params: Vec<f64> = (0..circ.num_parameters()).map(|i| 0.05 * i as f64).collect();
+        let params: Vec<f64> = (0..circ.num_parameters())
+            .map(|i| 0.05 * i as f64)
+            .collect();
         let mut op = PauliOp::zero(20);
         for q in 0..19 {
-            let mut label = vec!['I'; 20];
+            let mut label = ['I'; 20];
             label[q] = 'Z';
             label[q + 1] = 'Z';
-            op.add_term(PauliString::from_label(&label.iter().collect::<String>()).unwrap(), -1.0);
+            op.add_term(
+                PauliString::from_label(&label.iter().collect::<String>()).unwrap(),
+                -1.0,
+            );
         }
         let prop = PauliPropagator::new(PauliPropagatorConfig {
             max_weight: 6,
@@ -566,6 +585,9 @@ mod tests {
         });
         let e = prop.expectation(&circ, &params, &op, 0);
         assert!(e.is_finite());
-        assert!(e < 0.0, "ferromagnetic chain near |0...0> should have negative energy");
+        assert!(
+            e < 0.0,
+            "ferromagnetic chain near |0...0> should have negative energy"
+        );
     }
 }

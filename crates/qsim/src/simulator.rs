@@ -4,9 +4,43 @@
 //! it executes a parameterized [`Circuit`] exactly (no shot noise) and returns the final
 //! [`Statevector`].  Shot noise and hardware noise are layered on top by the estimator and
 //! noise modules.
+//!
+//! # Kernel design
+//!
+//! Gate application is the hot path of every VQA optimization loop, so the kernels avoid
+//! the three classic costs of a naive statevector simulator:
+//!
+//! * **No data-dependent branches.**  A 2×2 gate on qubit `q` updates the amplitude pairs
+//!   `(i0, i0 | 1<<q)`.  Instead of scanning all `2^n` indices and testing `i & bit == 0`,
+//!   the kernels enumerate exactly the `2^(n-1)` pair indices with a two-level
+//!   `(block, offset)` bit-insertion walk — half the iterations, and the inner loop is
+//!   pure arithmetic the compiler can unroll and vectorize.  Controlled gates enumerate
+//!   only the quarter of indices with the control bit set.
+//! * **No allocation.**  Pauli rotations `exp(-iθ/2 P)` exploit that a Pauli string acts
+//!   on the computational basis as the involution `b ↔ b ^ x_mask`: each `(b, b')` pair is
+//!   rotated in place by a 2×2 update, instead of cloning the full state per gate.
+//!   [`run_circuit_in_place`] / [`run_circuit_into`] let callers drive a whole circuit
+//!   without a single allocation, which the backend layers in `vqa` use to keep optimizer
+//!   inner loops allocation-free.
+//! * **Data parallelism.**  For registers at or above [`parallel_threshold`] amplitudes
+//!   the kernels split the pair-index range across threads (disjoint index sets, so the
+//!   updates are race-free).  Small registers stay serial: thread fan-out costs more than
+//!   the update itself below the threshold.
+//!
+//! The original straightforward kernels are retained in [`reference`]; property tests and
+//! the `treevqa_bench` criterion benches check the fast kernels against them.
 
 use qcircuit::{Circuit, Gate};
+// The parallel policy (threshold knob, worker gate, Send pointer wrapper, i-power table)
+// is shared with the expectation kernels and lives in `qop::par`; `SendPtr` is the
+// Sync wrapper for the disjoint-index amplitude writes.
+use qop::par::{use_parallel, SendPtr, I_POWERS, MIN_PAR_INDICES};
 use qop::{Complex64, PauliString, Statevector};
+use rayon::prelude::*;
+
+// One knob governs both the gate kernels here and the expectation kernels in `qop`:
+// `QSIM_PAR_THRESHOLD` amplitudes (default 2^14), read once per process.
+pub use qop::parallel_threshold;
 
 /// Executes `circuit` with bound parameter values `params`, starting from `initial`.
 ///
@@ -30,18 +64,43 @@ use qop::{Complex64, PauliString, Statevector};
 /// Panics if the circuit and state register sizes differ, or if a parameterized gate
 /// references an index beyond `params.len()`.
 pub fn run_circuit(circuit: &Circuit, params: &[f64], initial: &Statevector) -> Statevector {
+    let mut state = initial.clone();
+    run_circuit_in_place(circuit, params, &mut state);
+    state
+}
+
+/// Executes `circuit` directly on `state`, allocating nothing.
+///
+/// # Panics
+///
+/// Panics if the circuit and state register sizes differ, or if a parameterized gate
+/// references an index beyond `params.len()`.
+pub fn run_circuit_in_place(circuit: &Circuit, params: &[f64], state: &mut Statevector) {
     assert_eq!(
         circuit.num_qubits(),
-        initial.num_qubits(),
-        "circuit acts on {} qubits but the initial state has {}",
+        state.num_qubits(),
+        "circuit acts on {} qubits but the state has {}",
         circuit.num_qubits(),
-        initial.num_qubits()
+        state.num_qubits()
     );
-    let mut state = initial.clone();
     for gate in circuit.gates() {
-        apply_gate(&mut state, gate, params);
+        apply_gate(state, gate, params);
     }
-    state
+}
+
+/// Executes `circuit` starting from `initial`, writing the result into `scratch`.
+///
+/// `scratch`'s allocation is reused whenever its dimension already matches, making this
+/// the zero-allocation building block for optimizer inner loops that evaluate one ansatz
+/// at many parameter vectors (see `vqa::StatevectorBackend`).
+pub fn run_circuit_into(
+    circuit: &Circuit,
+    params: &[f64],
+    initial: &Statevector,
+    scratch: &mut Statevector,
+) {
+    scratch.clone_from(initial);
+    run_circuit_in_place(circuit, params, scratch);
 }
 
 /// Applies a single gate in place.
@@ -74,7 +133,8 @@ pub fn apply_gate(state: &mut Statevector, gate: &Gate, params: &[f64]) {
     }
 }
 
-type Matrix2 = [[Complex64; 2]; 2];
+/// A dense 2×2 complex matrix (row-major), the single-qubit-gate representation.
+pub type Matrix2 = [[Complex64; 2]; 2];
 
 const fn c(re: f64, im: f64) -> Complex64 {
     Complex64::new(re, im)
@@ -93,99 +153,363 @@ static S_MATRIX: Matrix2 = [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(0.0, 1.0
 static SDG_MATRIX: Matrix2 = [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(0.0, -1.0)]];
 
 /// `RX(θ) = exp(-i θ/2 X)`.
-fn rx_matrix(theta: f64) -> Matrix2 {
+pub fn rx_matrix(theta: f64) -> Matrix2 {
     let (s, co) = (theta / 2.0).sin_cos();
-    [
-        [c(co, 0.0), c(0.0, -s)],
-        [c(0.0, -s), c(co, 0.0)],
-    ]
+    [[c(co, 0.0), c(0.0, -s)], [c(0.0, -s), c(co, 0.0)]]
 }
 
 /// `RY(θ) = exp(-i θ/2 Y)`.
-fn ry_matrix(theta: f64) -> Matrix2 {
+pub fn ry_matrix(theta: f64) -> Matrix2 {
     let (s, co) = (theta / 2.0).sin_cos();
     [[c(co, 0.0), c(-s, 0.0)], [c(s, 0.0), c(co, 0.0)]]
 }
 
 /// `RZ(θ) = exp(-i θ/2 Z)`.
-fn rz_matrix(theta: f64) -> Matrix2 {
+pub fn rz_matrix(theta: f64) -> Matrix2 {
     let (s, co) = (theta / 2.0).sin_cos();
-    [
-        [c(co, -s), c(0.0, 0.0)],
-        [c(0.0, 0.0), c(co, s)],
-    ]
+    [[c(co, -s), c(0.0, 0.0)], [c(0.0, 0.0), c(co, s)]]
+}
+
+/// Inserts a zero bit at position `pos`: maps `k`'s bits `[pos..]` up by one, leaving bit
+/// `pos` clear.  Enumerating `k = 0..dim/2` through this map yields exactly the indices
+/// with bit `pos` clear, in increasing order.
+#[inline(always)]
+fn insert_zero_bit(k: usize, pos: usize) -> usize {
+    let low_mask = (1usize << pos) - 1;
+    ((k & !low_mask) << 1) | (k & low_mask)
 }
 
 /// Applies an arbitrary 2×2 unitary to qubit `q`.
-fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
+///
+/// Branch-free two-level walk: the outer level ranges over blocks of `2^(q+1)` contiguous
+/// amplitudes, the inner level over the `2^q` offsets inside a block; `i0 = block + off`
+/// and `i1 = i0 | bit` form the update pair directly, so no index test is ever executed.
+pub fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
     let dim = state.dim();
     let bit = 1usize << q;
+    assert!(
+        bit < dim,
+        "qubit index {q} out of range for {dim} amplitudes"
+    );
+    let m = *m;
     let amps = state.amplitudes_mut();
-    let mut base = 0usize;
-    while base < dim {
-        if base & bit == 0 {
-            let i0 = base;
-            let i1 = base | bit;
-            let a0 = amps[i0];
-            let a1 = amps[i1];
-            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
-            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+    if use_parallel(dim) {
+        let ptr = SendPtr(amps.as_mut_ptr());
+        (0..dim / 2)
+            .into_par_iter()
+            .with_min_len(MIN_PAR_INDICES)
+            .for_each(|k| {
+                let i0 = insert_zero_bit(k, q);
+                let i1 = i0 | bit;
+                // SAFETY: `insert_zero_bit` is injective over k and never sets `bit`, so
+                // every (i0, i1) pair is disjoint from every other thread's pairs.
+                unsafe {
+                    let a0 = *ptr.add(i0);
+                    let a1 = *ptr.add(i1);
+                    *ptr.add(i0) = m[0][0] * a0 + m[0][1] * a1;
+                    *ptr.add(i1) = m[1][0] * a0 + m[1][1] * a1;
+                }
+            });
+        return;
+    }
+    // Serial path: split each block into its i0 half (qubit bit clear) and i1 half (bit
+    // set) and walk them as a zipped pair of slices — zero index arithmetic and zero
+    // bounds checks in the inner loop, which lets the compiler unroll and vectorize it.
+    for block in amps.chunks_exact_mut(bit << 1) {
+        let (los, his) = block.split_at_mut(bit);
+        for (a0, a1) in los.iter_mut().zip(his.iter_mut()) {
+            let x0 = *a0;
+            let x1 = *a1;
+            *a0 = m[0][0] * x0 + m[0][1] * x1;
+            *a1 = m[1][0] * x0 + m[1][1] * x1;
         }
-        base += 1;
+    }
+}
+
+/// Enumerates the `dim/4` basis indices with the control bit **set** and the target bit
+/// **clear** by double bit-insertion, then hands each to `f` (serial or parallel).
+#[inline]
+fn for_each_controlled_pair<F>(dim: usize, control: usize, target: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let cbit = 1usize << control;
+    let (lo, hi) = if control < target {
+        (control, target)
+    } else {
+        (target, control)
+    };
+    let quarter = dim / 4;
+    if use_parallel(dim) {
+        (0..quarter)
+            .into_par_iter()
+            .with_min_len(MIN_PAR_INDICES)
+            .for_each(|k| f(insert_zero_bit(insert_zero_bit(k, lo), hi) | cbit));
+    } else {
+        for k in 0..quarter {
+            f(insert_zero_bit(insert_zero_bit(k, lo), hi) | cbit);
+        }
     }
 }
 
 /// Applies CX with the given control and target.
-fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
+///
+/// Iterates only the quarter of indices with the control bit set and the target bit clear
+/// (the swap partners), rather than scanning and testing all `2^n` indices.
+pub fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
     assert_ne!(control, target, "CX control and target must differ");
     let dim = state.dim();
-    let cbit = 1usize << control;
     let tbit = 1usize << target;
-    let amps = state.amplitudes_mut();
-    for i in 0..dim {
-        if i & cbit != 0 && i & tbit == 0 {
-            amps.swap(i, i | tbit);
-        }
-    }
+    assert!(
+        1usize << control < dim && tbit < dim,
+        "CX qubits ({control}, {target}) out of range for {dim} amplitudes"
+    );
+    let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
+    for_each_controlled_pair(dim, control, target, |i0| {
+        // SAFETY: i0 has the target bit clear and each i0 is produced exactly once, so
+        // the (i0, i0|tbit) swap pairs are pairwise disjoint.
+        unsafe { std::ptr::swap(ptr.add(i0), ptr.add(i0 | tbit)) };
+    });
 }
 
 /// Applies CZ with the given control and target (symmetric).
-fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
+///
+/// Iterates only the quarter of indices with both bits set.
+pub fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
     assert_ne!(control, target, "CZ control and target must differ");
     let dim = state.dim();
-    let cbit = 1usize << control;
     let tbit = 1usize << target;
-    let amps = state.amplitudes_mut();
-    for (i, a) in amps.iter_mut().enumerate().take(dim) {
-        if i & cbit != 0 && i & tbit != 0 {
-            *a = -*a;
-        }
-    }
+    assert!(
+        1usize << control < dim && tbit < dim,
+        "CZ qubits ({control}, {target}) out of range for {dim} amplitudes"
+    );
+    let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
+    for_each_controlled_pair(dim, control, target, |i0| {
+        let i = i0 | tbit;
+        // SAFETY: each index with both bits set is produced exactly once.
+        unsafe { *ptr.add(i) = -*ptr.add(i) };
+    });
 }
 
-/// Applies `exp(-i θ/2 P)` for a Pauli string `P`, using `P² = I`:
-/// `exp(-iθ/2 P)|ψ⟩ = cos(θ/2)|ψ⟩ − i·sin(θ/2)·P|ψ⟩`.
-fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta: f64) {
+/// Applies `exp(-i θ/2 P)` for a Pauli string `P`, in place and allocation-free.
+///
+/// A Pauli string maps basis states by the involution `b ↔ b ^ x_mask` (with a phase), so
+/// the rotation decomposes into independent 2×2 rotations on `(b, b ^ x_mask)` pairs —
+/// there is no need for the naive `cos·|ψ⟩ − i·sin·P|ψ⟩` construction's full-state clone.
+/// Diagonal strings (`x_mask == 0`) reduce to a pure per-amplitude phase.
+pub fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta: f64) {
     if string.is_identity() {
         // Global phase only; expectation values are unaffected, so skip it.
         return;
     }
     let (s, co) = (theta / 2.0).sin_cos();
     let dim = state.dim();
-    let old = state.clone();
-    let old_amps = old.amplitudes();
-    let amps = state.amplitudes_mut();
-    for a in amps.iter_mut() {
-        *a = a.scale(co);
-    }
-    let minus_i_sin = Complex64::new(0.0, -s);
-    for b in 0..dim as u64 {
-        let a = old_amps[b as usize];
-        if a == Complex64::ZERO {
-            continue;
+    let x_mask = string.x_mask();
+    let z_mask = string.z_mask();
+
+    if x_mask == 0 {
+        // Diagonal: amplitude b picks up exp(-iθ/2 · (-1)^popcount(b & z)).
+        let phases = [c(co, -s), c(co, s)];
+        let amps = state.amplitudes_mut();
+        if use_parallel(dim) {
+            let ptr = SendPtr(amps.as_mut_ptr());
+            (0..dim)
+                .into_par_iter()
+                .with_min_len(MIN_PAR_INDICES)
+                .for_each(|b| {
+                    let parity = ((b as u64 & z_mask).count_ones() & 1) as usize;
+                    // SAFETY: each b is visited exactly once.
+                    unsafe { *ptr.add(b) = *ptr.add(b) * phases[parity] };
+                });
+        } else {
+            for (b, a) in amps.iter_mut().enumerate() {
+                let parity = ((b as u64 & z_mask).count_ones() & 1) as usize;
+                *a *= phases[parity];
+            }
         }
-        let (b2, phase) = string.apply_to_basis(b);
-        amps[b2 as usize] += minus_i_sin * phase * a;
+        return;
+    }
+
+    // General case: pair b0 (pivot bit clear) with b1 = b0 ^ x_mask (pivot bit set).
+    // P|b0⟩ = phase0|b1⟩ with phase0 = i^num_y · (-1)^popcount(b0 & z); because P² = I,
+    // the return phase is conj(phase0).  The 2×2 update is then
+    //   a0' = cos·a0 − i·sin·conj(phase0)·a1
+    //   a1' = cos·a1 − i·sin·phase0·a0
+    //
+    // phase0 only takes the four values i^k, so both off-diagonal factors are precomputed
+    // into a 4-entry table indexed by k — the inner loop is one AND + popcount + table
+    // load per pair, with no branches.
+    let pivot = (63 - x_mask.leading_zeros()) as usize;
+    let num_y = (x_mask & z_mask).count_ones();
+    let minus_i_sin = Complex64::new(0.0, -s);
+    // factors[k] = (f01, f10) for phase0 = i^k.
+    let factors: [(Complex64, Complex64); 4] = std::array::from_fn(|k| {
+        let phase0 = I_POWERS[k];
+        (minus_i_sin * phase0.conj(), minus_i_sin * phase0)
+    });
+    let amps = state.amplitudes_mut();
+    if use_parallel(dim) {
+        let ptr = SendPtr(amps.as_mut_ptr());
+        (0..dim / 2)
+            .into_par_iter()
+            .with_min_len(MIN_PAR_INDICES)
+            .for_each(|k| {
+                let i0 = insert_zero_bit(k, pivot);
+                let i1 = i0 ^ x_mask as usize;
+                let k4 = ((num_y + 2 * (i0 as u64 & z_mask).count_ones()) & 3) as usize;
+                let (f01, f10) = factors[k4];
+                // SAFETY: i0 never has the pivot bit, i1 always does, and ^x_mask is an
+                // involution, so pairs are pairwise disjoint across threads.
+                unsafe {
+                    let a0 = *ptr.add(i0);
+                    let a1 = *ptr.add(i1);
+                    *ptr.add(i0) = a0.scale(co) + f01 * a1;
+                    *ptr.add(i1) = a1.scale(co) + f10 * a0;
+                }
+            });
+        return;
+    }
+    // Serial path: walk blocks of 2^(pivot+1) amplitudes.  Within a block, i0 = base + off
+    // and i1 = base + 2^pivot + (off ^ xl), where xl is x_mask with its pivot bit removed
+    // (the pivot is x's highest bit, so x spans only the block).  The z-parity of the
+    // block base is hoisted; the inner loop popcounts only the low bits.
+    let pbit = 1usize << pivot;
+    let xl = (x_mask as usize) & (pbit - 1);
+    let z_low = z_mask & (pbit as u64 - 1);
+    for (block_index, block) in amps.chunks_exact_mut(pbit << 1).enumerate() {
+        let base = block_index * (pbit << 1);
+        let base_popc = num_y + 2 * (base as u64 & z_mask).count_ones();
+        let (los, his) = block.split_at_mut(pbit);
+        for off in 0..pbit {
+            let partner = off ^ xl;
+            let k4 = ((base_popc + 2 * (off as u64 & z_low).count_ones()) & 3) as usize;
+            let (f01, f10) = factors[k4];
+            // SAFETY: off and partner are both < pbit, the length of each half-slice.
+            unsafe {
+                let a0 = *los.get_unchecked(off);
+                let a1 = *his.get_unchecked(partner);
+                *los.get_unchecked_mut(off) = a0.scale(co) + f01 * a1;
+                *his.get_unchecked_mut(partner) = a1.scale(co) + f10 * a0;
+            }
+        }
+    }
+}
+
+pub mod reference {
+    //! The original, straightforward kernels, retained as the correctness baseline.
+    //!
+    //! These scan all `2^n` amplitudes with per-index branches, and the Pauli rotation
+    //! clones the full statevector per gate.  They exist so property tests can check the
+    //! optimized kernels against an independent implementation, and so the criterion
+    //! benches in `treevqa_bench` can quantify the speedup; nothing else should call them.
+
+    use super::Matrix2;
+    use qop::{Complex64, PauliString, Statevector};
+
+    /// Naive single-qubit gate: scans every index and tests the qubit bit.
+    pub fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
+        let dim = state.dim();
+        let bit = 1usize << q;
+        let amps = state.amplitudes_mut();
+        let mut base = 0usize;
+        while base < dim {
+            if base & bit == 0 {
+                let i0 = base;
+                let i1 = base | bit;
+                let a0 = amps[i0];
+                let a1 = amps[i1];
+                amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += 1;
+        }
+    }
+
+    /// Naive CX: scans every index and tests both bits.
+    pub fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
+        assert_ne!(control, target, "CX control and target must differ");
+        let dim = state.dim();
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        let amps = state.amplitudes_mut();
+        for i in 0..dim {
+            if i & cbit != 0 && i & tbit == 0 {
+                amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    /// Naive CZ: scans every index and tests both bits.
+    pub fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
+        assert_ne!(control, target, "CZ control and target must differ");
+        let dim = state.dim();
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        let amps = state.amplitudes_mut();
+        for (i, a) in amps.iter_mut().enumerate().take(dim) {
+            if i & cbit != 0 && i & tbit != 0 {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// Naive Pauli rotation via `cos(θ/2)|ψ⟩ − i·sin(θ/2)·P|ψ⟩`, cloning the state.
+    pub fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta: f64) {
+        if string.is_identity() {
+            return;
+        }
+        let (s, co) = (theta / 2.0).sin_cos();
+        let dim = state.dim();
+        let old = state.clone();
+        let old_amps = old.amplitudes();
+        let amps = state.amplitudes_mut();
+        for a in amps.iter_mut() {
+            *a = a.scale(co);
+        }
+        let minus_i_sin = Complex64::new(0.0, -s);
+        for b in 0..dim as u64 {
+            let a = old_amps[b as usize];
+            if a == Complex64::ZERO {
+                continue;
+            }
+            let (b2, phase) = string.apply_to_basis(b);
+            amps[b2 as usize] += minus_i_sin * phase * a;
+        }
+    }
+
+    /// Applies one gate using the naive kernels (reference analogue of
+    /// [`super::apply_gate`]).
+    pub fn apply_gate(state: &mut Statevector, gate: &qcircuit::Gate, params: &[f64]) {
+        use qcircuit::Gate;
+        match gate {
+            Gate::H(q) => apply_single_qubit(state, *q, &super::H_MATRIX),
+            Gate::X(q) => apply_single_qubit(state, *q, &super::X_MATRIX),
+            Gate::Y(q) => apply_single_qubit(state, *q, &super::Y_MATRIX),
+            Gate::Z(q) => apply_single_qubit(state, *q, &super::Z_MATRIX),
+            Gate::S(q) => apply_single_qubit(state, *q, &super::S_MATRIX),
+            Gate::Sdg(q) => apply_single_qubit(state, *q, &super::SDG_MATRIX),
+            Gate::Cx(c, t) => apply_cx(state, *c, *t),
+            Gate::Cz(c, t) => apply_cz(state, *c, *t),
+            Gate::Rx(q, a) => apply_single_qubit(state, *q, &super::rx_matrix(a.resolve(params))),
+            Gate::Ry(q, a) => apply_single_qubit(state, *q, &super::ry_matrix(a.resolve(params))),
+            Gate::Rz(q, a) => apply_single_qubit(state, *q, &super::rz_matrix(a.resolve(params))),
+            Gate::PauliRotation(string, a) => {
+                apply_pauli_rotation(state, string, a.resolve(params))
+            }
+        }
+    }
+
+    /// Runs a whole circuit through the naive kernels.
+    pub fn run_circuit(
+        circuit: &qcircuit::Circuit,
+        params: &[f64],
+        initial: &Statevector,
+    ) -> Statevector {
+        let mut state = initial.clone();
+        for gate in circuit.gates() {
+            apply_gate(&mut state, gate, params);
+        }
+        state
     }
 }
 
@@ -333,5 +657,70 @@ mod tests {
             .collect();
         let out = run_circuit(&circ, &params, &Statevector::zero_state(4));
         assert!(close(out.norm(), 1.0));
+    }
+
+    #[test]
+    fn run_circuit_into_reuses_scratch_and_matches() {
+        use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+        let circ = HardwareEfficientAnsatz::new(5, 2, Entanglement::Circular).build();
+        let params: Vec<f64> = (0..circ.num_parameters())
+            .map(|i| (i as f64).cos())
+            .collect();
+        let initial = Statevector::zero_state(5);
+        let expected = run_circuit(&circ, &params, &initial);
+        let mut scratch = Statevector::zero_state(5);
+        let buffer_before = scratch.amplitudes().as_ptr();
+        run_circuit_into(&circ, &params, &initial, &mut scratch);
+        assert_eq!(
+            buffer_before,
+            scratch.amplitudes().as_ptr(),
+            "scratch reallocated"
+        );
+        assert!(close(expected.overlap(&scratch), 1.0));
+    }
+
+    #[test]
+    fn fast_kernels_match_reference_on_dense_states() {
+        // A state with every amplitude distinct, so index mix-ups cannot cancel.
+        let n = 6;
+        let dim = 1usize << n;
+        let raw: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.29).cos()))
+            .collect();
+        let base = {
+            let mut v = Statevector::from_amplitudes(raw);
+            v.normalize();
+            v
+        };
+        for q in 0..n {
+            let mut fast = base.clone();
+            let mut naive = base.clone();
+            apply_single_qubit(&mut fast, q, &rx_matrix(0.7));
+            reference::apply_single_qubit(&mut naive, q, &rx_matrix(0.7));
+            assert!(close(fast.overlap(&naive), 1.0), "1q mismatch on qubit {q}");
+        }
+        for (cq, tq) in [(0, 1), (1, 0), (2, 5), (5, 2), (4, 3)] {
+            let mut fast = base.clone();
+            let mut naive = base.clone();
+            apply_cx(&mut fast, cq, tq);
+            reference::apply_cx(&mut naive, cq, tq);
+            assert!(close(fast.overlap(&naive), 1.0), "CX mismatch {cq}->{tq}");
+            let mut fast = base.clone();
+            let mut naive = base.clone();
+            apply_cz(&mut fast, cq, tq);
+            reference::apply_cz(&mut naive, cq, tq);
+            assert!(close(fast.overlap(&naive), 1.0), "CZ mismatch {cq}->{tq}");
+        }
+        for label in ["ZZIIZZ", "XIYIZX", "YYYYYY", "IIXXII", "ZIIIII", "IIIIIX"] {
+            let string = PauliString::from_label(label).unwrap();
+            let mut fast = base.clone();
+            let mut naive = base.clone();
+            apply_pauli_rotation(&mut fast, &string, 1.234);
+            reference::apply_pauli_rotation(&mut naive, &string, 1.234);
+            assert!(
+                close(fast.overlap(&naive), 1.0),
+                "rotation mismatch on {label}"
+            );
+        }
     }
 }

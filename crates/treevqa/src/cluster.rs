@@ -169,7 +169,10 @@ impl VqaCluster {
             for (latest, sum) in self.latest_member_losses.iter_mut().zip(&member_sums) {
                 *latest = sum / evaluations as f64;
             }
-            for (monitor, &value) in self.member_monitors.iter_mut().zip(&self.latest_member_losses)
+            for (monitor, &value) in self
+                .member_monitors
+                .iter_mut()
+                .zip(&self.latest_member_losses)
             {
                 monitor.push(value);
             }
@@ -192,7 +195,8 @@ impl VqaCluster {
             SplitPolicy::Never => StepOutcome::Continue,
             SplitPolicy::ForcedSingle { at_fraction } => {
                 // Only the root splits, exactly once, at the configured point.
-                let trigger = ((at_fraction * max_cluster_iterations as f64).ceil() as usize).max(1);
+                let trigger =
+                    ((at_fraction * max_cluster_iterations as f64).ceil() as usize).max(1);
                 if self.level == 1 && self.iterations >= trigger {
                     StepOutcome::SplitRequested
                 } else {
@@ -240,7 +244,11 @@ impl VqaCluster {
         make_optimizer: &mut dyn FnMut(usize) -> Box<dyn Optimizer + Send>,
         window_size: usize,
     ) -> (VqaCluster, VqaCluster) {
-        assert_eq!(labels.len(), self.num_members(), "one label per member required");
+        assert_eq!(
+            labels.len(),
+            self.num_members(),
+            "one label per member required"
+        );
         let mut groups: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
         for (member_pos, &label) in labels.iter().enumerate() {
             assert!(label < 2, "labels must be 0 or 1");
@@ -265,8 +273,16 @@ impl VqaCluster {
                 window_size,
             )
         };
-        let first = build(&groups[0], child_node_ids.0, make_optimizer(child_node_ids.0));
-        let second = build(&groups[1], child_node_ids.1, make_optimizer(child_node_ids.1));
+        let first = build(
+            &groups[0],
+            child_node_ids.0,
+            make_optimizer(child_node_ids.0),
+        );
+        let second = build(
+            &groups[1],
+            child_node_ids.1,
+            make_optimizer(child_node_ids.1),
+        );
         (first, second)
     }
 }
@@ -336,7 +352,10 @@ mod tests {
             window_size: 3,
             epsilon_split: 1e9, // would always trigger if allowed
         };
-        assert_eq!(cluster.split_decision(&adaptive, 100, 2), StepOutcome::Continue);
+        assert_eq!(
+            cluster.split_decision(&adaptive, 100, 2),
+            StepOutcome::Continue
+        );
     }
 
     #[test]
@@ -348,7 +367,14 @@ mod tests {
         let policy = SplitPolicy::ForcedSingle { at_fraction: 0.5 };
         let mut split_at = None;
         for i in 0..20 {
-            let outcome = cluster.step(&ansatz, &InitialState::Basis(0), &mut backend, &policy, 20, 2);
+            let outcome = cluster.step(
+                &ansatz,
+                &InitialState::Basis(0),
+                &mut backend,
+                &policy,
+                20,
+                2,
+            );
             if outcome == StepOutcome::SplitRequested {
                 split_at = Some(i + 1);
                 break;
@@ -371,14 +397,23 @@ mod tests {
         };
         let mut requested = false;
         for _ in 0..10 {
-            if cluster.step(&ansatz, &InitialState::Basis(0), &mut backend, &policy, 100, 2)
-                == StepOutcome::SplitRequested
+            if cluster.step(
+                &ansatz,
+                &InitialState::Basis(0),
+                &mut backend,
+                &policy,
+                100,
+                2,
+            ) == StepOutcome::SplitRequested
             {
                 requested = true;
                 break;
             }
         }
-        assert!(requested, "split should fire once the warmup and window are satisfied");
+        assert!(
+            requested,
+            "split should fire once the warmup and window are satisfied"
+        );
     }
 
     #[test]

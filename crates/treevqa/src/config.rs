@@ -83,7 +83,10 @@ impl TreeVqaConfig {
     /// Panics if `min_split_size < 2`, `record_every == 0`, `max_cluster_iterations == 0`,
     /// or a forced split fraction is outside `(0, 1]`.
     pub fn validate(&self) {
-        assert!(self.min_split_size >= 2, "min_split_size must be at least 2");
+        assert!(
+            self.min_split_size >= 2,
+            "min_split_size must be at least 2"
+        );
         assert!(self.record_every > 0, "record_every must be positive");
         assert!(
             self.max_cluster_iterations > 0,

@@ -148,6 +148,7 @@ impl TreeVqa {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see [`TreeVqaConfig::validate`]).
+    #[allow(clippy::needless_range_loop)]
     pub fn new(application: VqaApplication, config: TreeVqaConfig) -> Self {
         config.validate();
         let n = application.tasks.len();
@@ -200,7 +201,11 @@ impl TreeVqa {
     /// # Panics
     ///
     /// Panics if `initial_params` does not match the ansatz parameter count.
-    pub fn run_with_initial(&self, backend: &mut dyn Backend, initial_params: &[f64]) -> TreeVqaResult {
+    pub fn run_with_initial(
+        &self,
+        backend: &mut dyn Backend,
+        initial_params: &[f64],
+    ) -> TreeVqaResult {
         assert_eq!(
             initial_params.len(),
             self.application.num_parameters(),
@@ -268,14 +273,23 @@ impl TreeVqa {
             for &idx in split_requests.iter().rev() {
                 let parent = clusters.remove(idx);
                 let labels = self.partition_labels(&parent);
-                tree.finalize_node(parent.node_id, parent.iterations(), parent.shots_used(), true);
+                tree.finalize_node(
+                    parent.node_id,
+                    parent.iterations(),
+                    parent.shots_used(),
+                    true,
+                );
                 let left_id = tree.add_node(Some(parent.node_id), Vec::new());
                 let right_id = tree.add_node(Some(parent.node_id), Vec::new());
                 let mut make_opt = |node_id: usize| -> Box<dyn Optimizer + Send> {
                     make_optimizer(cfg.seed, node_id, &cfg.optimizer)
                 };
-                let (left, right) =
-                    parent.split_into(&labels, (left_id, right_id), &mut make_opt, self.window_size());
+                let (left, right) = parent.split_into(
+                    &labels,
+                    (left_id, right_id),
+                    &mut make_opt,
+                    self.window_size(),
+                );
                 // Now that the children exist we know their task lists; refresh the tree
                 // nodes with them.
                 Self::set_node_tasks(&mut tree, left_id, left.task_indices.clone());
@@ -285,7 +299,7 @@ impl TreeVqa {
             }
 
             // Periodic history recording with uncharged probes (metrics only).
-            if round % cfg.record_every == 0 {
+            if round.is_multiple_of(cfg.record_every) {
                 let shots_so_far = backend.shots_used() - shots_at_start;
                 self.record_round(
                     backend,
@@ -310,7 +324,12 @@ impl TreeVqa {
         );
 
         for cluster in &clusters {
-            tree.finalize_node(cluster.node_id, cluster.iterations(), cluster.shots_used(), false);
+            tree.finalize_node(
+                cluster.node_id,
+                cluster.iterations(),
+                cluster.shots_used(),
+                false,
+            );
         }
 
         // Post-processing (Algorithm 1 lines 12–17): evaluate every task Hamiltonian on

@@ -11,7 +11,7 @@ use crate::task::InitialState;
 use qcircuit::Circuit;
 use qop::{PauliOp, Statevector};
 use qsim::{
-    analytic_sampled_expectation, attenuation_factor, run_circuit, CircuitNoiseProfile,
+    analytic_sampled_expectation, attenuation_factor, run_circuit_in_place, CircuitNoiseProfile,
     NoiseModel, PauliPropagator, PauliPropagatorConfig, ShotLedger,
 };
 use rand::rngs::StdRng;
@@ -65,6 +65,7 @@ pub trait Backend {
 pub struct StatevectorBackend {
     shots_per_pauli: u64,
     ledger: ShotLedger,
+    scratch: Option<Statevector>,
 }
 
 impl StatevectorBackend {
@@ -78,6 +79,7 @@ impl StatevectorBackend {
         StatevectorBackend {
             shots_per_pauli,
             ledger: ShotLedger::new(),
+            scratch: None,
         }
     }
 }
@@ -88,9 +90,32 @@ impl Default for StatevectorBackend {
     }
 }
 
+/// One-shot state preparation (kept for tests and ad-hoc callers; the backends use
+/// [`prepare_state_reusing`] to avoid per-evaluation allocations).
+#[cfg(test)]
 fn prepare_state(circuit: &Circuit, params: &[f64], initial: &InitialState) -> Statevector {
     let init = initial.prepare(circuit.num_qubits());
-    run_circuit(circuit, params, &init)
+    qsim::run_circuit(circuit, params, &init)
+}
+
+/// Prepares `U(θ)|init⟩` into a backend-owned scratch statevector, so the optimizer's
+/// inner loop performs zero statevector allocations after the first evaluation (the
+/// scratch is allocated once and refilled in place on every subsequent call with the same
+/// register size).
+fn prepare_state_reusing<'a>(
+    circuit: &Circuit,
+    params: &[f64],
+    initial: &InitialState,
+    scratch: &'a mut Option<Statevector>,
+) -> &'a Statevector {
+    let n = circuit.num_qubits();
+    match scratch {
+        Some(state) if state.num_qubits() == n => initial.prepare_into(state),
+        _ => *scratch = Some(initial.prepare(n)),
+    }
+    let state = scratch.as_mut().expect("scratch just prepared");
+    run_circuit_in_place(circuit, params, state);
+    state
 }
 
 impl Backend for StatevectorBackend {
@@ -102,11 +127,11 @@ impl Backend for StatevectorBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        let state = prepare_state(circuit, params, initial);
+        let state = prepare_state_reusing(circuit, params, initial, &mut self.scratch);
         self.ledger
             .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
-        let charged = charged_op.expectation(&state);
-        let free = free_ops.iter().map(|op| op.expectation(&state)).collect();
+        let charged = charged_op.expectation(state);
+        let free = free_ops.iter().map(|op| op.expectation(state)).collect();
         (charged, free)
     }
 
@@ -117,7 +142,12 @@ impl Backend for StatevectorBackend {
         initial: &InitialState,
         op: &PauliOp,
     ) -> f64 {
-        op.expectation(&prepare_state(circuit, params, initial))
+        op.expectation(prepare_state_reusing(
+            circuit,
+            params,
+            initial,
+            &mut self.scratch,
+        ))
     }
 
     fn shots_used(&self) -> u64 {
@@ -144,6 +174,7 @@ pub struct SampledBackend {
     shots_per_pauli: u64,
     ledger: ShotLedger,
     rng: StdRng,
+    scratch: Option<Statevector>,
 }
 
 impl SampledBackend {
@@ -153,6 +184,7 @@ impl SampledBackend {
             shots_per_pauli,
             ledger: ShotLedger::new(),
             rng: StdRng::seed_from_u64(seed),
+            scratch: None,
         }
     }
 }
@@ -166,12 +198,12 @@ impl Backend for SampledBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        let state = prepare_state(circuit, params, initial);
+        let state = prepare_state_reusing(circuit, params, initial, &mut self.scratch);
         self.ledger
             .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
         let charged =
-            analytic_sampled_expectation(charged_op, &state, self.shots_per_pauli, &mut self.rng);
-        let free = free_ops.iter().map(|op| op.expectation(&state)).collect();
+            analytic_sampled_expectation(charged_op, state, self.shots_per_pauli, &mut self.rng);
+        let free = free_ops.iter().map(|op| op.expectation(state)).collect();
         (charged, free)
     }
 
@@ -182,7 +214,12 @@ impl Backend for SampledBackend {
         initial: &InitialState,
         op: &PauliOp,
     ) -> f64 {
-        op.expectation(&prepare_state(circuit, params, initial))
+        op.expectation(prepare_state_reusing(
+            circuit,
+            params,
+            initial,
+            &mut self.scratch,
+        ))
     }
 
     fn shots_used(&self) -> u64 {
@@ -213,6 +250,7 @@ pub struct NoisyBackend {
     model: NoiseModel,
     /// Ansatz repetitions used for the per-layer depolarizing channel.
     layers: usize,
+    scratch: Option<Statevector>,
 }
 
 impl NoisyBackend {
@@ -224,6 +262,7 @@ impl NoisyBackend {
             rng: StdRng::seed_from_u64(seed),
             model,
             layers,
+            scratch: None,
         }
     }
 
@@ -246,25 +285,32 @@ impl Backend for NoisyBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        let state = prepare_state(circuit, params, initial);
+        // Split borrows: the scratch state must not alias the rng/model fields.
+        let mut scratch = self.scratch.take();
+        let state = prepare_state_reusing(circuit, params, initial, &mut scratch);
         let profile = CircuitNoiseProfile::from_circuit(circuit, self.layers);
         self.ledger
             .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
         // Attenuate each term, then add shot noise on top of the attenuated value.
-        let attenuated = self.noisy_exact(charged_op, &state, &profile);
+        let attenuated = self.noisy_exact(charged_op, state, &profile);
         let shot_noise = {
             // Sample the *difference* between a sampled and an exact estimate of the
             // attenuated observable; reusing the analytic sampler on the ideal state and
             // rescaling keeps the variance model simple and unbiased.
-            let sampled =
-                analytic_sampled_expectation(charged_op, &state, self.shots_per_pauli, &mut self.rng);
-            sampled - charged_op.expectation(&state)
+            let sampled = analytic_sampled_expectation(
+                charged_op,
+                state,
+                self.shots_per_pauli,
+                &mut self.rng,
+            );
+            sampled - charged_op.expectation(state)
         };
         let charged = attenuated + shot_noise;
         let free = free_ops
             .iter()
-            .map(|op| self.noisy_exact(op, &state, &profile))
+            .map(|op| self.noisy_exact(op, state, &profile))
             .collect();
+        self.scratch = scratch;
         (charged, free)
     }
 
@@ -277,7 +323,12 @@ impl Backend for NoisyBackend {
     ) -> f64 {
         // Probes report the *ideal* energy of the prepared state: fidelity metrics measure
         // how good the optimized state is, independent of readout-time attenuation.
-        op.expectation(&prepare_state(circuit, params, initial))
+        op.expectation(prepare_state_reusing(
+            circuit,
+            params,
+            initial,
+            &mut self.scratch,
+        ))
     }
 
     fn shots_used(&self) -> u64 {
@@ -406,7 +457,9 @@ mod tests {
 
     fn demo_setup() -> (Circuit, Vec<f64>, PauliOp, PauliOp) {
         let circuit = HardwareEfficientAnsatz::new(3, 1, Entanglement::Linear).build();
-        let params: Vec<f64> = (0..circuit.num_parameters()).map(|i| 0.1 * i as f64).collect();
+        let params: Vec<f64> = (0..circuit.num_parameters())
+            .map(|i| 0.1 * i as f64)
+            .collect();
         let h1 = PauliOp::from_labels(3, &[("ZZI", -1.0), ("IXI", 0.3)]);
         let h2 = PauliOp::from_labels(3, &[("ZZI", -0.8), ("IIX", 0.2)]);
         (circuit, params, h1, h2)
@@ -444,7 +497,10 @@ mod tests {
             })
             .sum::<f64>()
             / n as f64;
-        assert!((mean - exact).abs() < 0.05, "sampled mean {mean} vs exact {exact}");
+        assert!(
+            (mean - exact).abs() < 0.05,
+            "sampled mean {mean} vs exact {exact}"
+        );
         assert_eq!(backend.shots_used(), 256 * h1.num_terms() as u64 * n);
     }
 

@@ -14,7 +14,7 @@ use crate::task::InitialState;
 use qcircuit::{Circuit, QaoaAnsatz};
 use qgraph::{pool_graph, WeightedGraph};
 use qop::PauliOp;
-use qsim::run_circuit;
+use qsim::run_circuit_into;
 
 /// Result of a CAFQA-style Clifford search.
 #[derive(Clone, Debug)]
@@ -52,9 +52,12 @@ pub fn cafqa_initialize(
     ];
 
     let init_state = initial.prepare(ansatz.num_qubits());
-    let evaluate = |params: &[f64]| -> f64 {
-        let state = run_circuit(ansatz, params, &init_state);
-        target.expectation(&state)
+    // One scratch statevector for the whole coordinate sweep; each evaluation re-prepares
+    // it in place instead of allocating a fresh state.
+    let mut scratch = init_state.clone();
+    let mut evaluate = |params: &[f64]| -> f64 {
+        run_circuit_into(ansatz, params, &init_state, &mut scratch);
+        target.expectation(&scratch)
     };
 
     let mut params = vec![0.0; num_params];
@@ -149,7 +152,11 @@ mod tests {
         let initial = InitialState::Basis(0);
 
         let zero_energy = {
-            let state = run_circuit(&ansatz, &vec![0.0; ansatz.num_parameters()], &initial.prepare(4));
+            let state = qsim::run_circuit(
+                &ansatz,
+                &vec![0.0; ansatz.num_parameters()],
+                &initial.prepare(4),
+            );
             ham.expectation(&state)
         };
         let result = cafqa_initialize(&ansatz, &initial, &ham, 2);
@@ -184,10 +191,7 @@ mod tests {
             assert_eq!(point.len(), ansatz.num_parameters());
             // Gamma entries must be no larger than the plain ramp's.
             let ramp = ansatz.ramp_parameters();
-            assert!(point
-                .iter()
-                .zip(ramp.iter())
-                .all(|(a, b)| *a <= *b + 1e-12));
+            assert!(point.iter().zip(ramp.iter()).all(|(a, b)| *a <= *b + 1e-12));
         }
     }
 

@@ -28,6 +28,19 @@ impl InitialState {
         }
     }
 
+    /// Re-prepares the initial state into an existing vector of the right register size,
+    /// allocation-free (the optimizer-inner-loop counterpart of [`InitialState::prepare`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a basis index is out of range for the vector's register.
+    pub fn prepare_into(&self, state: &mut Statevector) {
+        match *self {
+            InitialState::Basis(b) => state.set_basis_state(b),
+            InitialState::UniformSuperposition => state.set_uniform_superposition(),
+        }
+    }
+
     /// The basis index if this is a basis state (Pauli-propagation backends can only start
     /// from product basis states).
     pub fn basis_index(&self) -> Option<u64> {
@@ -92,7 +105,8 @@ impl VqaTask {
     /// The fidelity `F = 1 − ε` of an achieved energy (paper Section 7.2), clamped to
     /// `[0, 1]`.
     pub fn fidelity(&self, energy: f64) -> Option<f64> {
-        self.relative_error(energy).map(|e| (1.0 - e).clamp(0.0, 1.0))
+        self.relative_error(energy)
+            .map(|e| (1.0 - e).clamp(0.0, 1.0))
     }
 }
 
@@ -174,7 +188,11 @@ impl VqaApplication {
     ///
     /// Panics if `energies.len() != num_tasks()`.
     pub fn min_fidelity(&self, energies: &[f64]) -> Option<f64> {
-        assert_eq!(energies.len(), self.tasks.len(), "one energy per task required");
+        assert_eq!(
+            energies.len(),
+            self.tasks.len(),
+            "one energy per task required"
+        );
         self.tasks
             .iter()
             .zip(energies)
@@ -251,7 +269,11 @@ mod tests {
             ansatz,
             InitialState::Basis(0),
         );
-        let refs: Vec<f64> = app.tasks.iter().map(|t| t.reference_energy.unwrap()).collect();
+        let refs: Vec<f64> = app
+            .tasks
+            .iter()
+            .map(|t| t.reference_energy.unwrap())
+            .collect();
         // First task exactly solved, second off by a lot.
         let fid = app.min_fidelity(&[refs[0], refs[1] + 1.0]).unwrap();
         assert!(fid < 0.9);

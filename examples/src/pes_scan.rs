@@ -12,8 +12,8 @@
 //! cargo run --release -p treevqa-examples --bin pes_scan
 //! ```
 
-use qcircuit::{Entanglement, HardwareEfficientAnsatz};
 use qchem::MoleculeSpec;
+use qcircuit::{Entanglement, HardwareEfficientAnsatz};
 use qopt::{OptimizerSpec, SpsaConfig};
 use treevqa::{SplitPolicy, TreeVqa, TreeVqaConfig};
 use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
@@ -29,11 +29,10 @@ fn main() {
     let tasks: Vec<VqaTask> = molecule
         .tasks(num_tasks)
         .into_iter()
-        .map(|(bond, ham)| {
-            VqaTask::with_computed_reference(format!("r={bond:.3}"), bond, ham)
-        })
+        .map(|(bond, ham)| VqaTask::with_computed_reference(format!("r={bond:.3}"), bond, ham))
         .collect();
-    let ansatz = HardwareEfficientAnsatz::new(molecule.num_qubits, 2, Entanglement::Circular).build();
+    let ansatz =
+        HardwareEfficientAnsatz::new(molecule.num_qubits, 2, Entanglement::Circular).build();
     let application = VqaApplication::new(
         "LiH-PES",
         tasks,

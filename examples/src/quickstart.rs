@@ -11,8 +11,8 @@
 //! cargo run --release -p treevqa-examples --bin quickstart
 //! ```
 
-use qcircuit::{Entanglement, HardwareEfficientAnsatz};
 use qchem::MoleculeSpec;
+use qcircuit::{Entanglement, HardwareEfficientAnsatz};
 use qopt::{OptimizerSpec, SpsaConfig};
 use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{
@@ -22,7 +22,10 @@ use vqa::{
 fn main() {
     let molecule = MoleculeSpec::h2();
     let num_tasks = 5;
-    println!("TreeVQA quickstart: {} at {} bond lengths", molecule.name, num_tasks);
+    println!(
+        "TreeVQA quickstart: {} at {} bond lengths",
+        molecule.name, num_tasks
+    );
 
     // 1. Build the application: one VQA task per bond length, a shared hardware-efficient
     //    ansatz, and the Hartree–Fock reference state.
@@ -30,10 +33,15 @@ fn main() {
         .tasks(num_tasks)
         .into_iter()
         .map(|(bond, ham)| {
-            VqaTask::with_computed_reference(format!("{} @ {:.3} Å", molecule.name, bond), bond, ham)
+            VqaTask::with_computed_reference(
+                format!("{} @ {:.3} Å", molecule.name, bond),
+                bond,
+                ham,
+            )
         })
         .collect();
-    let ansatz = HardwareEfficientAnsatz::new(molecule.num_qubits, 2, Entanglement::Circular).build();
+    let ansatz =
+        HardwareEfficientAnsatz::new(molecule.num_qubits, 2, Entanglement::Circular).build();
     let application = VqaApplication::new(
         format!("{}-pes", molecule.name),
         tasks,

@@ -12,14 +12,14 @@
 //! cargo run --release -p treevqa-examples --bin spin_chain_sweep
 //! ```
 
-use qcircuit::{Entanglement, HardwareEfficientAnsatz};
 use qchem::SpinChainFamily;
+use qcircuit::{Entanglement, HardwareEfficientAnsatz};
 use qopt::{OptimizerSpec, SpsaConfig};
 use qsim::NoiseModel;
 use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{
-    metrics, run_baseline, Backend, InitialState, NoisyBackend, StatevectorBackend,
-    VqaApplication, VqaRunConfig, VqaTask,
+    metrics, run_baseline, Backend, InitialState, NoisyBackend, StatevectorBackend, VqaApplication,
+    VqaRunConfig, VqaTask,
 };
 
 fn build_application(num_tasks: usize) -> VqaApplication {
@@ -29,12 +29,15 @@ fn build_application(num_tasks: usize) -> VqaApplication {
         .into_iter()
         .map(|(h, ham)| VqaTask::with_computed_reference(format!("h={h:.2}"), h, ham))
         .collect();
-    let ansatz =
-        HardwareEfficientAnsatz::new(family.num_sites, 2, Entanglement::Circular).build();
+    let ansatz = HardwareEfficientAnsatz::new(family.num_sites, 2, Entanglement::Circular).build();
     VqaApplication::new("tfim-sweep", tasks, ansatz, InitialState::Basis(0))
 }
 
-fn compare(label: &str, application: &VqaApplication, mut make_backend: impl FnMut() -> Box<dyn Backend>) {
+fn compare(
+    label: &str,
+    application: &VqaApplication,
+    mut make_backend: impl FnMut() -> Box<dyn Backend>,
+) {
     let optimizer = OptimizerSpec::Spsa(SpsaConfig {
         a: 0.25,
         ..Default::default()
@@ -48,7 +51,9 @@ fn compare(label: &str, application: &VqaApplication, mut make_backend: impl FnM
         record_every: 10,
     };
     let zeros = vec![0.0; application.num_parameters()];
-    let baseline = run_baseline(application, &zeros, &baseline_config, &mut |_| make_backend());
+    let baseline = run_baseline(application, &zeros, &baseline_config, &mut |_| {
+        make_backend()
+    });
 
     let config = TreeVqaConfig {
         max_cluster_iterations: iterations,
@@ -87,7 +92,11 @@ fn main() {
 
     let model = NoiseModel::by_name("cairo").expect("synthetic backend exists");
     compare("noisy", &application, move || {
-        Box::new(NoisyBackend::new(model.clone(), 2, qsim::DEFAULT_SHOTS_PER_PAULI, 23))
-            as Box<dyn Backend>
+        Box::new(NoisyBackend::new(
+            model.clone(),
+            2,
+            qsim::DEFAULT_SHOTS_PER_PAULI,
+            23,
+        )) as Box<dyn Backend>
     });
 }

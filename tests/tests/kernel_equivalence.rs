@@ -1,0 +1,207 @@
+//! Property tests pinning the optimized simulation kernels to the retained naive
+//! reference implementations.
+//!
+//! The branch-free/in-place/parallel kernels in `qsim` and `qop` must be bit-for-bit
+//! *algorithmically* equivalent to the originals (up to floating-point associativity), so
+//! every property here demands agreement to 1e-12 on random circuits, random Pauli
+//! rotations, and random Hamiltonians.  The 14-qubit properties run above the default
+//! `QSIM_PAR_THRESHOLD` of 2^14 amplitudes, so they exercise the multi-threaded kernel
+//! paths against the serial references.
+
+use proptest::prelude::*;
+use qcircuit::{Angle, Circuit, Gate};
+use qop::{Complex64, PauliOp, PauliString, Statevector};
+use qsim::{reference, run_circuit};
+
+/// Forces the kernels' parallel paths even on single-core CI machines (the vendored
+/// rayon honors this like the real global-pool configuration).
+fn force_parallel_workers() {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global()
+        .ok();
+}
+
+/// A dense, structured, normalized state: every amplitude distinct so index or phase
+/// mix-ups cannot cancel.
+fn dense_state(num_qubits: usize) -> Statevector {
+    let dim = 1usize << num_qubits;
+    let mut psi = Statevector::from_amplitudes(
+        (0..dim)
+            .map(|i| Complex64::new((i as f64 * 0.137).sin() + 0.3, (i as f64 * 0.291).cos()))
+            .collect(),
+    );
+    psi.normalize();
+    psi
+}
+
+fn max_amplitude_diff(a: &Statevector, b: &Statevector) -> f64 {
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).norm())
+        .fold(0.0, f64::max)
+}
+
+/// Strategy for one random gate on an `n`-qubit register, covering every gate kind.
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    (0usize..11, 0usize..n, 0usize..n, -3.2f64..3.2).prop_map(move |(kind, q, q2, theta)| {
+        // Force distinct qubits for the two-qubit gates.
+        let q2 = if q2 == q { (q + 1) % n } else { q2 };
+        match kind {
+            0 => Gate::H(q),
+            1 => Gate::X(q),
+            2 => Gate::Y(q),
+            3 => Gate::Z(q),
+            4 => Gate::S(q),
+            5 => Gate::Sdg(q),
+            6 => Gate::Cx(q, q2),
+            7 => Gate::Cz(q, q2),
+            8 => Gate::Rx(q, Angle::Fixed(theta)),
+            9 => Gate::Ry(q, Angle::Fixed(theta)),
+            _ => Gate::Rz(q, Angle::Fixed(theta)),
+        }
+    })
+}
+
+fn arb_pauli_label(num_qubits: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select(vec!['I', 'X', 'Y', 'Z']),
+        num_qubits,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn circuit_from_gates(num_qubits: usize, gates: Vec<Gate>) -> Circuit {
+    let mut circuit = Circuit::new(num_qubits);
+    for gate in gates {
+        circuit.push(gate);
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fast branch-free gate kernels agree with the naive reference on random
+    /// circuits over every gate kind, to 1e-12 per amplitude.
+    #[test]
+    fn random_circuits_agree_with_reference(
+        gates in proptest::collection::vec(arb_gate(6), 1..40),
+    ) {
+        let n = 6;
+        let circuit = circuit_from_gates(n, gates);
+        let initial = dense_state(n);
+        let fast = run_circuit(&circuit, &[], &initial);
+        let naive = reference::run_circuit(&circuit, &[], &initial);
+        prop_assert!(max_amplitude_diff(&fast, &naive) < 1e-12);
+    }
+
+    /// The in-place involution-pair Pauli-rotation kernel agrees with the naive
+    /// clone-the-state construction on random strings and angles, to 1e-12.
+    #[test]
+    fn random_pauli_rotations_agree_with_reference(
+        rotations in proptest::collection::vec((arb_pauli_label(6), -3.2f64..3.2), 1..12),
+    ) {
+        let n = 6;
+        let mut fast = dense_state(n);
+        let mut naive = fast.clone();
+        for (label, theta) in rotations {
+            let string = PauliString::from_label(&label).unwrap();
+            qsim::apply_pauli_rotation(&mut fast, &string, theta);
+            reference::apply_pauli_rotation(&mut naive, &string, theta);
+        }
+        prop_assert!(max_amplitude_diff(&fast, &naive) < 1e-12);
+    }
+
+    /// The optimized expectation kernel (diagonal fast path + pairwise gather) agrees
+    /// with the naive scan-and-apply kernel for every term shape.
+    #[test]
+    fn string_expectation_matches_naive(label in arb_pauli_label(7)) {
+        let psi = dense_state(7);
+        let string = PauliString::from_label(&label).unwrap();
+        let fast = PauliOp::string_expectation(&string, &psi);
+        let naive = PauliOp::string_expectation_naive(&string, &psi);
+        prop_assert!((fast - naive).abs() < 1e-12, "{fast} vs {naive} on {label}");
+    }
+}
+
+proptest! {
+    // Fewer cases for the 14-qubit properties: each touches 2^14 amplitudes per gate and
+    // exists to drive the *parallel* kernel paths (dim == the default threshold).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Parallel gate kernels (at/above the default threshold) match the serial reference.
+    #[test]
+    fn parallel_gate_kernels_agree_with_reference(
+        gates in proptest::collection::vec(arb_gate(14), 1..10),
+        rotation in arb_pauli_label(14),
+        theta in -3.2f64..3.2,
+    ) {
+        force_parallel_workers();
+        let n = 14;
+        let circuit = circuit_from_gates(n, gates);
+        let initial = dense_state(n);
+        let mut fast = run_circuit(&circuit, &[], &initial);
+        let mut naive = reference::run_circuit(&circuit, &[], &initial);
+        let string = PauliString::from_label(&rotation).unwrap();
+        qsim::apply_pauli_rotation(&mut fast, &string, theta);
+        reference::apply_pauli_rotation(&mut naive, &string, theta);
+        prop_assert!(max_amplitude_diff(&fast, &naive) < 1e-12);
+    }
+
+    /// Parallel Hamiltonian expectation (term-parallel with per-string fast paths) equals
+    /// the serial naive sum.
+    #[test]
+    fn parallel_expectation_equals_serial(
+        terms in proptest::collection::vec((arb_pauli_label(14), -1.0f64..1.0), 2..10),
+    ) {
+        force_parallel_workers();
+        let psi = dense_state(14);
+        let refs: Vec<(&str, f64)> = terms.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+        let op = PauliOp::from_labels(14, &refs);
+        let parallel = op.expectation(&psi);
+        let serial: f64 = op
+            .terms()
+            .iter()
+            .map(|t| t.coefficient * PauliOp::string_expectation_naive(&t.string, &psi))
+            .sum();
+        prop_assert!((parallel - serial).abs() < 1e-10, "{parallel} vs {serial}");
+        // Per-term expectations take the same parallel path and must agree term-by-term.
+        let per_term = op.term_expectations(&psi);
+        for (t, e) in op.terms().iter().zip(per_term) {
+            let naive = PauliOp::string_expectation_naive(&t.string, &psi);
+            prop_assert!((e - naive).abs() < 1e-12);
+        }
+    }
+}
+
+/// `H|ψ⟩` in gather form (and its allocation-reusing variant) matches the original
+/// scatter implementation, including on the Lanczos-style repeated-application path.
+#[test]
+fn apply_into_matches_naive_scatter() {
+    let n = 8;
+    let psi = dense_state(n);
+    let op = PauliOp::from_labels(
+        n,
+        &[
+            ("ZZIIZZII", 0.7),
+            ("XIYIZXIY", -0.2),
+            ("YYYYIIYY", 0.4),
+            ("IIXXIIXX", -0.9),
+            ("ZIIIIIIZ", 1.3),
+        ],
+    );
+    // Original scatter form.
+    let mut expected = psi.zeros_like();
+    for term in op.terms() {
+        for b in 0..psi.dim() as u64 {
+            let (b2, phase) = term.string.apply_to_basis(b);
+            let contribution = phase * psi.amplitude(b) * term.coefficient;
+            expected.amplitudes_mut()[b2 as usize] += contribution;
+        }
+    }
+    let got = op.apply(&psi);
+    let diff = max_amplitude_diff(&expected, &got);
+    assert!(diff < 1e-12, "apply mismatch: {diff}");
+}

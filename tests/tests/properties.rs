@@ -6,8 +6,11 @@ use qop::{PauliOp, PauliString, Statevector};
 use qsim::run_circuit;
 
 fn arb_pauli_label(num_qubits: usize) -> impl Strategy<Value = String> {
-    proptest::collection::vec(proptest::sample::select(vec!['I', 'X', 'Y', 'Z']), num_qubits)
-        .prop_map(|chars| chars.into_iter().collect())
+    proptest::collection::vec(
+        proptest::sample::select(vec!['I', 'X', 'Y', 'Z']),
+        num_qubits,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
 }
 
 fn arb_pauli_op(num_qubits: usize, max_terms: usize) -> impl Strategy<Value = PauliOp> {

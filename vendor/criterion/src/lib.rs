@@ -1,0 +1,321 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], the `criterion_group!`/`criterion_main!`
+//! macros and [`black_box`] — with a straightforward warmup + fixed-sample-count timing
+//! loop.  Every result is also recorded in a process-global registry so bench binaries
+//! can emit a machine-readable JSON summary via [`write_summary_json`].
+//!
+//! Statistical sophistication (bootstrapping, outlier classification, HTML reports) is
+//! intentionally out of scope; median/mean/min/max per-iteration times are enough for the
+//! before/after kernel comparisons this workspace tracks.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (mirrors `criterion::BatchSize`; the vendored
+/// harness times each routine call individually, so the variants only exist for API
+/// compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// One recorded benchmark result, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark id as passed to `bench_function`.
+    pub id: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Returns a snapshot of every result recorded so far in this process.
+pub fn all_results() -> Vec<BenchRecord> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Writes all recorded results to `path` as a JSON array (manually serialized; the
+/// vendored `serde` does not serialize).  Returns the number of records written.
+pub fn write_summary_json(path: &str) -> std::io::Result<usize> {
+    let results = all_results();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)?;
+    Ok(results.len())
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warmup duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and records + prints its result.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                deadline: Instant::now() + self.warm_up_time,
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            },
+        };
+        // Warmup: run until the deadline to stabilize caches/branch predictors and learn
+        // the per-iteration cost.
+        f(&mut bencher);
+        let per_iter_estimate = match &bencher.mode {
+            Mode::WarmUp {
+                iters_done,
+                elapsed,
+                ..
+            } => {
+                if *iters_done == 0 {
+                    Duration::from_millis(1)
+                } else {
+                    *elapsed / (*iters_done as u32).max(1)
+                }
+            }
+            _ => unreachable!(),
+        };
+        let per_sample_budget = self.measurement_time.as_nanos() as u64 / self.sample_size as u64;
+        let iters_per_sample =
+            (per_sample_budget / per_iter_estimate.as_nanos().max(1) as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.mode = Mode::Measure {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            if let Mode::Measure { elapsed, .. } = &bencher.mode {
+                samples_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let record = BenchRecord {
+            id: id.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().unwrap(),
+            samples: samples_ns.len(),
+            iters_per_sample,
+        };
+        println!(
+            "{:<48} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            record.id,
+            format_ns(record.median_ns),
+            format_ns(record.mean_ns),
+            record.samples,
+            record.iters_per_sample
+        );
+        RESULTS.lock().unwrap().push(record);
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    WarmUp {
+        deadline: Instant,
+        iters_done: u64,
+        elapsed: Duration,
+    },
+    Measure {
+        iters: u64,
+        elapsed: Duration,
+    },
+}
+
+/// Timing handle passed to benchmark closures (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match &mut self.mode {
+            Mode::WarmUp {
+                deadline,
+                iters_done,
+                elapsed,
+            } => loop {
+                let start = Instant::now();
+                black_box(routine());
+                *elapsed += start.elapsed();
+                *iters_done += 1;
+                if Instant::now() >= *deadline {
+                    break;
+                }
+            },
+            Mode::Measure { iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*iters {
+                    black_box(routine());
+                }
+                *elapsed += start.elapsed();
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match &mut self.mode {
+            Mode::WarmUp {
+                deadline,
+                iters_done,
+                elapsed,
+            } => loop {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                *elapsed += start.elapsed();
+                *iters_done += 1;
+                if Instant::now() >= *deadline {
+                    break;
+                }
+            },
+            Mode::Measure { iters, elapsed } => {
+                for _ in 0..*iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    *elapsed += start.elapsed();
+                }
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_results() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("vendored_smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let results = all_results();
+        let r = results.iter().find(|r| r.id == "vendored_smoke").unwrap();
+        assert!(r.median_ns > 0.0);
+        assert_eq!(r.samples, 3);
+    }
+}

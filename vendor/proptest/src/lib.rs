@@ -1,0 +1,355 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! Implements the API subset the workspace's property tests use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`, numeric-range and tuple strategies,
+//! [`collection::vec`] and [`sample::select`], plus `prop_assert!`-style assertion macros.
+//!
+//! Semantics versus the real proptest: cases are generated from a deterministic seed (so
+//! CI failures reproduce locally), and a failing case is reported with its case index and
+//! generated values via the panic message — but there is **no shrinking**.  That is a
+//! deliberate simplification; the equivalence properties this workspace checks have small
+//! enough inputs that raw counterexamples are directly debuggable.
+
+use rand::rngs::StdRng;
+
+pub mod test_runner {
+    //! Deterministic case-generation RNG and per-test configuration.
+
+    use rand::SeedableRng;
+
+    /// RNG used to generate test cases.
+    pub struct TestRng(pub(crate) super::StdRng);
+
+    impl TestRng {
+        /// A deterministic generator; every test run sees the same case sequence.
+        pub fn deterministic(salt: u64) -> Self {
+            TestRng(super::StdRng::seed_from_u64(0x70726F70 ^ salt))
+        }
+
+        /// Draws raw bits (used by strategies).
+        pub fn rng(&mut self) -> &mut super::StdRng {
+            &mut self.0
+        }
+    }
+
+    /// Per-proptest-block configuration (mirrors `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value` (mirrors `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value (mirrors `proptest::strategy::Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.rng().random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(usize, u64, u32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: a fixed length or a half-open range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s whose elements come from `element` (mirrors
+    /// `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng
+                .rng()
+                .random_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed set (mirrors `proptest::sample::select`).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "cannot select from an empty set");
+        Select { options }
+    }
+
+    /// Strategy produced by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng().random_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Re-export under proptest's public alias.
+    pub use crate::test_runner::Config as ProptestConfig;
+}
+
+/// Defines property tests (mirrors `proptest::proptest!`).
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a zero-argument test
+/// that checks the body against `cases` generated inputs; the case index is reported on
+/// failure (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                // Salt the RNG with the test name so distinct properties see distinct cases.
+                let salt = stringify!($name).bytes().fold(0u64, |h, b| {
+                    h.wrapping_mul(131).wrapping_add(b as u64)
+                });
+                let mut rng = $crate::test_runner::TestRng::deterministic(salt);
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    // Snapshot the generated inputs up front: the body may move them.
+                    let inputs_description = [$((stringify!($arg), format!("{:?}", &$arg))),*]
+                        .iter()
+                        .map(|(n, v)| format!("{n} = {v}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        let message = panic
+                            .downcast_ref::<String>()
+                            .map(|s| s.as_str())
+                            .or_else(|| panic.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message,
+                            inputs_description,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body (mirrors `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body (mirrors `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body (mirrors `proptest::prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_respected(x in -1.5f64..2.5, n in 1usize..10) {
+            prop_assert!((-1.5..2.5).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_select_compose(
+            v in crate::collection::vec(crate::sample::select(vec!['a', 'b']), 2..6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|c| *c == 'a' || *c == 'b'));
+        }
+
+        #[test]
+        fn prop_map_applies(s in crate::collection::vec(0usize..5, 3).prop_map(|v| v.len())) {
+            prop_assert_eq!(s, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_report_case_and_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,288 @@
+//! Vendored minimal stand-in for `rayon`.
+//!
+//! No crate registry is reachable from the build environment, so this crate implements
+//! the small rayon API subset the simulation kernels use — `(a..b).into_par_iter()` with
+//! `with_min_len`, `for_each`, `map`, `sum` and `collect` — as *real* data parallelism on
+//! top of [`std::thread::scope`].  Work is split into at most `available_parallelism()`
+//! contiguous sub-ranges (respecting the configured minimum chunk length), each executed
+//! on its own OS thread; results are reduced in index order, so `collect` preserves
+//! ordering and `sum` is deterministic for a fixed thread count.
+//!
+//! Unlike the real rayon there is no work-stealing pool: threads are spawned per call.
+//! For the >= 2^14-amplitude arrays the `qsim`/`qop` kernels gate parallelism on, the
+//! ~10 µs spawn cost is negligible next to the memory traffic; callers below the
+//! threshold use their serial paths instead.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+pub mod prelude {
+    //! One-stop import mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParIterMap, RangeParIter};
+}
+
+/// Programmatic worker-count override, set via [`ThreadPoolBuilder::build_global`]
+/// (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads used for parallel execution.
+///
+/// Resolution order: [`ThreadPoolBuilder::build_global`] override, then the
+/// `RAYON_NUM_THREADS` environment variable, then `available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    let programmatic = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if programmatic > 0 {
+        return programmatic;
+    }
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Worker-count configuration (mirrors `rayon::ThreadPoolBuilder` for the global pool).
+///
+/// This crate has no persistent pool — threads are scoped per call — so "building the
+/// global pool" just records the requested worker count.  Unlike the real rayon, calling
+/// it repeatedly is allowed and simply updates the count (tests use this to force the
+/// parallel kernel paths on single-core machines).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a fixed worker count (0 = auto-detect).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Applies this configuration to the global executor.  Always succeeds.
+    pub fn build_global(self) -> Result<(), std::convert::Infallible> {
+        THREAD_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Number of contiguous sub-ranges `range` will be split into for `min_len`.
+///
+/// Every parallel driver computes this exactly once and passes it to [`run_split`]:
+/// `current_num_threads()` can change concurrently (via [`ThreadPoolBuilder`]), so a
+/// caller that sized a reduction buffer from one read must not let the splitter take a
+/// second, possibly larger, read.
+fn piece_count(range: &Range<usize>, min_len: usize) -> usize {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return 0;
+    }
+    (len / min_len.max(1)).clamp(1, current_num_threads())
+}
+
+/// Splits `range` into exactly `pieces` contiguous sub-ranges (as computed by
+/// [`piece_count`]) and runs `body` on each, in parallel.  The closure receives the
+/// sub-range's position (for ordered reduction) and the sub-range itself.
+fn run_split<F>(range: Range<usize>, pieces: usize, body: F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 || pieces == 0 {
+        return;
+    }
+    if pieces == 1 {
+        body(0, range);
+        return;
+    }
+    let chunk = len.div_ceil(pieces);
+    std::thread::scope(|scope| {
+        for piece in 0..pieces {
+            let start = range.start + piece * chunk;
+            let end = (start + chunk).min(range.end);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            scope.spawn(move || body(piece, start..end));
+        }
+    });
+}
+
+/// Conversion into a parallel iterator (mirrors `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The parallel-iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            range: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+#[derive(Clone, Debug)]
+pub struct RangeParIter {
+    range: Range<usize>,
+    min_len: usize,
+}
+
+impl RangeParIter {
+    /// Sets the minimum number of indices a worker thread will process (mirrors
+    /// `IndexedParallelIterator::with_min_len`); prevents over-splitting tiny workloads.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Runs `f` for every index, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let pieces = piece_count(&self.range, self.min_len);
+        run_split(self.range, pieces, |_, sub| {
+            for i in sub {
+                f(i);
+            }
+        });
+    }
+
+    /// Maps every index through `f` (lazily; drive with `sum` or `collect`).
+    pub fn map<T, F>(self, f: F) -> ParIterMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParIterMap { inner: self, f }
+    }
+}
+
+/// A mapped parallel range iterator (result of [`RangeParIter::map`]).
+pub struct ParIterMap<F> {
+    inner: RangeParIter,
+    f: F,
+}
+
+impl<F> ParIterMap<F> {
+    /// Sums the mapped values.  Each worker accumulates a partial sum over a contiguous
+    /// index block; partials are combined in block order.
+    pub fn sum<S>(self) -> S
+    where
+        F: Fn(usize) -> S + Sync,
+        S: Send + std::iter::Sum<S>,
+    {
+        // `pieces` is read once and passed down: it both sizes the reduction buffer and
+        // bounds the split, so a concurrent ThreadPoolBuilder change cannot desynchronize
+        // the two.
+        let pieces = piece_count(&self.inner.range, self.inner.min_len);
+        let mut partials: Vec<Option<S>> = Vec::new();
+        partials.resize_with(pieces, || None);
+        let slots = SyncSlots(partials.as_mut_ptr());
+        let f = &self.f;
+        run_split(self.inner.range.clone(), pieces, |piece, sub| {
+            let partial: S = sub.map(f).sum();
+            // SAFETY: each `piece` index < `pieces` is visited by exactly one worker, and
+            // `partials` outlives the scoped threads inside `run_split`.
+            unsafe { *slots.slot(piece) = Some(partial) };
+        });
+        partials.into_iter().flatten().sum()
+    }
+
+    /// Collects the mapped values in index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: FromIterator<T>,
+    {
+        let start = self.inner.range.start;
+        let len = self.inner.range.end.saturating_sub(start);
+        let mut out: Vec<Option<T>> = Vec::new();
+        out.resize_with(len, || None);
+        let slots = SyncSlots(out.as_mut_ptr());
+        let f = &self.f;
+        let pieces = piece_count(&self.inner.range, self.inner.min_len);
+        run_split(self.inner.range.clone(), pieces, |_, sub| {
+            for i in sub {
+                // SAFETY: every index lands in exactly one sub-range, so each slot is
+                // written by exactly one worker while `out` outlives the scope.
+                unsafe { *slots.slot(i - start) = Some(f(i)) };
+            }
+        });
+        out.into_iter().map(|v| v.expect("slot filled")).collect()
+    }
+}
+
+/// Shared mutable slot array for disjoint per-worker writes.
+struct SyncSlots<T>(*mut T);
+unsafe impl<T: Send> Sync for SyncSlots<T> {}
+unsafe impl<T: Send> Send for SyncSlots<T> {}
+impl<T> SyncSlots<T> {
+    /// # Safety
+    /// Callers must write each slot index from at most one thread and keep the backing
+    /// allocation alive for the duration of the parallel region.
+    unsafe fn slot(&self, index: usize) -> *mut T {
+        unsafe { self.0.add(index) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counters: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1000).into_par_iter().for_each(|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let parallel: u64 = (0..10_000).into_par_iter().map(|i| i as u64 * 3).sum();
+        let serial: u64 = (0..10_000u64).map(|i| i * 3).sum();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (5..105).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v.len(), 100);
+        for (k, &x) in v.iter().enumerate() {
+            assert_eq!(x, (k + 5) * (k + 5));
+        }
+    }
+
+    #[test]
+    fn min_len_and_empty_ranges() {
+        let s: usize = (0..7).into_par_iter().with_min_len(1024).map(|i| i).sum();
+        assert_eq!(s, 21);
+        let e: usize = (3..3).into_par_iter().map(|i| i).sum();
+        assert_eq!(e, 0);
+        (0..0).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment has no reachable crate registry, so this workspace vendors the
+//! *interface* of serde that its crates use: the `Serialize`/`Deserialize` marker traits
+//! and the corresponding derive macros.  Nothing in the workspace currently performs
+//! actual (de)serialization, so the traits are empty and blanket-implemented; swapping
+//! this crate for the real `serde` is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (blanket-implemented for every type).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (blanket-implemented for every type).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The real `serde_derive` generates trait implementations; the vendored `serde` crate
+//! instead provides blanket implementations of its marker traits, so these derives only
+//! need to exist (and swallow `#[serde(...)]` attributes) for the workspace to compile
+//! offline.  See `vendor/README.md` for the substitution rationale.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
