@@ -1,0 +1,212 @@
+//! Criterion benchmarks for PR 2's execution engine: the fused [`CompiledCircuit`]
+//! against the per-gate interpreter, and batched backend evaluation against the serial
+//! evaluate loop at several batch sizes.
+//!
+//! Running `cargo bench -p treevqa_bench --bench batch` prints the compiled-vs-interpreted
+//! and batched-vs-serial speedup tables and writes the machine-readable
+//! `BENCH_batch.json` summary at the workspace root.
+
+use criterion::{criterion_group, Criterion};
+use qcircuit::{Angle, Circuit, Entanglement, Gate, HardwareEfficientAnsatz};
+use qop::{PauliOp, PauliString, Statevector};
+use qsim::CompiledCircuit;
+use vqa::{Backend, EvalRequest, InitialState, StatevectorBackend};
+
+/// A Pauli-rotation-heavy ansatz: QAOA-shaped layers of diagonal ZZ-chain rotations
+/// (ring + chords, the diagonal-batching target) alternating with Rx mixers, preceded by
+/// a Hadamard wall.  This is the gate mix the paper's MaxCut and spin-chain workloads
+/// spend their time in.
+fn rotation_heavy_ansatz(num_qubits: usize, layers: usize) -> Circuit {
+    let mut circ = Circuit::new(num_qubits);
+    for q in 0..num_qubits {
+        circ.push(Gate::H(q));
+    }
+    let mut slot = 0usize;
+    for _ in 0..layers {
+        // Cost layer: ZZ ring plus next-nearest chords — all diagonal, one fused pass.
+        for step in [1usize, 2] {
+            for q in 0..num_qubits {
+                let mut label = vec!['I'; num_qubits];
+                label[q] = 'Z';
+                label[(q + step) % num_qubits] = 'Z';
+                let string = PauliString::from_label(&label.iter().collect::<String>()).unwrap();
+                circ.push(Gate::PauliRotation(string, Angle::param(slot)));
+                slot += 1;
+            }
+        }
+        // Mixer layer.
+        for q in 0..num_qubits {
+            circ.push(Gate::Rx(q, Angle::param(slot)));
+            slot += 1;
+        }
+    }
+    circ
+}
+
+fn ansatz_params(circ: &Circuit) -> Vec<f64> {
+    (0..circ.num_parameters())
+        .map(|i| (i as f64 * 0.37).sin())
+        .collect()
+}
+
+const COMPILED_QUBITS: [usize; 3] = [12, 16, 18];
+
+/// Fused compiled execution vs the retained per-gate interpreter on the
+/// rotation-heavy ansatz (the ISSUE's headline fusion comparison).
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    for n in COMPILED_QUBITS {
+        let circ = rotation_heavy_ansatz(n, 2);
+        let params = ansatz_params(&circ);
+        let compiled = CompiledCircuit::compile(&circ);
+        let initial = Statevector::zero_state(n);
+        let mut scratch = Statevector::zero_state(n);
+        c.bench_function(&format!("circuit_exec/compiled/{n}q"), |b| {
+            b.iter(|| {
+                compiled.execute_into(&params, &initial, &mut scratch);
+                std::hint::black_box(&scratch);
+            })
+        });
+        let mut scratch = Statevector::zero_state(n);
+        c.bench_function(&format!("circuit_exec/interpreted/{n}q"), |b| {
+            b.iter(|| {
+                scratch.clone_from(&initial);
+                qsim::interpret_circuit_in_place(&circ, &params, &mut scratch);
+                std::hint::black_box(&scratch);
+            })
+        });
+    }
+}
+
+/// Compilation also pays on the standard hardware-efficient ansatz (Ry·Rz chains fuse).
+fn bench_compiled_hea(c: &mut Criterion) {
+    let n = 14;
+    let circ = HardwareEfficientAnsatz::new(n, 3, Entanglement::Circular).build();
+    let params = ansatz_params(&circ);
+    let compiled = CompiledCircuit::compile(&circ);
+    let initial = Statevector::zero_state(n);
+    let mut scratch = Statevector::zero_state(n);
+    c.bench_function(&format!("hea_exec/compiled/{n}q"), |b| {
+        b.iter(|| {
+            compiled.execute_into(&params, &initial, &mut scratch);
+            std::hint::black_box(&scratch);
+        })
+    });
+    let mut scratch = Statevector::zero_state(n);
+    c.bench_function(&format!("hea_exec/interpreted/{n}q"), |b| {
+        b.iter(|| {
+            scratch.clone_from(&initial);
+            qsim::interpret_circuit_in_place(&circ, &params, &mut scratch);
+            std::hint::black_box(&scratch);
+        })
+    });
+}
+
+/// The three batch sizes of the batched-vs-serial comparison: the SPSA ± pair, a
+/// simplex-build-sized batch, and a whole-controller-round-sized batch.
+const BATCH_SIZES: [usize; 3] = [2, 8, 32];
+
+/// Batched backend evaluation vs the serial evaluate loop on a 12-qubit TFIM-style
+/// Hamiltonian (across-state parallel regime: each state is below the threshold, the
+/// batch as a whole is above it).
+fn bench_batched_vs_serial(c: &mut Criterion) {
+    let n = 12;
+    let circ = HardwareEfficientAnsatz::new(n, 2, Entanglement::Circular).build();
+    let base = ansatz_params(&circ);
+    let mut terms: Vec<(String, f64)> = Vec::new();
+    for q in 0..n {
+        let mut zz = vec!['I'; n];
+        zz[q] = 'Z';
+        zz[(q + 1) % n] = 'Z';
+        terms.push((zz.iter().collect(), -1.0));
+        let mut x = vec!['I'; n];
+        x[q] = 'X';
+        terms.push((x.iter().collect(), 0.5));
+    }
+    let refs: Vec<(&str, f64)> = terms.iter().map(|(l, c)| (l.as_str(), *c)).collect();
+    let ham = PauliOp::from_labels(n, &refs);
+
+    for batch in BATCH_SIZES {
+        let candidates: Vec<Vec<f64>> = (0..batch)
+            .map(|k| base.iter().map(|p| p + 0.01 * k as f64).collect())
+            .collect();
+        let mut backend = StatevectorBackend::with_shots(0);
+        c.bench_function(&format!("evaluate/batched/{batch}"), |b| {
+            b.iter(|| {
+                let requests: Vec<EvalRequest<'_>> = candidates
+                    .iter()
+                    .map(|candidate| EvalRequest {
+                        circuit: &circ,
+                        params: candidate,
+                        initial: &InitialState::Basis(0),
+                        charged_op: &ham,
+                        free_ops: &[],
+                    })
+                    .collect();
+                std::hint::black_box(backend.evaluate_batch(&requests));
+            })
+        });
+        let mut backend = StatevectorBackend::with_shots(0);
+        c.bench_function(&format!("evaluate/serial/{batch}"), |b| {
+            b.iter(|| {
+                for candidate in &candidates {
+                    std::hint::black_box(backend.evaluate(
+                        &circ,
+                        candidate,
+                        &InitialState::Basis(0),
+                        &ham,
+                        &[],
+                    ));
+                }
+            })
+        });
+    }
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = batch_benches;
+    config = configure();
+    targets = bench_compiled_vs_interpreted, bench_compiled_hea, bench_batched_vs_serial
+}
+
+/// Prints the speedup tables from the recorded results.
+fn print_speedups() {
+    let results = criterion::all_results();
+    let median = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
+    println!("\n== compiled-vs-interpreted circuit execution (median) ==");
+    for n in COMPILED_QUBITS {
+        if let (Some(fast), Some(naive)) = (
+            median(&format!("circuit_exec/compiled/{n}q")),
+            median(&format!("circuit_exec/interpreted/{n}q")),
+        ) {
+            println!("rotation-heavy ansatz    {n:>2}q  {:.2}x", naive / fast);
+        }
+    }
+    if let (Some(fast), Some(naive)) = (
+        median("hea_exec/compiled/14q"),
+        median("hea_exec/interpreted/14q"),
+    ) {
+        println!("hardware-efficient       14q  {:.2}x", naive / fast);
+    }
+    println!("\n== batched-vs-serial backend evaluation (median) ==");
+    for batch in BATCH_SIZES {
+        if let (Some(batched), Some(serial)) = (
+            median(&format!("evaluate/batched/{batch}")),
+            median(&format!("evaluate/serial/{batch}")),
+        ) {
+            println!("batch size {batch:>3}  {:.2}x", serial / batched);
+        }
+    }
+}
+
+fn main() {
+    batch_benches();
+    print_speedups();
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    let entries =
+        criterion::write_summary_json(json_path).expect("failed to write BENCH_batch.json");
+    println!("\nwrote {json_path} ({entries} benchmarks)");
+}

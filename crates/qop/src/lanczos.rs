@@ -78,6 +78,11 @@ pub fn ground_state(op: &PauliOp, options: &LanczosOptions) -> GroundState {
     }
     v0.normalize();
 
+    // Reusable scratch statevector: `w` receives `H|v_j⟩` (gather form, no allocation)
+    // and is then orthogonalized in place each iteration.  The only per-iteration
+    // allocation left is the clone that turns an *accepted* Krylov vector into a basis
+    // entry — storage that must outlive the loop anyway.
+    let mut w = v0.zeros_like();
     let mut basis: Vec<Statevector> = vec![v0];
     let mut alphas: Vec<f64> = Vec::new();
     let mut betas: Vec<f64> = Vec::new();
@@ -85,17 +90,15 @@ pub fn ground_state(op: &PauliOp, options: &LanczosOptions) -> GroundState {
     let mut converged_at = m_max;
 
     for j in 0..m_max {
-        let vj = basis[j].clone();
-        let mut w = op.apply(&vj);
-        let alpha = vj.inner(&w).re;
+        op.apply_into(&basis[j], &mut w);
+        let alpha = basis[j].inner(&w).re;
         alphas.push(alpha);
 
         // w = w - alpha*vj - beta_{j-1}*v_{j-1}
-        w.axpy(Complex64::from_real(-alpha), &vj);
+        w.axpy(Complex64::from_real(-alpha), &basis[j]);
         if j > 0 {
             let beta_prev = betas[j - 1];
-            let prev = basis[j - 1].clone();
-            w.axpy(Complex64::from_real(-beta_prev), &prev);
+            w.axpy(Complex64::from_real(-beta_prev), &basis[j - 1]);
         }
         // Full re-orthogonalization against the whole basis (twice is classical Gram-Schmidt
         // with refinement; once is enough at our problem sizes, we do two passes for safety).
@@ -124,7 +127,7 @@ pub fn ground_state(op: &PauliOp, options: &LanczosOptions) -> GroundState {
             break;
         }
         if basis.len() < m_max {
-            let mut next = w;
+            let mut next = w.clone();
             next.scale(1.0 / beta);
             betas.push(beta);
             basis.push(next);

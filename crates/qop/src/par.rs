@@ -33,20 +33,50 @@ pub fn parallel_threshold() -> usize {
     })
 }
 
+thread_local! {
+    /// Set inside [`serial_scope`]: kernels on this thread stay serial regardless of
+    /// size, because an outer batch runner already owns the worker threads.
+    static FORCE_SERIAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with every dense kernel on the current thread forced serial, whatever its
+/// size.  Batch runners that data-parallelize *across* states wrap each worker's
+/// per-state work in this, so within-state and across-state parallelism can never nest
+/// (nesting would spawn threads² with the vendored scoped-thread rayon).
+pub fn serial_scope<T>(f: impl FnOnce() -> T) -> T {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCE_SERIAL.with(|flag| flag.set(self.0));
+        }
+    }
+    let prev = FORCE_SERIAL.with(|flag| flag.replace(true));
+    let _reset = Reset(prev);
+    f()
+}
+
 /// Whether a kernel visiting `work` amplitudes should run in parallel.
 #[inline]
 pub fn use_parallel(work: usize) -> bool {
     let t = parallel_threshold();
-    t != 0 && work >= t && rayon::current_num_threads() > 1
+    t != 0 && work >= t && rayon::current_num_threads() > 1 && !FORCE_SERIAL.with(|flag| flag.get())
 }
 
 /// Raw pointer wrapper for sharing a mutable amplitude buffer across worker threads.
 ///
 /// Safe only because every parallel kernel partitions the index space disjointly.
-#[derive(Clone, Copy)]
 pub struct SendPtr<T>(pub *mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+// Manual impls: the derived versions would bound `T: Copy`, but a pointer is copyable
+// regardless of its pointee (the batch runner shares `SendPtr<Statevector>`).
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
     /// # Safety

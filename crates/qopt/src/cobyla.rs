@@ -34,6 +34,27 @@ impl Default for CobylaConfig {
     }
 }
 
+/// Which candidate batch the optimizer is waiting on.
+#[derive(Clone, Debug)]
+enum Phase {
+    Idle,
+    /// Initial simplex construction around the current parameters.
+    Build {
+        points: Vec<Vec<f64>>,
+    },
+    /// The trust-region candidate probe.
+    Candidate {
+        candidate: Vec<f64>,
+        best_value: f64,
+        best_point: Vec<f64>,
+    },
+    /// Post-rejection simplex rebuild around the best point at the shrunk radius.
+    Rebuild {
+        points: Vec<Vec<f64>>,
+        f_candidate: f64,
+    },
+}
+
 /// The COBYLA-style optimizer.
 #[derive(Clone, Debug)]
 pub struct Cobyla {
@@ -42,6 +63,9 @@ pub struct Cobyla {
     /// Simplex vertices (`n + 1` points) and their objective values, lazily built on the
     /// first step around the caller-supplied parameters.
     simplex: Vec<(Vec<f64>, f64)>,
+    phase: Phase,
+    /// Objective evaluations consumed so far in the current logical iteration.
+    evals_acc: usize,
 }
 
 impl Cobyla {
@@ -52,6 +76,8 @@ impl Cobyla {
             config,
             radius,
             simplex: Vec::new(),
+            phase: Phase::Idle,
+            evals_acc: 0,
         }
     }
 
@@ -60,18 +86,17 @@ impl Cobyla {
         self.radius
     }
 
-    fn build_simplex(&mut self, params: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> usize {
-        let n = params.len();
-        self.simplex.clear();
-        let f0 = objective(params);
-        self.simplex.push((params.to_vec(), f0));
+    /// Simplex points around `center` at the current radius (base point first).
+    fn simplex_points(&self, center: &[f64]) -> Vec<Vec<f64>> {
+        let n = center.len();
+        let mut points = Vec::with_capacity(n + 1);
+        points.push(center.to_vec());
         for i in 0..n {
-            let mut p = params.to_vec();
+            let mut p = center.to_vec();
             p[i] += self.radius;
-            let f = objective(&p);
-            self.simplex.push((p, f));
+            points.push(p);
         }
-        n + 1
+        points
     }
 
     /// Estimates the gradient of the linear interpolation model from the simplex: solves
@@ -96,15 +121,20 @@ impl Cobyla {
 }
 
 impl Optimizer for Cobyla {
-    fn step(
-        &mut self,
-        params: &mut Vec<f64>,
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> IterationStats {
+    fn propose(&mut self, params: &[f64]) -> Vec<Vec<f64>> {
+        match &self.phase {
+            Phase::Idle => {}
+            Phase::Build { points } | Phase::Rebuild { points, .. } => return points.clone(),
+            Phase::Candidate { candidate, .. } => return vec![candidate.clone()],
+        }
+
         let n = params.len();
-        let mut evaluations = 0usize;
         if self.simplex.len() != n + 1 {
-            evaluations += self.build_simplex(params, objective);
+            let points = self.simplex_points(params);
+            self.phase = Phase::Build {
+                points: points.clone(),
+            };
+            return points;
         }
 
         // Sort so that vertex 0 is the best.
@@ -136,38 +166,64 @@ impl Optimizer for Cobyla {
                 p
             }
         };
+        let batch = vec![candidate.clone()];
+        self.phase = Phase::Candidate {
+            candidate,
+            best_value,
+            best_point,
+        };
+        batch
+    }
 
-        let f_candidate = objective(&candidate);
-        evaluations += 1;
-
-        if f_candidate < best_value {
-            // Successful step: replace the worst vertex and recentre on the new best.
-            let worst = self.simplex.len() - 1;
-            self.simplex[worst] = (candidate.clone(), f_candidate);
-            *params = candidate;
-            if f_candidate < best_value - 0.1 * self.radius {
-                self.radius *= self.config.grow_factor;
+    fn observe(&mut self, params: &mut Vec<f64>, values: &[f64]) -> Option<IterationStats> {
+        match std::mem::replace(&mut self.phase, Phase::Idle) {
+            Phase::Idle => panic!("observe called without a pending proposal"),
+            Phase::Build { points } => {
+                assert_eq!(values.len(), points.len(), "one value per simplex point");
+                self.evals_acc += values.len();
+                self.simplex = points.into_iter().zip(values.iter().copied()).collect();
+                None
             }
-        } else {
-            // Unsuccessful: keep the best-known point and shrink the trust region; the
-            // simplex is rebuilt at the smaller radius on a later step when it collapses.
-            *params = best_point;
-            self.radius = (self.radius * self.config.shrink_factor).max(self.config.min_radius);
-            // Rebuild the simplex around the best point at the new radius so the linear
-            // model stays well conditioned.
-            let rebuilt = self.build_simplex(params, objective);
-            evaluations += rebuilt;
-        }
-
-        let reported = self
-            .simplex
-            .iter()
-            .map(|(_, f)| *f)
-            .fold(f64::INFINITY, f64::min)
-            .min(f_candidate);
-        IterationStats {
-            evaluations,
-            loss: reported,
+            Phase::Candidate {
+                candidate,
+                best_value,
+                best_point,
+            } => {
+                let f_candidate = values[0];
+                self.evals_acc += 1;
+                if f_candidate < best_value {
+                    // Successful step: replace the worst vertex and recentre on the new
+                    // best.
+                    let worst = self.simplex.len() - 1;
+                    self.simplex[worst] = (candidate.clone(), f_candidate);
+                    *params = candidate;
+                    if f_candidate < best_value - 0.1 * self.radius {
+                        self.radius *= self.config.grow_factor;
+                    }
+                    self.finish(f_candidate)
+                } else {
+                    // Unsuccessful: keep the best-known point, shrink the trust region,
+                    // and rebuild the simplex around it at the new radius so the linear
+                    // model stays well conditioned.
+                    *params = best_point;
+                    self.radius =
+                        (self.radius * self.config.shrink_factor).max(self.config.min_radius);
+                    self.phase = Phase::Rebuild {
+                        points: self.simplex_points(params),
+                        f_candidate,
+                    };
+                    None
+                }
+            }
+            Phase::Rebuild {
+                points,
+                f_candidate,
+            } => {
+                assert_eq!(values.len(), points.len(), "one value per simplex point");
+                self.evals_acc += values.len();
+                self.simplex = points.into_iter().zip(values.iter().copied()).collect();
+                self.finish(f_candidate)
+            }
         }
     }
 
@@ -178,6 +234,28 @@ impl Optimizer for Cobyla {
     fn reset(&mut self) {
         self.radius = self.config.initial_radius;
         self.simplex.clear();
+        self.phase = Phase::Idle;
+        self.evals_acc = 0;
+    }
+}
+
+impl Cobyla {
+    /// Completes the iteration, reporting the best value seen across the simplex and the
+    /// candidate.
+    fn finish(&mut self, f_candidate: f64) -> Option<IterationStats> {
+        let reported = self
+            .simplex
+            .iter()
+            .map(|(_, f)| *f)
+            .fold(f64::INFINITY, f64::min)
+            .min(f_candidate);
+        let stats = IterationStats {
+            evaluations: self.evals_acc,
+            loss: reported,
+        };
+        self.phase = Phase::Idle;
+        self.evals_acc = 0;
+        Some(stats)
     }
 }
 

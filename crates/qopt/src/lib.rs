@@ -42,25 +42,64 @@ pub struct IterationStats {
     pub loss: f64,
 }
 
-/// A step-wise, derivative-free optimizer.
+/// A step-wise, derivative-free optimizer with a propose/observe batch interface.
 ///
-/// Implementations mutate `params` in place on every [`Optimizer::step`] call and report
-/// how many objective evaluations they consumed, so the caller can charge execution shots
-/// accurately.
+/// One logical iteration is driven as one or more **phases**: [`Optimizer::propose`]
+/// returns a batch of candidate parameter vectors whose objective values the caller
+/// obtains however it likes — serially, or as one batched backend submission — and
+/// [`Optimizer::observe`] consumes the values in candidate order.  `observe` returns
+/// `None` while the iteration needs another phase (e.g. COBYLA rebuilding its simplex
+/// after a rejected trust-region step) and `Some(stats)` once the iteration is complete
+/// and `params` has been updated in place.
+///
+/// Derivative-free optimizers naturally emit batches — SPSA's ± perturbation pair, a
+/// simplex's reflection/expansion candidates, an initial simplex — and the propose form
+/// exposes exactly those batches so the execution layer can evaluate all candidates of a
+/// phase concurrently.  Phases replay the classic serial algorithms *exactly*: driving
+/// an optimizer through propose/observe visits the same candidates in the same order as
+/// [`Optimizer::step`], so trajectories (and shot accounting) are identical.
+///
+/// [`Optimizer::step`] is a provided convenience that drives the phase loop with a
+/// closure; implementations only write `propose`/`observe`.
 pub trait Optimizer {
-    /// Performs one optimizer iteration.
+    /// Begins (or continues) one iteration: returns the candidate parameter vectors the
+    /// caller must evaluate next.  Calling `propose` again before `observe` returns the
+    /// same pending batch.
+    fn propose(&mut self, params: &[f64]) -> Vec<Vec<f64>>;
+
+    /// Consumes the objective values for the batch returned by the last
+    /// [`Optimizer::propose`] (in the same order).  Returns `None` if the iteration
+    /// needs another propose/observe phase, or `Some(stats)` when the iteration is
+    /// complete; `stats.evaluations` counts every evaluation across the iteration's
+    /// phases, so the caller can charge execution shots accurately.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `values.len()` does not match the pending batch.
+    fn observe(&mut self, params: &mut Vec<f64>, values: &[f64]) -> Option<IterationStats>;
+
+    /// Performs one optimizer iteration by driving the propose/observe phases with a
+    /// serial objective closure.
     fn step(
         &mut self,
         params: &mut Vec<f64>,
         objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> IterationStats;
+    ) -> IterationStats {
+        loop {
+            let candidates = self.propose(params);
+            let values: Vec<f64> = candidates.iter().map(|c| objective(c)).collect();
+            if let Some(stats) = self.observe(params, &values) {
+                return stats;
+            }
+        }
+    }
 
     /// Human-readable optimizer name.
     fn name(&self) -> &'static str;
 
-    /// Resets internal state (iteration counters, simplex caches) so the optimizer can be
-    /// reused for a fresh run with inherited parameters — which is what TreeVQA's child
-    /// clusters do after a split.
+    /// Resets internal state (iteration counters, simplex caches, pending phases) so the
+    /// optimizer can be reused for a fresh run with inherited parameters — which is what
+    /// TreeVQA's child clusters do after a split.
     fn reset(&mut self);
 }
 

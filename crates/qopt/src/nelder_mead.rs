@@ -3,6 +3,16 @@
 //! Not used by the paper directly, but provided as an additional derivative-free baseline
 //! for the optimizer-agnosticism experiments and as an independent cross-check of the
 //! COBYLA implementation in tests.
+//!
+//! The optimizer is written against the propose/observe phase interface of
+//! [`Optimizer`]: each logical iteration unfolds as one or more candidate batches (the
+//! initial simplex, the reflection, then expansion *or* contraction, then a possible
+//! shrink batch), visiting exactly the candidates the classic sequential algorithm
+//! would.  With [`NelderMeadConfig::speculative_batch`] the reflection, expansion and
+//! contraction candidates are proposed as **one** batch instead — the decision logic is
+//! unchanged (trajectories are identical), but all three states can be prepared
+//! concurrently by a batched backend at the cost of charging up to two extra
+//! evaluations per iteration.
 
 use crate::{IterationStats, Optimizer};
 use serde::{Deserialize, Serialize};
@@ -20,6 +30,11 @@ pub struct NelderMeadConfig {
     pub contraction: f64,
     /// Shrink coefficient (σ).
     pub shrink: f64,
+    /// Propose the reflection/expansion/contraction candidates as one speculative batch
+    /// (better batching at the cost of up to two extra objective evaluations per
+    /// iteration).  Off by default, which reproduces the classic sequential algorithm's
+    /// evaluation count exactly.
+    pub speculative_batch: bool,
 }
 
 impl Default for NelderMeadConfig {
@@ -30,8 +45,52 @@ impl Default for NelderMeadConfig {
             expansion: 2.0,
             contraction: 0.5,
             shrink: 0.5,
+            speculative_batch: false,
         }
     }
+}
+
+/// Which candidate batch the optimizer is waiting on.
+#[derive(Clone, Debug)]
+enum Phase {
+    Idle,
+    /// Initial simplex construction: base point plus one perturbed point per axis.
+    Build {
+        points: Vec<Vec<f64>>,
+    },
+    /// The sequential reflection probe.
+    Reflect {
+        centroid: Vec<f64>,
+        worst_point: Vec<f64>,
+        worst_value: f64,
+        best_value: f64,
+        second_worst_value: f64,
+        reflected: Vec<f64>,
+    },
+    /// Speculative mode: reflection, expansion and contraction as one batch.
+    Speculative {
+        worst_value: f64,
+        best_value: f64,
+        second_worst_value: f64,
+        reflected: Vec<f64>,
+        expanded: Vec<f64>,
+        contracted: Vec<f64>,
+    },
+    /// Expansion probe after a winning reflection.
+    Expand {
+        reflected: Vec<f64>,
+        f_reflected: f64,
+        expanded: Vec<f64>,
+    },
+    /// Contraction probe after a losing reflection.
+    Contract {
+        contracted: Vec<f64>,
+        worst_value: f64,
+    },
+    /// Shrink every non-best vertex toward the best.
+    Shrink {
+        points: Vec<Vec<f64>>,
+    },
 }
 
 /// The Nelder–Mead optimizer.
@@ -39,6 +98,16 @@ impl Default for NelderMeadConfig {
 pub struct NelderMead {
     config: NelderMeadConfig,
     simplex: Vec<(Vec<f64>, f64)>,
+    phase: Phase,
+    /// Objective evaluations consumed so far in the current logical iteration.
+    evals_acc: usize,
+}
+
+fn lerp(from: &[f64], towards: &[f64], t: f64) -> Vec<f64> {
+    from.iter()
+        .zip(towards.iter())
+        .map(|(a, b)| a + t * (b - a))
+        .collect()
 }
 
 impl NelderMead {
@@ -47,38 +116,71 @@ impl NelderMead {
         NelderMead {
             config,
             simplex: Vec::new(),
+            phase: Phase::Idle,
+            evals_acc: 0,
         }
     }
 
-    fn build_simplex(&mut self, params: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> usize {
-        self.simplex.clear();
-        self.simplex.push((params.to_vec(), objective(params)));
-        for i in 0..params.len() {
-            let mut p = params.to_vec();
-            p[i] += self.config.initial_step;
-            let f = objective(&p);
-            self.simplex.push((p, f));
-        }
-        params.len() + 1
+    fn sort_simplex(&mut self) {
+        self.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// Completes the iteration: re-sorts, publishes the best vertex, resets phase state.
+    fn finish(&mut self, params: &mut Vec<f64>) -> Option<IterationStats> {
+        self.sort_simplex();
+        *params = self.simplex[0].0.clone();
+        let stats = IterationStats {
+            evaluations: self.evals_acc,
+            loss: self.simplex[0].1,
+        };
+        self.phase = Phase::Idle;
+        self.evals_acc = 0;
+        Some(stats)
+    }
+
+    fn shrink_points(&self) -> Vec<Vec<f64>> {
+        let best = &self.simplex[0].0;
+        (1..self.simplex.len())
+            .map(|i| lerp(best, &self.simplex[i].0, self.config.shrink))
+            .collect()
     }
 }
 
 impl Optimizer for NelderMead {
-    fn step(
-        &mut self,
-        params: &mut Vec<f64>,
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> IterationStats {
-        let n = params.len();
-        let mut evaluations = 0usize;
-        if self.simplex.len() != n + 1 {
-            evaluations += self.build_simplex(params, objective);
+    fn propose(&mut self, params: &[f64]) -> Vec<Vec<f64>> {
+        match &self.phase {
+            Phase::Idle => {}
+            Phase::Build { points } | Phase::Shrink { points } => return points.clone(),
+            Phase::Reflect { reflected, .. } => return vec![reflected.clone()],
+            Phase::Speculative {
+                reflected,
+                expanded,
+                contracted,
+                ..
+            } => return vec![reflected.clone(), expanded.clone(), contracted.clone()],
+            Phase::Expand { expanded, .. } => return vec![expanded.clone()],
+            Phase::Contract { contracted, .. } => return vec![contracted.clone()],
         }
-        self.simplex
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
-        let best = self.simplex[0].clone();
+        let n = params.len();
+        if self.simplex.len() != n + 1 {
+            let mut points = Vec::with_capacity(n + 1);
+            points.push(params.to_vec());
+            for i in 0..n {
+                let mut p = params.to_vec();
+                p[i] += self.config.initial_step;
+                points.push(p);
+            }
+            self.phase = Phase::Build {
+                points: points.clone(),
+            };
+            return points;
+        }
+
+        self.sort_simplex();
         let worst_idx = self.simplex.len() - 1;
+        let best_value = self.simplex[0].1;
         let worst = self.simplex[worst_idx].clone();
         let second_worst_value = self.simplex[worst_idx - 1].1;
 
@@ -93,55 +195,145 @@ impl Optimizer for NelderMead {
             *c /= worst_idx as f64;
         }
 
-        let cfg = &self.config;
-        let lerp = |from: &[f64], towards: &[f64], t: f64| -> Vec<f64> {
-            from.iter()
-                .zip(towards.iter())
-                .map(|(a, b)| a + t * (b - a))
-                .collect()
-        };
-
-        // Reflection.
-        let reflected = lerp(&centroid, &worst.0, -cfg.reflection);
-        let f_reflected = objective(&reflected);
-        evaluations += 1;
-
-        if f_reflected < best.1 {
-            // Expansion.
-            let expanded = lerp(&centroid, &worst.0, -cfg.expansion);
-            let f_expanded = objective(&expanded);
-            evaluations += 1;
-            self.simplex[worst_idx] = if f_expanded < f_reflected {
-                (expanded, f_expanded)
-            } else {
-                (reflected, f_reflected)
+        let reflected = lerp(&centroid, &worst.0, -self.config.reflection);
+        if self.config.speculative_batch {
+            let expanded = lerp(&centroid, &worst.0, -self.config.expansion);
+            let contracted = lerp(&centroid, &worst.0, self.config.contraction);
+            let batch = vec![reflected.clone(), expanded.clone(), contracted.clone()];
+            self.phase = Phase::Speculative {
+                worst_value: worst.1,
+                best_value,
+                second_worst_value,
+                reflected,
+                expanded,
+                contracted,
             };
-        } else if f_reflected < second_worst_value {
-            self.simplex[worst_idx] = (reflected, f_reflected);
-        } else {
-            // Contraction.
-            let contracted = lerp(&centroid, &worst.0, cfg.contraction);
-            let f_contracted = objective(&contracted);
-            evaluations += 1;
-            if f_contracted < worst.1 {
-                self.simplex[worst_idx] = (contracted, f_contracted);
-            } else {
-                // Shrink toward the best vertex.
-                for i in 1..self.simplex.len() {
-                    let shrunk = lerp(&best.0, &self.simplex[i].0, cfg.shrink);
-                    let f = objective(&shrunk);
-                    evaluations += 1;
-                    self.simplex[i] = (shrunk, f);
+            return batch;
+        }
+        let batch = vec![reflected.clone()];
+        self.phase = Phase::Reflect {
+            centroid,
+            worst_point: worst.0,
+            worst_value: worst.1,
+            best_value,
+            second_worst_value,
+            reflected,
+        };
+        batch
+    }
+
+    fn observe(&mut self, params: &mut Vec<f64>, values: &[f64]) -> Option<IterationStats> {
+        let worst_idx = |s: &Vec<(Vec<f64>, f64)>| s.len() - 1;
+        match std::mem::replace(&mut self.phase, Phase::Idle) {
+            Phase::Idle => panic!("observe called without a pending proposal"),
+            Phase::Build { points } => {
+                assert_eq!(values.len(), points.len(), "one value per simplex point");
+                self.evals_acc += values.len();
+                self.simplex = points.into_iter().zip(values.iter().copied()).collect();
+                None
+            }
+            Phase::Reflect {
+                centroid,
+                worst_point,
+                worst_value,
+                best_value,
+                second_worst_value,
+                reflected,
+            } => {
+                let f_reflected = values[0];
+                self.evals_acc += 1;
+                if f_reflected < best_value {
+                    let expanded = lerp(&centroid, &worst_point, -self.config.expansion);
+                    self.phase = Phase::Expand {
+                        reflected,
+                        f_reflected,
+                        expanded,
+                    };
+                    None
+                } else if f_reflected < second_worst_value {
+                    let w = worst_idx(&self.simplex);
+                    self.simplex[w] = (reflected, f_reflected);
+                    self.finish(params)
+                } else {
+                    let contracted = lerp(&centroid, &worst_point, self.config.contraction);
+                    self.phase = Phase::Contract {
+                        contracted,
+                        worst_value,
+                    };
+                    None
                 }
             }
-        }
-
-        self.simplex
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        *params = self.simplex[0].0.clone();
-        IterationStats {
-            evaluations,
-            loss: self.simplex[0].1,
+            Phase::Speculative {
+                worst_value,
+                best_value,
+                second_worst_value,
+                reflected,
+                expanded,
+                contracted,
+            } => {
+                let (f_reflected, f_expanded, f_contracted) = (values[0], values[1], values[2]);
+                self.evals_acc += 3;
+                let w = worst_idx(&self.simplex);
+                if f_reflected < best_value {
+                    self.simplex[w] = if f_expanded < f_reflected {
+                        (expanded, f_expanded)
+                    } else {
+                        (reflected, f_reflected)
+                    };
+                    self.finish(params)
+                } else if f_reflected < second_worst_value {
+                    self.simplex[w] = (reflected, f_reflected);
+                    self.finish(params)
+                } else if f_contracted < worst_value {
+                    self.simplex[w] = (contracted, f_contracted);
+                    self.finish(params)
+                } else {
+                    self.phase = Phase::Shrink {
+                        points: self.shrink_points(),
+                    };
+                    None
+                }
+            }
+            Phase::Expand {
+                reflected,
+                f_reflected,
+                expanded,
+            } => {
+                let f_expanded = values[0];
+                self.evals_acc += 1;
+                let w = worst_idx(&self.simplex);
+                self.simplex[w] = if f_expanded < f_reflected {
+                    (expanded, f_expanded)
+                } else {
+                    (reflected, f_reflected)
+                };
+                self.finish(params)
+            }
+            Phase::Contract {
+                contracted,
+                worst_value,
+            } => {
+                let f_contracted = values[0];
+                self.evals_acc += 1;
+                if f_contracted < worst_value {
+                    let w = worst_idx(&self.simplex);
+                    self.simplex[w] = (contracted, f_contracted);
+                    self.finish(params)
+                } else {
+                    self.phase = Phase::Shrink {
+                        points: self.shrink_points(),
+                    };
+                    None
+                }
+            }
+            Phase::Shrink { points } => {
+                assert_eq!(values.len(), points.len(), "one value per shrink point");
+                self.evals_acc += values.len();
+                for (i, (point, &value)) in points.into_iter().zip(values.iter()).enumerate() {
+                    self.simplex[i + 1] = (point, value);
+                }
+                self.finish(params)
+            }
         }
     }
 
@@ -151,6 +343,8 @@ impl Optimizer for NelderMead {
 
     fn reset(&mut self) {
         self.simplex.clear();
+        self.phase = Phase::Idle;
+        self.evals_acc = 0;
     }
 }
 
@@ -211,5 +405,40 @@ mod tests {
         };
         opt.step(&mut params, &mut counting_obj);
         assert!(count >= 2, "simplex should be rebuilt after reset");
+    }
+
+    #[test]
+    fn speculative_batch_follows_the_same_trajectory() {
+        // Speculation evaluates extra candidates but must make identical decisions.
+        let mut sequential = NelderMead::new(NelderMeadConfig::default());
+        let mut speculative = NelderMead::new(NelderMeadConfig {
+            speculative_batch: true,
+            ..Default::default()
+        });
+        let mut p1 = vec![1.1, -0.6, 0.3];
+        let mut p2 = p1.clone();
+        let mut obj = |p: &[f64]| {
+            p.iter()
+                .enumerate()
+                .map(|(i, x)| (x - 0.1 * i as f64).powi(2))
+                .sum()
+        };
+        for _ in 0..60 {
+            let s1 = sequential.step(&mut p1, &mut obj);
+            let s2 = speculative.step(&mut p2, &mut obj);
+            assert_eq!(p1, p2, "speculation must not change the trajectory");
+            assert_eq!(s1.loss, s2.loss);
+            assert!(s2.evaluations >= s1.evaluations);
+        }
+    }
+
+    #[test]
+    fn propose_returns_pending_batch_idempotently() {
+        let mut opt = NelderMead::new(NelderMeadConfig::default());
+        let params = vec![0.5, 0.5];
+        let first = opt.propose(&params);
+        let again = opt.propose(&params);
+        assert_eq!(first, again);
+        assert_eq!(first.len(), 3, "initial simplex batch for 2 parameters");
     }
 }

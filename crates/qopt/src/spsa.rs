@@ -52,6 +52,17 @@ impl Default for SpsaConfig {
     }
 }
 
+/// A proposed SPSA phase awaiting its objective values.
+#[derive(Clone, Debug)]
+struct SpsaPending {
+    candidates: Vec<Vec<f64>>,
+    /// The Rademacher direction of the final ± pair.
+    delta: Vec<f64>,
+    c_k: f64,
+    /// `(samples, c0, target)` when the batch is prefixed by calibration pairs.
+    calibration: Option<(usize, f64, f64)>,
+}
+
 /// The SPSA optimizer.
 #[derive(Clone, Debug)]
 pub struct Spsa {
@@ -60,6 +71,7 @@ pub struct Spsa {
     rng: StdRng,
     seed: u64,
     calibrated_a: Option<f64>,
+    pending: Option<SpsaPending>,
 }
 
 impl Spsa {
@@ -71,6 +83,7 @@ impl Spsa {
             rng: StdRng::seed_from_u64(seed),
             seed,
             calibrated_a: None,
+            pending: None,
         }
     }
 
@@ -90,80 +103,100 @@ impl Spsa {
         self.effective_a() / (self.config.stability + k + 1.0).powf(self.config.alpha)
     }
 
-    /// Estimates the typical stochastic-gradient magnitude and rescales `a` so that the
-    /// first update moves each coordinate by about `target` (Spall's calibration rule).
-    fn calibrate(
-        &mut self,
-        params: &[f64],
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-        target: f64,
-    ) -> usize {
-        let samples = self.config.calibration_samples.max(1);
-        let c0 = self.config.c.max(1e-6);
-        let dim = params.len();
-        let mut magnitude_sum = 0.0;
-        for _ in 0..samples {
-            let delta: Vec<f64> = (0..dim)
-                .map(|_| if self.rng.random::<bool>() { 1.0 } else { -1.0 })
-                .collect();
-            let plus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + c0 * d).collect();
-            let minus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - c0 * d).collect();
-            let diff = (objective(&plus) - objective(&minus)) / (2.0 * c0);
-            magnitude_sum += diff.abs();
-        }
-        let mean_magnitude = magnitude_sum / samples as f64;
-        if mean_magnitude > 1e-10 {
-            self.calibrated_a = Some(
-                target * (self.config.stability + 1.0).powf(self.config.alpha) / mean_magnitude,
-            );
-        }
-        2 * samples
-    }
-
     /// The current perturbation magnitude `c_k`.
     pub fn perturbation(&self) -> f64 {
         let k = self.iteration as f64;
         self.config.c / (k + 1.0).powf(self.config.gamma)
     }
+
+    fn rademacher(&mut self, dim: usize) -> Vec<f64> {
+        (0..dim)
+            .map(|_| if self.rng.random::<bool>() { 1.0 } else { -1.0 })
+            .collect()
+    }
 }
 
 impl Optimizer for Spsa {
-    fn step(
-        &mut self,
-        params: &mut Vec<f64>,
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> IterationStats {
+    /// One SPSA iteration is a single phase: the optional first-step calibration pairs
+    /// followed by the ± perturbation pair, all in one batch (so a batched backend can
+    /// prepare every state of the iteration concurrently).
+    fn propose(&mut self, params: &[f64]) -> Vec<Vec<f64>> {
+        if let Some(pending) = &self.pending {
+            return pending.candidates.clone();
+        }
         let dim = params.len();
-        let mut calibration_evals = 0usize;
+        let mut candidates = Vec::new();
+        let mut calibration = None;
         if self.iteration == 0 && self.calibrated_a.is_none() {
             if let Some(target) = self.config.calibrate_first_step {
-                calibration_evals = self.calibrate(params, objective, target);
+                let samples = self.config.calibration_samples.max(1);
+                let c0 = self.config.c.max(1e-6);
+                for _ in 0..samples {
+                    let delta = self.rademacher(dim);
+                    candidates.push(params.iter().zip(&delta).map(|(p, d)| p + c0 * d).collect());
+                    candidates.push(params.iter().zip(&delta).map(|(p, d)| p - c0 * d).collect());
+                }
+                calibration = Some((samples, c0, target));
             }
         }
-        let a_k = self.step_size();
         let c_k = self.perturbation();
+        let delta = self.rademacher(dim);
+        candidates.push(
+            params
+                .iter()
+                .zip(&delta)
+                .map(|(p, d)| p + c_k * d)
+                .collect(),
+        );
+        candidates.push(
+            params
+                .iter()
+                .zip(&delta)
+                .map(|(p, d)| p - c_k * d)
+                .collect(),
+        );
+        let batch = candidates.clone();
+        self.pending = Some(SpsaPending {
+            candidates,
+            delta,
+            c_k,
+            calibration,
+        });
+        batch
+    }
 
-        // Rademacher perturbation direction.
-        let delta: Vec<f64> = (0..dim)
-            .map(|_| if self.rng.random::<bool>() { 1.0 } else { -1.0 })
-            .collect();
+    fn observe(&mut self, params: &mut Vec<f64>, values: &[f64]) -> Option<IterationStats> {
+        let pending = self
+            .pending
+            .take()
+            .expect("observe called without a pending proposal");
+        assert_eq!(
+            values.len(),
+            pending.candidates.len(),
+            "one objective value per proposed candidate required"
+        );
+        let mut offset = 0usize;
+        if let Some((samples, c0, target)) = pending.calibration {
+            // Spall's calibration rule: rescale `a` so the first update moves each
+            // coordinate by about `target`.
+            let mut magnitude_sum = 0.0;
+            for s in 0..samples {
+                magnitude_sum += ((values[2 * s] - values[2 * s + 1]) / (2.0 * c0)).abs();
+            }
+            let mean_magnitude = magnitude_sum / samples as f64;
+            if mean_magnitude > 1e-10 {
+                self.calibrated_a = Some(
+                    target * (self.config.stability + 1.0).powf(self.config.alpha) / mean_magnitude,
+                );
+            }
+            offset = 2 * samples;
+        }
+        let a_k = self.step_size();
+        let f_plus = values[offset];
+        let f_minus = values[offset + 1];
+        let diff = (f_plus - f_minus) / (2.0 * pending.c_k);
 
-        let plus: Vec<f64> = params
-            .iter()
-            .zip(&delta)
-            .map(|(p, d)| p + c_k * d)
-            .collect();
-        let minus: Vec<f64> = params
-            .iter()
-            .zip(&delta)
-            .map(|(p, d)| p - c_k * d)
-            .collect();
-
-        let f_plus = objective(&plus);
-        let f_minus = objective(&minus);
-        let diff = (f_plus - f_minus) / (2.0 * c_k);
-
-        for (p, d) in params.iter_mut().zip(&delta) {
+        for (p, d) in params.iter_mut().zip(&pending.delta) {
             // ghat_i = diff / delta_i and delta_i = ±1, so ghat_i = diff * delta_i.
             let mut update = a_k * diff * d;
             if let Some(clip) = self.config.max_update {
@@ -173,10 +206,10 @@ impl Optimizer for Spsa {
         }
 
         self.iteration += 1;
-        IterationStats {
-            evaluations: 2 + calibration_evals,
+        Some(IterationStats {
+            evaluations: values.len(),
             loss: 0.5 * (f_plus + f_minus),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -187,6 +220,7 @@ impl Optimizer for Spsa {
         self.iteration = 0;
         self.rng = StdRng::seed_from_u64(self.seed);
         self.calibrated_a = None;
+        self.pending = None;
     }
 }
 

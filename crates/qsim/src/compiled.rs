@@ -1,0 +1,924 @@
+//! Compiled circuits: a one-time lowering pass that turns a [`Circuit`] into a short
+//! list of fused operations, so optimizer inner loops never re-walk (or re-decode) the
+//! gate list when only the parameter vector changes.
+//!
+//! # Why compile?
+//!
+//! The per-gate interpreter ([`crate::apply_gate`] in a loop) pays one full pass over the
+//! `2^n`-amplitude state per gate.  Most ansätze are dominated by two patterns that waste
+//! those passes:
+//!
+//! * **Runs of single-qubit gates on the same qubit** (`Ry·Rz` layers, basis-change
+//!   sandwiches like `H·Rz·H`).  Any such run is itself a single 2×2 unitary, so the
+//!   compiler fuses each maximal run into one [`apply_single_qubit`] pass — including
+//!   runs that *contain parameterized rotations*, whose 2×2 product is re-formed from the
+//!   bound parameters in O(1) at execution time.
+//! * **Runs of diagonal gates** (`CZ`, Z-string Pauli rotations — a whole QAOA cost layer
+//!   is nothing else).  Every diagonal gate multiplies amplitude `b` by
+//!   `exp(i·φ·(−1)^popcount(b & mask))` for some `(mask, φ)` pairs, so a run of `k`
+//!   diagonal gates collapses into **one** pass that applies all the phase terms at once
+//!   instead of `k` passes over the state.
+//!
+//! Fusion looks *backwards* through the compiled op list and is allowed to commute a gate
+//! past earlier ops that touch disjoint qubits (and, for diagonal gates, past other
+//! diagonal ops), so interleaved per-qubit layers still fuse.
+//!
+//! # Parameter slots
+//!
+//! Compilation never resolves [`Angle::Param`] references: each fused op records which
+//! parameter slots it reads, and [`CompiledCircuit::execute_in_place`] resolves them
+//! against the caller's parameter vector on every call.  Re-binding `θ` therefore costs a
+//! handful of `sin_cos` calls and 2×2 multiplies — never a re-walk of the original gate
+//! list — which is what makes one compiled circuit cheap to amortize over a whole batch
+//! of parameter vectors (see `vqa`'s batched backends).
+
+use crate::simulator::{
+    apply_cx, apply_cz, apply_pauli_rotation, apply_single_qubit, rx_matrix, ry_matrix, rz_matrix,
+    Matrix2,
+};
+use qcircuit::{Angle, Circuit, Gate};
+use qop::par::{use_parallel, SendPtr, MIN_PAR_INDICES};
+use qop::{Complex64, PauliString, Statevector};
+use rayon::prelude::*;
+
+const IDENTITY_2: Matrix2 = [
+    [Complex64::new(1.0, 0.0), Complex64::new(0.0, 0.0)],
+    [Complex64::new(0.0, 0.0), Complex64::new(1.0, 0.0)],
+];
+
+/// `a · b` for 2×2 complex matrices (so `b` is applied first).
+fn matmul2(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    [
+        [
+            a[0][0] * b[0][0] + a[0][1] * b[1][0],
+            a[0][0] * b[0][1] + a[0][1] * b[1][1],
+        ],
+        [
+            a[1][0] * b[0][0] + a[1][1] * b[1][0],
+            a[1][0] * b[0][1] + a[1][1] * b[1][1],
+        ],
+    ]
+}
+
+/// Rotation axis of a parameterized single-qubit rotation inside a fused chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RotAxis {
+    X,
+    Y,
+    Z,
+}
+
+impl RotAxis {
+    fn matrix(self, theta: f64) -> Matrix2 {
+        match self {
+            RotAxis::X => rx_matrix(theta),
+            RotAxis::Y => ry_matrix(theta),
+            RotAxis::Z => rz_matrix(theta),
+        }
+    }
+}
+
+/// One element of a fused single-qubit chain, in application order.
+#[derive(Clone, Debug)]
+enum ChainElem {
+    /// A product of constant gates, pre-multiplied at compile time.
+    Const(Matrix2),
+    /// A parameterized rotation whose matrix is formed at bind time.
+    Rot(RotAxis, Angle),
+}
+
+/// A maximal run of single-qubit gates on one qubit, applied as one 2×2 unitary.
+#[derive(Clone, Debug)]
+struct Fused1Q {
+    qubit: usize,
+    elems: Vec<ChainElem>,
+    /// Number of source gates folded into this chain (for [`CompileStats`]).
+    gates: usize,
+}
+
+impl Fused1Q {
+    fn push(&mut self, elem: ChainElem) {
+        self.gates += 1;
+        if let (Some(ChainElem::Const(last)), ChainElem::Const(m)) = (self.elems.last_mut(), &elem)
+        {
+            // Adjacent constants fold immediately; the chain only keeps a boundary at
+            // parameterized rotations.
+            *last = matmul2(m, last);
+            return;
+        }
+        self.elems.push(elem);
+    }
+
+    fn bound_matrix(&self, params: &[f64]) -> Matrix2 {
+        let mut acc = IDENTITY_2;
+        for elem in &self.elems {
+            let m = match elem {
+                ChainElem::Const(m) => *m,
+                ChainElem::Rot(axis, angle) => axis.matrix(angle.resolve(params)),
+            };
+            acc = matmul2(&m, &acc);
+        }
+        acc
+    }
+}
+
+/// The phase exponent of one diagonal term, resolved at bind time.
+#[derive(Clone, Debug)]
+enum PhaseAngle {
+    Fixed(f64),
+    /// `φ = scale · angle.resolve(params)`.
+    Param {
+        angle: Angle,
+        scale: f64,
+    },
+}
+
+impl PhaseAngle {
+    fn resolve(&self, params: &[f64]) -> f64 {
+        match self {
+            PhaseAngle::Fixed(phi) => *phi,
+            PhaseAngle::Param { angle, scale } => scale * angle.resolve(params),
+        }
+    }
+}
+
+/// One term of a batched diagonal pass: multiplies amplitude `b` by
+/// `exp(i·φ·(−1)^popcount(b & mask))`.
+#[derive(Clone, Debug)]
+struct PhaseTerm {
+    mask: u64,
+    angle: PhaseAngle,
+}
+
+/// A batched run of diagonal gates, applied as a single pass over the state.
+#[derive(Clone, Debug)]
+struct DiagonalPass {
+    terms: Vec<PhaseTerm>,
+    /// Accumulated global phase of the constituent gates (kept so compiled execution is
+    /// amplitude-exact against the per-gate interpreter, not just up to global phase).
+    global: Complex64,
+    /// Number of source gates folded into this pass.
+    gates: usize,
+}
+
+/// Bound per-term data: the two phase factors indexed by the parity of `b & mask`.
+type BoundPhase = (u64, [Complex64; 2]);
+
+/// Terms per pass kept on the stack at execution time; passes beyond this spill to a
+/// heap buffer (only reachable for >64-term diagonal runs).
+const DIAG_STACK_TERMS: usize = 64;
+
+impl DiagonalPass {
+    fn push_term(&mut self, mask: u64, angle: PhaseAngle) {
+        // Constant terms on the same mask merge by summing exponents.
+        if let PhaseAngle::Fixed(phi) = angle {
+            for term in &mut self.terms {
+                if term.mask == mask {
+                    if let PhaseAngle::Fixed(existing) = &mut term.angle {
+                        *existing += phi;
+                        return;
+                    }
+                }
+            }
+        }
+        self.terms.push(PhaseTerm { mask, angle });
+    }
+
+    fn absorb(&mut self, atom: DiagonalAtom) {
+        for term in atom.terms {
+            self.push_term(term.mask, term.angle);
+        }
+        self.global *= atom.global;
+        self.gates += 1;
+    }
+
+    fn execute(&self, params: &[f64], state: &mut Statevector) {
+        let mut stack = [(0u64, [Complex64::ZERO; 2]); DIAG_STACK_TERMS];
+        let mut heap: Vec<BoundPhase> = Vec::new();
+        let bound: &[BoundPhase] = if self.terms.len() <= DIAG_STACK_TERMS {
+            for (slot, term) in stack.iter_mut().zip(&self.terms) {
+                *slot = Self::bind_term(term, params);
+            }
+            &stack[..self.terms.len()]
+        } else {
+            heap.extend(self.terms.iter().map(|t| Self::bind_term(t, params)));
+            &heap
+        };
+        let num_qubits = state.num_qubits();
+        if bound.len() >= 4 && num_qubits >= 8 {
+            self.execute_tabulated(bound, state);
+        } else {
+            self.execute_direct(bound, state);
+        }
+    }
+
+    /// Direct evaluation: every amplitude multiplies through all bound terms.  Used for
+    /// short term lists and tiny registers, where the tabulated path's setup would
+    /// dominate.
+    fn execute_direct(&self, bound: &[BoundPhase], state: &mut Statevector) {
+        let global = self.global;
+        let dim = state.dim();
+        let amps = state.amplitudes_mut();
+        // Four independent accumulators: a single product chain of K dependent complex
+        // multiplies is latency-bound (each multiply waits on the last); interleaving
+        // four chains restores instruction-level parallelism.
+        let phase_of = |b: usize| -> Complex64 {
+            let pick = |t: &BoundPhase| t.1[((b as u64 & t.0).count_ones() & 1) as usize];
+            let mut acc0 = global;
+            let mut acc1 = Complex64::ONE;
+            let mut acc2 = Complex64::ONE;
+            let mut acc3 = Complex64::ONE;
+            let mut chunks = bound.chunks_exact(4);
+            for ch in &mut chunks {
+                acc0 *= pick(&ch[0]);
+                acc1 *= pick(&ch[1]);
+                acc2 *= pick(&ch[2]);
+                acc3 *= pick(&ch[3]);
+            }
+            for t in chunks.remainder() {
+                acc0 *= pick(t);
+            }
+            (acc0 * acc1) * (acc2 * acc3)
+        };
+        if use_parallel(dim) {
+            let ptr = SendPtr(amps.as_mut_ptr());
+            (0..dim)
+                .into_par_iter()
+                .with_min_len(MIN_PAR_INDICES)
+                .for_each(|b| {
+                    // SAFETY: each b is visited exactly once.
+                    unsafe { *ptr.add(b) = *ptr.add(b) * phase_of(b) };
+                });
+        } else {
+            for (b, a) in amps.iter_mut().enumerate() {
+                *a *= phase_of(b);
+            }
+        }
+    }
+
+    /// Tabulated evaluation: split the register at `s = ⌈n/2⌉` and factor the phase into
+    /// `low_table[b & (2^s−1)] · high_table[b >> s] · (boundary-spanning terms)`.
+    ///
+    /// Each table costs `O(√dim · K)` to fill — negligible against the `dim`-sized main
+    /// loop — and afterwards an amplitude pays two sequential-access table loads plus one
+    /// multiply per *spanning* term (a mask with bits on both sides of the split; for
+    /// the geometrically local Hamiltonian layers that dominate real ansätze this is
+    /// O(1) terms, not O(K)).  This is what makes one batched pass decisively cheaper
+    /// than K well-pipelined per-gate passes.
+    fn execute_tabulated(&self, bound: &[BoundPhase], state: &mut Statevector) {
+        let num_qubits = state.num_qubits();
+        let s = num_qubits.div_ceil(2);
+        let low_mask = (1u64 << s) - 1;
+
+        let mut low_terms: Vec<&BoundPhase> = Vec::new();
+        let mut high_terms: Vec<&BoundPhase> = Vec::new();
+        let mut span_terms: Vec<BoundPhase> = Vec::new();
+        for term in bound {
+            if term.0 & !low_mask == 0 {
+                low_terms.push(term);
+            } else if term.0 & low_mask == 0 {
+                high_terms.push(term);
+            } else {
+                span_terms.push(*term);
+            }
+        }
+
+        let product_at = |terms: &[&BoundPhase], bits: u64| -> Complex64 {
+            let mut acc = Complex64::ONE;
+            for t in terms {
+                acc *= t.1[((bits & t.0).count_ones() & 1) as usize];
+            }
+            acc
+        };
+        let low_table: Vec<Complex64> = (0..1usize << s)
+            .map(|v| product_at(&low_terms, v as u64))
+            .collect();
+        // The global phase rides on the (smaller) high table.
+        let high_table: Vec<Complex64> = (0..1usize << (num_qubits - s))
+            .map(|h| self.global * product_at(&high_terms, (h as u64) << s))
+            .collect();
+
+        let dim = state.dim();
+        let amps = state.amplitudes_mut();
+        let phase_of = |b: usize| -> Complex64 {
+            let mut p = low_table[b & low_mask as usize] * high_table[b >> s];
+            for t in &span_terms {
+                p *= t.1[((b as u64 & t.0).count_ones() & 1) as usize];
+            }
+            p
+        };
+        if use_parallel(dim) {
+            let ptr = SendPtr(amps.as_mut_ptr());
+            (0..dim)
+                .into_par_iter()
+                .with_min_len(MIN_PAR_INDICES)
+                .for_each(|b| {
+                    // SAFETY: each b is visited exactly once.
+                    unsafe { *ptr.add(b) = *ptr.add(b) * phase_of(b) };
+                });
+        } else {
+            for (b, a) in amps.iter_mut().enumerate() {
+                *a *= phase_of(b);
+            }
+        }
+    }
+
+    fn bind_term(term: &PhaseTerm, params: &[f64]) -> BoundPhase {
+        let phi = term.angle.resolve(params);
+        let (s, c) = phi.sin_cos();
+        (term.mask, [Complex64::new(c, s), Complex64::new(c, -s)])
+    }
+}
+
+/// A diagonal gate lowered to phase terms, before it is merged into (or becomes) a pass.
+struct DiagonalAtom {
+    terms: Vec<PhaseTerm>,
+    global: Complex64,
+    /// The op to emit if no neighbouring diagonal work exists (dedicated kernels beat a
+    /// one-gate phase pass).
+    single: CompiledOp,
+}
+
+/// One compiled operation.
+#[derive(Clone, Debug)]
+enum CompiledOp {
+    Fused1Q(Fused1Q),
+    Cx(usize, usize),
+    Cz(usize, usize),
+    /// A (possibly non-diagonal) Pauli rotation on the dedicated involution-pair kernel.
+    Rotation(PauliString, Angle),
+    Diagonal(DiagonalPass),
+}
+
+impl CompiledOp {
+    fn is_diagonal(&self) -> bool {
+        match self {
+            CompiledOp::Cz(..) | CompiledOp::Diagonal(_) => true,
+            CompiledOp::Rotation(string, _) => string.x_mask() == 0,
+            _ => false,
+        }
+    }
+}
+
+struct OpEntry {
+    op: CompiledOp,
+    /// Bitmask of touched qubits (used for commutation-by-disjointness during fusion).
+    mask: u64,
+}
+
+/// Summary of what compilation achieved (surfaced by examples and benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Gates in the source circuit (identity rotations excluded).
+    pub source_gates: usize,
+    /// Compiled operations (state passes) after fusion.
+    pub compiled_ops: usize,
+    /// Fused single-qubit chains that absorbed at least two gates.
+    pub fused_chains: usize,
+    /// Batched diagonal passes.
+    pub diagonal_passes: usize,
+    /// Source gates folded into diagonal passes.
+    pub diagonal_gates_batched: usize,
+}
+
+/// A circuit lowered into fused operations; see the module docs for the pass design.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::{Angle, Circuit, Gate};
+/// use qop::{PauliString, Statevector};
+/// use qsim::CompiledCircuit;
+///
+/// // H·Rz(θ)·H on one qubit compiles to a single fused 2×2 op.
+/// let mut c = Circuit::new(1);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Rz(0, Angle::param(0)));
+/// c.push(Gate::H(0));
+/// let compiled = CompiledCircuit::compile(&c);
+/// assert_eq!(compiled.stats().compiled_ops, 1);
+///
+/// let mut state = Statevector::zero_state(1);
+/// compiled.execute_in_place(&[0.8], &mut state);
+/// // H Rz(θ) H |0⟩ has P(0) = cos²(θ/2).
+/// assert!((state.probability(0) - (0.8f64 / 2.0).cos().powi(2)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    ops: Vec<OpEntry>,
+    stats: CompileStats,
+}
+
+impl Clone for OpEntry {
+    fn clone(&self) -> Self {
+        OpEntry {
+            op: self.op.clone(),
+            mask: self.mask,
+        }
+    }
+}
+
+impl std::fmt::Debug for OpEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.op.fmt(f)
+    }
+}
+
+/// Touched-qubit mask of a gate; qubits ≥ 64 saturate to "touches everything", which
+/// only disables fusion (never correctness).
+fn qubit_mask(qubits: impl IntoIterator<Item = usize>) -> u64 {
+    qubits.into_iter().fold(0u64, |acc, q| {
+        acc | 1u64.checked_shl(q as u32).unwrap_or(u64::MAX)
+    })
+}
+
+impl CompiledCircuit {
+    /// Lowers `circuit` into fused operations.  Identity Pauli rotations (global phase
+    /// only) are dropped, matching the interpreter.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let mut ops: Vec<OpEntry> = Vec::new();
+        let mut source_gates = 0usize;
+        for gate in circuit.gates() {
+            match Self::classify(gate) {
+                Lowered::Skip => continue,
+                Lowered::Single(q, elem, diagonal) => {
+                    source_gates += 1;
+                    Self::merge_single(&mut ops, q, elem, diagonal);
+                }
+                Lowered::Diagonal(atom) => {
+                    source_gates += 1;
+                    Self::merge_diagonal(&mut ops, atom);
+                }
+                Lowered::Other(op, mask) => {
+                    source_gates += 1;
+                    ops.push(OpEntry { op, mask });
+                }
+            }
+        }
+        let mut stats = CompileStats {
+            source_gates,
+            compiled_ops: ops.len(),
+            fused_chains: 0,
+            diagonal_passes: 0,
+            diagonal_gates_batched: 0,
+        };
+        for entry in &ops {
+            match &entry.op {
+                CompiledOp::Fused1Q(f) if f.gates >= 2 => stats.fused_chains += 1,
+                CompiledOp::Diagonal(d) => {
+                    stats.diagonal_passes += 1;
+                    stats.diagonal_gates_batched += d.gates;
+                }
+                _ => {}
+            }
+        }
+        CompiledCircuit {
+            num_qubits: circuit.num_qubits(),
+            ops,
+            stats,
+        }
+    }
+
+    /// Register size of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of compiled operations (full state passes per execution).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Compilation summary.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// Executes the compiled circuit on `state`, resolving parameter slots against
+    /// `params`.  Allocation-free for circuits whose diagonal passes hold at most 64
+    /// phase terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register sizes differ or a parameter slot is out of range for
+    /// `params`.
+    pub fn execute_in_place(&self, params: &[f64], state: &mut Statevector) {
+        assert_eq!(
+            self.num_qubits,
+            state.num_qubits(),
+            "compiled circuit acts on {} qubits but the state has {}",
+            self.num_qubits,
+            state.num_qubits()
+        );
+        for entry in &self.ops {
+            match &entry.op {
+                CompiledOp::Fused1Q(f) => {
+                    apply_single_qubit(state, f.qubit, &f.bound_matrix(params));
+                }
+                CompiledOp::Cx(c, t) => apply_cx(state, *c, *t),
+                CompiledOp::Cz(c, t) => apply_cz(state, *c, *t),
+                CompiledOp::Rotation(string, angle) => {
+                    apply_pauli_rotation(state, string, angle.resolve(params));
+                }
+                CompiledOp::Diagonal(pass) => pass.execute(params, state),
+            }
+        }
+    }
+
+    /// Executes starting from `initial`, writing into `scratch` (the zero-allocation
+    /// batch building block: `scratch`'s buffer is reused when dimensions match).
+    pub fn execute_into(&self, params: &[f64], initial: &Statevector, scratch: &mut Statevector) {
+        scratch.clone_from(initial);
+        self.execute_in_place(params, scratch);
+    }
+
+    fn classify(gate: &Gate) -> Lowered {
+        use std::f64::consts::FRAC_PI_4;
+        match gate {
+            Gate::H(q) => Lowered::single_const(*q, h_matrix(), false),
+            Gate::X(q) => Lowered::single_const(*q, x_matrix(), false),
+            Gate::Y(q) => Lowered::single_const(*q, y_matrix(), false),
+            Gate::Z(q) => Lowered::single_const(*q, z_matrix(), true),
+            Gate::S(q) => Lowered::single_const(*q, s_matrix(), true),
+            Gate::Sdg(q) => Lowered::single_const(*q, sdg_matrix(), true),
+            Gate::Rx(q, a) => Lowered::Single(*q, ChainElem::Rot(RotAxis::X, *a), false),
+            Gate::Ry(q, a) => Lowered::Single(*q, ChainElem::Rot(RotAxis::Y, *a), false),
+            Gate::Rz(q, a) => Lowered::Single(*q, ChainElem::Rot(RotAxis::Z, *a), true),
+            Gate::Cx(c, t) => Lowered::Other(CompiledOp::Cx(*c, *t), qubit_mask([*c, *t])),
+            Gate::Cz(c, t) => {
+                // CZ = e^{iπ/4} · exp(−iπ/4·(−1)^{b_c}) · exp(−iπ/4·(−1)^{b_t})
+                //               · exp(+iπ/4·(−1)^{b_c⊕b_t}).
+                let (cm, tm) = (qubit_mask([*c]), qubit_mask([*t]));
+                let (s, co) = FRAC_PI_4.sin_cos();
+                Lowered::Diagonal(DiagonalAtom {
+                    terms: vec![
+                        PhaseTerm {
+                            mask: cm,
+                            angle: PhaseAngle::Fixed(-FRAC_PI_4),
+                        },
+                        PhaseTerm {
+                            mask: tm,
+                            angle: PhaseAngle::Fixed(-FRAC_PI_4),
+                        },
+                        PhaseTerm {
+                            mask: cm | tm,
+                            angle: PhaseAngle::Fixed(FRAC_PI_4),
+                        },
+                    ],
+                    global: Complex64::new(co, s),
+                    single: CompiledOp::Cz(*c, *t),
+                })
+            }
+            Gate::PauliRotation(string, a) => {
+                if string.is_identity() {
+                    // Global phase only; skipped by interpreter and reference alike.
+                    return Lowered::Skip;
+                }
+                if string.x_mask() == 0 {
+                    // exp(−iθ/2·(−1)^{popcount(b & z)}): one phase term, no global phase.
+                    let angle = match *a {
+                        Angle::Fixed(theta) => PhaseAngle::Fixed(-theta / 2.0),
+                        Angle::Param { .. } => PhaseAngle::Param {
+                            angle: *a,
+                            scale: -0.5,
+                        },
+                    };
+                    Lowered::Diagonal(DiagonalAtom {
+                        terms: vec![PhaseTerm {
+                            mask: string.z_mask(),
+                            angle,
+                        }],
+                        global: Complex64::ONE,
+                        single: CompiledOp::Rotation(*string, *a),
+                    })
+                } else {
+                    let mask = qubit_mask(string.iter_non_identity().map(|(q, _)| q));
+                    Lowered::Other(CompiledOp::Rotation(*string, *a), mask)
+                }
+            }
+        }
+    }
+
+    /// Merges a single-qubit gate into an existing chain on the same qubit, commuting it
+    /// past earlier ops on disjoint qubits (and, for diagonal gates, past diagonal ops).
+    fn merge_single(ops: &mut Vec<OpEntry>, q: usize, elem: ChainElem, elem_diagonal: bool) {
+        let qmask = qubit_mask([q]);
+        let mut target = None;
+        let mut i = ops.len();
+        while i > 0 {
+            let entry = &ops[i - 1];
+            if let CompiledOp::Fused1Q(f) = &entry.op {
+                if f.qubit == q {
+                    target = Some(i - 1);
+                    break;
+                }
+            }
+            let commutes = entry.mask & qmask == 0 || (elem_diagonal && entry.op.is_diagonal());
+            if !commutes {
+                break;
+            }
+            i -= 1;
+        }
+        if let Some(j) = target {
+            if let CompiledOp::Fused1Q(f) = &mut ops[j].op {
+                f.push(elem);
+                return;
+            }
+        }
+        ops.push(OpEntry {
+            op: CompiledOp::Fused1Q(Fused1Q {
+                qubit: q,
+                elems: vec![elem],
+                gates: 1,
+            }),
+            mask: qmask,
+        });
+    }
+
+    /// Merges a diagonal gate into an earlier diagonal op (pass, CZ, or diagonal
+    /// rotation), commuting it past disjoint or diagonal ops; otherwise emits its
+    /// dedicated-kernel form.
+    fn merge_diagonal(ops: &mut Vec<OpEntry>, atom: DiagonalAtom) {
+        let mask = atom.terms.iter().fold(0u64, |acc, t| acc | t.mask);
+        let mut target = None;
+        let mut i = ops.len();
+        while i > 0 {
+            let entry = &ops[i - 1];
+            if entry.op.is_diagonal() {
+                target = Some(i - 1);
+                break;
+            }
+            if entry.mask & mask != 0 {
+                break;
+            }
+            i -= 1;
+        }
+        if let Some(j) = target {
+            let entry = &mut ops[j];
+            // Convert the earlier op to a pass if needed, then absorb the new gate.
+            if !matches!(entry.op, CompiledOp::Diagonal(_)) {
+                let prior = std::mem::replace(&mut entry.op, CompiledOp::Cx(0, 0));
+                let prior_atom = Self::reclassify_diagonal(prior)
+                    .expect("every op reported diagonal lowers back to phase terms");
+                let mut pass = DiagonalPass {
+                    terms: Vec::new(),
+                    global: Complex64::ONE,
+                    gates: 0,
+                };
+                pass.absorb(prior_atom);
+                entry.op = CompiledOp::Diagonal(pass);
+            }
+            if let CompiledOp::Diagonal(pass) = &mut entry.op {
+                pass.absorb(atom);
+            }
+            entry.mask |= mask;
+            return;
+        }
+        ops.push(OpEntry {
+            op: atom.single,
+            mask,
+        });
+    }
+
+    /// Re-lowers an already-emitted diagonal op back into phase terms so it can seed a
+    /// pass once a second diagonal gate shows up.
+    fn reclassify_diagonal(op: CompiledOp) -> Option<DiagonalAtom> {
+        let gate = match op {
+            CompiledOp::Cz(c, t) => Gate::Cz(c, t),
+            CompiledOp::Rotation(string, angle) => Gate::PauliRotation(string, angle),
+            _ => return None,
+        };
+        match Self::classify(&gate) {
+            Lowered::Diagonal(atom) => Some(atom),
+            _ => None,
+        }
+    }
+}
+
+enum Lowered {
+    Skip,
+    /// `(qubit, element, element is diagonal)`.
+    Single(usize, ChainElem, bool),
+    Diagonal(DiagonalAtom),
+    Other(CompiledOp, u64),
+}
+
+impl Lowered {
+    fn single_const(q: usize, m: Matrix2, diagonal: bool) -> Lowered {
+        Lowered::Single(q, ChainElem::Const(m), diagonal)
+    }
+}
+
+fn c(re: f64, im: f64) -> Complex64 {
+    Complex64::new(re, im)
+}
+
+fn h_matrix() -> Matrix2 {
+    let f = std::f64::consts::FRAC_1_SQRT_2;
+    [[c(f, 0.0), c(f, 0.0)], [c(f, 0.0), c(-f, 0.0)]]
+}
+fn x_matrix() -> Matrix2 {
+    [[c(0.0, 0.0), c(1.0, 0.0)], [c(1.0, 0.0), c(0.0, 0.0)]]
+}
+fn y_matrix() -> Matrix2 {
+    [[c(0.0, 0.0), c(0.0, -1.0)], [c(0.0, 1.0), c(0.0, 0.0)]]
+}
+fn z_matrix() -> Matrix2 {
+    [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(-1.0, 0.0)]]
+}
+fn s_matrix() -> Matrix2 {
+    [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(0.0, 1.0)]]
+}
+fn sdg_matrix() -> Matrix2 {
+    [[c(1.0, 0.0), c(0.0, 0.0)], [c(0.0, 0.0), c(0.0, -1.0)]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::reference;
+    use qop::PauliOp;
+
+    fn dense_state(n: usize) -> Statevector {
+        let dim = 1usize << n;
+        let mut psi = Statevector::from_amplitudes(
+            (0..dim)
+                .map(|i| Complex64::new((i as f64 * 0.137).sin() + 0.3, (i as f64 * 0.291).cos()))
+                .collect(),
+        );
+        psi.normalize();
+        psi
+    }
+
+    fn max_diff(a: &Statevector, b: &Statevector) -> f64 {
+        a.amplitudes()
+            .iter()
+            .zip(b.amplitudes())
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
+    }
+
+    fn assert_compiled_matches_reference(circuit: &Circuit, params: &[f64]) {
+        let initial = dense_state(circuit.num_qubits());
+        let compiled = CompiledCircuit::compile(circuit);
+        let mut fast = initial.clone();
+        compiled.execute_in_place(params, &mut fast);
+        let naive = reference::run_circuit(circuit, params, &initial);
+        let diff = max_diff(&fast, &naive);
+        assert!(diff < 1e-12, "compiled/reference mismatch: {diff}");
+    }
+
+    #[test]
+    fn constant_single_qubit_runs_fuse_to_one_op() {
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::H(0));
+        circ.push(Gate::X(0));
+        circ.push(Gate::S(0));
+        circ.push(Gate::H(1));
+        circ.push(Gate::Sdg(0));
+        let compiled = CompiledCircuit::compile(&circ);
+        // Chain on qubit 0 (4 gates, crossing the disjoint H(1)) plus the H(1) chain.
+        assert_eq!(compiled.num_ops(), 2);
+        assert_eq!(compiled.stats().fused_chains, 1);
+        assert_compiled_matches_reference(&circ, &[]);
+    }
+
+    #[test]
+    fn parameterized_rotations_fuse_into_chains() {
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::Ry(0, Angle::param(0)));
+        circ.push(Gate::Ry(1, Angle::param(1)));
+        circ.push(Gate::Rz(0, Angle::param(2)));
+        circ.push(Gate::Rz(1, Angle::param(3)));
+        let compiled = CompiledCircuit::compile(&circ);
+        // One Ry·Rz chain per qubit, interleaved in the source order.
+        assert_eq!(compiled.num_ops(), 2);
+        assert_compiled_matches_reference(&circ, &[0.3, -0.7, 1.1, 0.4]);
+        // Re-binding executes against new parameters without recompiling.
+        assert_compiled_matches_reference(&circ, &[-1.0, 0.2, 0.0, 2.2]);
+    }
+
+    #[test]
+    fn cx_blocks_fusion_across_it() {
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::H(0));
+        circ.push(Gate::Cx(0, 1));
+        circ.push(Gate::H(0));
+        let compiled = CompiledCircuit::compile(&circ);
+        assert_eq!(compiled.num_ops(), 3);
+        assert_compiled_matches_reference(&circ, &[]);
+    }
+
+    #[test]
+    fn qaoa_cost_layer_batches_into_one_diagonal_pass() {
+        let n = 4;
+        let mut circ = Circuit::new(n);
+        for q in 0..n {
+            circ.push(Gate::H(q));
+        }
+        for q in 0..n {
+            let mut label = vec!['I'; n];
+            label[q] = 'Z';
+            label[(q + 1) % n] = 'Z';
+            let string = PauliString::from_label(&label.iter().collect::<String>()).unwrap();
+            circ.push(Gate::PauliRotation(string, Angle::param(q)));
+        }
+        circ.push(Gate::Cz(0, 2));
+        let compiled = CompiledCircuit::compile(&circ);
+        let stats = compiled.stats();
+        assert_eq!(stats.diagonal_passes, 1);
+        assert_eq!(stats.diagonal_gates_batched, n + 1);
+        // n Hadamard chains + 1 diagonal pass.
+        assert_eq!(compiled.num_ops(), n + 1);
+        assert_compiled_matches_reference(&circ, &[0.3, 0.9, -0.4, 1.7]);
+    }
+
+    #[test]
+    fn lone_diagonal_gates_stay_on_dedicated_kernels() {
+        let mut circ = Circuit::new(3);
+        circ.push(Gate::H(0));
+        circ.push(Gate::Cz(0, 1));
+        circ.push(Gate::H(1));
+        let compiled = CompiledCircuit::compile(&circ);
+        assert_eq!(compiled.stats().diagonal_passes, 0);
+        assert_compiled_matches_reference(&circ, &[]);
+    }
+
+    #[test]
+    fn diagonal_gates_commute_past_each_other_into_one_pass() {
+        // CZ · Rz-rotation(ZZ) with a non-diagonal Rx in between on a disjoint qubit.
+        let mut circ = Circuit::new(3);
+        circ.push(Gate::Cz(0, 1));
+        circ.push(Gate::Rx(2, Angle::Fixed(0.4)));
+        circ.push(Gate::PauliRotation(
+            PauliString::from_label("ZZI").unwrap(),
+            Angle::Fixed(0.9),
+        ));
+        let compiled = CompiledCircuit::compile(&circ);
+        assert_eq!(compiled.stats().diagonal_passes, 1);
+        assert_compiled_matches_reference(&circ, &[]);
+    }
+
+    #[test]
+    fn identity_rotation_is_skipped() {
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::H(0));
+        circ.push(Gate::PauliRotation(
+            PauliString::identity(2),
+            Angle::Fixed(1.0),
+        ));
+        let compiled = CompiledCircuit::compile(&circ);
+        assert_eq!(compiled.num_ops(), 1);
+        assert_compiled_matches_reference(&circ, &[]);
+    }
+
+    #[test]
+    fn hea_ansatz_matches_reference_and_shrinks() {
+        use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+        let circ = HardwareEfficientAnsatz::new(5, 3, Entanglement::Circular).build();
+        let params: Vec<f64> = (0..circ.num_parameters())
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        let compiled = CompiledCircuit::compile(&circ);
+        assert!(
+            compiled.num_ops() < circ.num_gates(),
+            "fusion should shrink the op list: {} vs {}",
+            compiled.num_ops(),
+            circ.num_gates()
+        );
+        assert_compiled_matches_reference(&circ, &params);
+    }
+
+    #[test]
+    fn execute_into_reuses_scratch() {
+        let mut circ = Circuit::new(3);
+        circ.push(Gate::H(0));
+        circ.push(Gate::Cx(0, 1));
+        circ.push(Gate::Ry(2, Angle::param(0)));
+        let compiled = CompiledCircuit::compile(&circ);
+        let initial = Statevector::zero_state(3);
+        let mut scratch = Statevector::zero_state(3);
+        let buffer = scratch.amplitudes().as_ptr();
+        compiled.execute_into(&[0.7], &initial, &mut scratch);
+        assert_eq!(buffer, scratch.amplitudes().as_ptr(), "scratch reallocated");
+        let expected = reference::run_circuit(&circ, &[0.7], &initial);
+        assert!(max_diff(&expected, &scratch) < 1e-12);
+    }
+
+    #[test]
+    fn expectations_survive_compilation() {
+        // End-to-end sanity: energy of a compiled HEA state equals the interpreter's.
+        use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+        let circ = HardwareEfficientAnsatz::new(4, 2, Entanglement::Linear).build();
+        let params: Vec<f64> = (0..circ.num_parameters())
+            .map(|i| 0.21 * i as f64)
+            .collect();
+        let op = PauliOp::from_labels(4, &[("ZZII", -1.0), ("IXXI", 0.4), ("IIZZ", -0.6)]);
+        let compiled = CompiledCircuit::compile(&circ);
+        let mut state = Statevector::zero_state(4);
+        compiled.execute_in_place(&params, &mut state);
+        let expected = reference::run_circuit(&circ, &params, &Statevector::zero_state(4));
+        assert!((op.expectation(&state) - op.expectation(&expected)).abs() < 1e-12);
+    }
+}

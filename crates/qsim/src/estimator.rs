@@ -78,13 +78,47 @@ pub fn analytic_sampled_expectation(
     shots_per_pauli: u64,
     rng: &mut StdRng,
 ) -> f64 {
+    let exact = exact_term_expectations(op, state);
+    analytic_sampled_from_expectations(op, &exact, shots_per_pauli, rng)
+}
+
+/// The exact per-term expectations the analytic sampler perturbs (identity terms are
+/// exactly 1).  Split out so batched backends can compute this — the expensive,
+/// state-sized stage — inside a parallel region and draw the noise serially afterwards.
+pub fn exact_term_expectations(op: &PauliOp, state: &Statevector) -> Vec<f64> {
+    op.terms()
+        .iter()
+        .map(|term| {
+            if term.string.is_identity() {
+                1.0
+            } else {
+                PauliOp::string_expectation(&term.string, state)
+            }
+        })
+        .collect()
+}
+
+/// The noise stage of [`analytic_sampled_expectation`], consuming per-term exact values
+/// from [`exact_term_expectations`].  Draws from `rng` in term order, so
+/// `analytic_sampled_from_expectations(op, &exact_term_expectations(op, state), s, rng)`
+/// consumes the RNG stream identically to the one-shot form.
+///
+/// # Panics
+///
+/// Panics if `exact.len()` differs from the operator's term count.
+pub fn analytic_sampled_from_expectations(
+    op: &PauliOp,
+    exact: &[f64],
+    shots_per_pauli: u64,
+    rng: &mut StdRng,
+) -> f64 {
+    assert_eq!(
+        exact.len(),
+        op.num_terms(),
+        "one exact expectation per Pauli term required"
+    );
     let mut total = 0.0;
-    for term in op.terms() {
-        let exact = if term.string.is_identity() {
-            1.0
-        } else {
-            PauliOp::string_expectation(&term.string, state)
-        };
+    for (term, &exact) in op.terms().iter().zip(exact) {
         let sampled = if term.string.is_identity() || shots_per_pauli == 0 {
             exact
         } else {

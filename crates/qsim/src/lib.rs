@@ -12,6 +12,21 @@
 //! Analytic hardware-noise models ([`NoiseModel`]) stand in for density-matrix noise
 //! simulation; see DESIGN.md for the substitution rationale.
 //!
+//! ## The compile/execute split
+//!
+//! Since PR 2, circuit execution is two-phase: [`CompiledCircuit::compile`] lowers a
+//! [`qcircuit::Circuit`] once — fusing runs of single-qubit gates into single 2×2
+//! unitaries (parameterized rotations included) and batching runs of diagonal gates
+//! (CZ, Z-string Pauli rotations — e.g. an entire QAOA cost layer) into one phase pass —
+//! and records *parameter slots* instead of resolved angles.  Executing the compiled form
+//! with a new parameter vector ([`CompiledCircuit::execute_in_place`] /
+//! [`CompiledCircuit::execute_into`]) re-binds those slots in O(ops) without re-walking
+//! the gate list, which is what lets one compiled circuit be amortized over a whole batch
+//! of parameter vectors (see the `vqa` crate's batched backends).  [`run_circuit`] /
+//! [`run_circuit_in_place`] are thin wrappers that compile on the fly; the pre-fusion
+//! per-gate interpreter survives as [`interpret_circuit_in_place`] for benches and
+//! equivalence tests.
+//!
 //! ## Performance and the parallelism threshold knob
 //!
 //! The dense gate kernels are branch-free, allocation-free and data-parallel (see the
@@ -21,29 +36,34 @@
 //! smaller registers stay serial because thread fan-out would cost more than the kernel.
 //! Tune or disable this with the `QSIM_PAR_THRESHOLD` environment variable (an amplitude
 //! count; `0` forces serial execution, useful for profiling and determinism studies), and
-//! cap the worker count with `RAYON_NUM_THREADS`.  Optimizer inner loops should prefer
-//! [`run_circuit_into`]/[`run_circuit_in_place`] over [`run_circuit`] to avoid per-call
-//! state allocation; the original unoptimized kernels are kept in [`reference`] as the
+//! cap the worker count with `RAYON_NUM_THREADS`.  The same threshold steers the `vqa`
+//! batch runner: registers *below* it are data-parallelized **across** the scratch-pool
+//! states of a batch instead of within one state.  Optimizer inner loops should compile
+//! once and drive [`CompiledCircuit::execute_into`] with a reused scratch state (the
+//! `run_circuit*` wrappers compile on *every* call and allocate, so they are for
+//! one-shot use); the original unoptimized kernels are kept in [`reference`] as the
 //! correctness and speedup baseline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod compiled;
 mod estimator;
 mod noise;
 mod pauliprop;
 mod shots;
 mod simulator;
 
+pub use compiled::{CompileStats, CompiledCircuit};
 pub use estimator::{
-    analytic_sampled_expectation, estimate_expectation, multinomial_sampled_expectation,
-    EstimatorConfig, SamplingMethod,
+    analytic_sampled_expectation, analytic_sampled_from_expectations, estimate_expectation,
+    exact_term_expectations, multinomial_sampled_expectation, EstimatorConfig, SamplingMethod,
 };
 pub use noise::{attenuation_factor, noisy_expectation, CircuitNoiseProfile, NoiseModel};
 pub use pauliprop::{PauliPropagator, PauliPropagatorConfig};
 pub use shots::{ShotLedger, DEFAULT_SHOTS_PER_PAULI};
 pub use simulator::{
-    apply_cx, apply_cz, apply_gate, apply_pauli_rotation, apply_single_qubit, parallel_threshold,
-    reference, run_circuit, run_circuit_in_place, run_circuit_into, rx_matrix, ry_matrix,
-    rz_matrix, Matrix2,
+    apply_cx, apply_cz, apply_gate, apply_pauli_rotation, apply_single_qubit,
+    interpret_circuit_in_place, parallel_threshold, reference, run_circuit, run_circuit_in_place,
+    run_circuit_into, rx_matrix, ry_matrix, rz_matrix, Matrix2,
 };

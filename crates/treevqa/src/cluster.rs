@@ -5,13 +5,20 @@
 //! of its member tasks, tracks the mixed loss and every member loss through sliding-window
 //! slope monitors, and requests a split when optimization stalls or a member is actively
 //! harmed by the joint trajectory.
+//!
+//! Clusters expose the optimizer's propose/observe phases directly
+//! ([`VqaCluster::propose`] / [`VqaCluster::observe`]): the controller gathers every
+//! active cluster's candidate parameter vectors, submits them as **one** backend batch
+//! per round phase, and hands each cluster back its slice of the results.
+//! [`VqaCluster::step`] drives the same phase protocol against a single backend for
+//! callers (and tests) that do not orchestrate batching themselves.
 
 use crate::config::SplitPolicy;
 use crate::monitor::SlopeMonitor;
 use qcircuit::Circuit;
 use qop::PauliOp;
 use qopt::Optimizer;
-use vqa::{Backend, InitialState};
+use vqa::{Backend, EvalRequest, EvalResult, InitialState};
 
 /// Outcome of one cluster optimization step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +46,12 @@ pub struct VqaCluster {
     latest_member_losses: Vec<f64>,
     iterations: usize,
     shots_used: u64,
+    /// Per-member loss sums accumulated over the current iteration's phases.
+    member_sums: Vec<f64>,
+    /// Evaluations consumed by the current iteration so far.
+    evals_acc: usize,
+    /// Shots charged by the current iteration so far.
+    shots_acc: u64,
 }
 
 impl std::fmt::Debug for VqaCluster {
@@ -92,6 +105,9 @@ impl VqaCluster {
             latest_member_losses: vec![f64::NAN; num_members],
             iterations: 0,
             shots_used: 0,
+            member_sums: vec![0.0; num_members],
+            evals_acc: 0,
+            shots_acc: 0,
         }
     }
 
@@ -136,38 +152,42 @@ impl VqaCluster {
         self.mixed_monitor.latest()
     }
 
-    /// Performs one optimizer iteration (Algorithm 2 lines 5–10) and evaluates the split
-    /// condition (line 11).
-    pub fn step(
+    /// Begins (or continues) one optimizer iteration: returns the candidate parameter
+    /// vectors whose mixed-Hamiltonian losses the controller must supply to
+    /// [`VqaCluster::observe`].  The batch shape follows the optimizer's phase protocol
+    /// (SPSA's ± pair, a simplex build, …).
+    pub fn propose(&mut self) -> Vec<Vec<f64>> {
+        self.optimizer.propose(&self.params)
+    }
+
+    /// Consumes one phase's evaluation results (in candidate order).  Each result's
+    /// charged value is the mixed loss; its free values are the member losses, in
+    /// member order.  Returns `None` while the iteration needs another phase, or the
+    /// split decision (Algorithm 2 line 11) once the iteration completes.
+    pub fn observe(
         &mut self,
-        ansatz: &Circuit,
-        initial: &InitialState,
-        backend: &mut dyn Backend,
+        results: &[EvalResult],
         policy: &SplitPolicy,
         max_cluster_iterations: usize,
         min_split_size: usize,
-    ) -> StepOutcome {
-        let shots_before = backend.shots_used();
-        let mixed = &self.mixed_hamiltonian;
-        let members: Vec<&PauliOp> = self.member_hamiltonians.iter().collect();
-        let mut member_sums = vec![0.0f64; members.len()];
-        let mut evaluations = 0usize;
-
-        let stats = self.optimizer.step(&mut self.params, &mut |p: &[f64]| {
-            let (charged, free) = backend.evaluate(ansatz, p, initial, mixed, &members);
-            for (sum, value) in member_sums.iter_mut().zip(&free) {
+    ) -> Option<StepOutcome> {
+        for result in results {
+            for (sum, value) in self.member_sums.iter_mut().zip(&result.free) {
                 *sum += value;
             }
-            evaluations += 1;
-            charged
-        });
+            self.shots_acc += result.shots;
+        }
+        self.evals_acc += results.len();
+        let values: Vec<f64> = results.iter().map(|r| r.charged).collect();
+        let stats = self.optimizer.observe(&mut self.params, &values)?;
 
-        self.shots_used += backend.shots_used() - shots_before;
+        // Iteration complete: fold the accumulated phase data into the monitors.
+        self.shots_used += self.shots_acc;
         self.iterations += 1;
         self.mixed_monitor.push(stats.loss);
-        if evaluations > 0 {
-            for (latest, sum) in self.latest_member_losses.iter_mut().zip(&member_sums) {
-                *latest = sum / evaluations as f64;
+        if self.evals_acc > 0 {
+            for (latest, sum) in self.latest_member_losses.iter_mut().zip(&self.member_sums) {
+                *latest = sum / self.evals_acc as f64;
             }
             for (monitor, &value) in self
                 .member_monitors
@@ -177,8 +197,47 @@ impl VqaCluster {
                 monitor.push(value);
             }
         }
+        self.member_sums.fill(0.0);
+        self.evals_acc = 0;
+        self.shots_acc = 0;
 
-        self.split_decision(policy, max_cluster_iterations, min_split_size)
+        Some(self.split_decision(policy, max_cluster_iterations, min_split_size))
+    }
+
+    /// Performs one optimizer iteration (Algorithm 2 lines 5–10) and evaluates the split
+    /// condition (line 11), driving the propose/observe phases against `backend` with one
+    /// batched submission per phase.
+    pub fn step(
+        &mut self,
+        ansatz: &Circuit,
+        initial: &InitialState,
+        backend: &mut dyn Backend,
+        policy: &SplitPolicy,
+        max_cluster_iterations: usize,
+        min_split_size: usize,
+    ) -> StepOutcome {
+        loop {
+            let candidates = self.propose();
+            let members: Vec<&PauliOp> = self.member_hamiltonians.iter().collect();
+            let requests: Vec<EvalRequest<'_>> = candidates
+                .iter()
+                .map(|candidate| EvalRequest {
+                    circuit: ansatz,
+                    params: candidate,
+                    initial,
+                    charged_op: &self.mixed_hamiltonian,
+                    free_ops: &members,
+                })
+                .collect();
+            let results = backend.evaluate_batch(&requests);
+            drop(requests);
+            drop(members);
+            if let Some(outcome) =
+                self.observe(&results, policy, max_cluster_iterations, min_split_size)
+            {
+                return outcome;
+            }
+        }
     }
 
     /// Evaluates the split condition without stepping (exposed for tests).

@@ -249,27 +249,76 @@ impl TreeVqa {
                 break;
             }
 
-            // Step every active cluster once (Algorithm 1 lines 5–8).
+            // Step every active cluster once (Algorithm 1 lines 5–8).  Instead of
+            // evaluating clusters one at a time, gather every active cluster's proposed
+            // candidate parameter vectors and submit them as ONE backend batch per round
+            // phase — the dense backends then share one compiled ansatz across the whole
+            // round and data-parallelize across the candidate states.  With SPSA every
+            // cluster completes in a single phase (batch = 2 × active clusters); the
+            // simplex optimizers may keep a subset of clusters active for further phases.
             let mut split_requests: Vec<usize> = Vec::new();
-            for (idx, cluster) in clusters.iter_mut().enumerate() {
-                if cluster.iterations() >= cfg.max_cluster_iterations {
-                    continue;
+            let mut active: Vec<usize> = clusters
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.iterations() < cfg.max_cluster_iterations)
+                .map(|(idx, _)| idx)
+                .collect();
+            while !active.is_empty() {
+                let proposals: Vec<(usize, Vec<Vec<f64>>)> = active
+                    .iter()
+                    .map(|&idx| (idx, clusters[idx].propose()))
+                    .collect();
+                let member_refs: Vec<Vec<&qop::PauliOp>> = proposals
+                    .iter()
+                    .map(|(idx, _)| clusters[*idx].member_hamiltonians().iter().collect())
+                    .collect();
+                let mut requests = Vec::new();
+                for ((idx, candidates), members) in proposals.iter().zip(&member_refs) {
+                    let mixed = clusters[*idx].mixed_hamiltonian();
+                    for candidate in candidates {
+                        requests.push(vqa::EvalRequest {
+                            circuit: &app.ansatz,
+                            params: candidate,
+                            initial: &app.initial_state,
+                            charged_op: mixed,
+                            free_ops: members,
+                        });
+                    }
                 }
-                let outcome = cluster.step(
-                    &app.ansatz,
-                    &app.initial_state,
-                    backend,
-                    &cfg.split_policy,
-                    cfg.max_cluster_iterations,
-                    cfg.min_split_size,
-                );
-                if outcome == StepOutcome::SplitRequested {
-                    split_requests.push(idx);
+                let results = backend.evaluate_batch(&requests);
+                drop(requests);
+
+                // Hand each cluster its slice of the results, cluster-major in proposal
+                // order.  For single-phase optimizers (SPSA, the paper's default) this
+                // is exactly the order the old serial per-cluster loop evaluated, so
+                // trajectories are unchanged on every backend.  Multi-phase optimizers
+                // (COBYLA/Nelder–Mead) interleave clusters' phases round-robin instead
+                // of draining one cluster at a time; on deterministic backends the
+                // trajectories are still identical, while on stochastic backends the
+                // noise stream maps to evaluations in a different (equally valid)
+                // order.
+                let mut offset = 0usize;
+                let mut still_active = Vec::new();
+                for (idx, candidates) in &proposals {
+                    let slice = &results[offset..offset + candidates.len()];
+                    offset += candidates.len();
+                    match clusters[*idx].observe(
+                        slice,
+                        &cfg.split_policy,
+                        cfg.max_cluster_iterations,
+                        cfg.min_split_size,
+                    ) {
+                        None => still_active.push(*idx),
+                        Some(StepOutcome::SplitRequested) => split_requests.push(*idx),
+                        Some(StepOutcome::Continue) => {}
+                    }
                 }
+                active = still_active;
             }
 
             // Replace split clusters by their children (Algorithm 1 line 9).
             // Process highest index first so earlier indices stay valid.
+            split_requests.sort_unstable();
             for &idx in split_requests.iter().rev() {
                 let parent = clusters.remove(idx);
                 let labels = self.partition_labels(&parent);

@@ -5,17 +5,70 @@
 //! propagation).  The [`Backend`] trait captures the one operation every substrate must
 //! provide — evaluate one *charged* observable (costing shots) and any number of *free*
 //! observables (classical recombination / tracking, which the paper notes costs no quantum
-//! shots) on the same prepared state.
+//! shots) on the same prepared state — plus a **batch** form, [`Backend::evaluate_batch`],
+//! that takes a whole slice of [`EvalRequest`]s at once.
+//!
+//! # Batched execution
+//!
+//! Derivative-free optimizers emit *batches* of parameter vectors (SPSA's ± pair, a
+//! simplex build, every active TreeVQA cluster's candidates in one controller round), and
+//! all of those bind different `θ` to the **same** ansatz.  The dense backends exploit
+//! that shape:
+//!
+//! * the circuit is lowered once through a cached [`qsim::CompiledCircuit`] and re-bound
+//!   per request — never re-walked;
+//! * a pool of scratch statevectors (grown on demand, reused across calls) holds one
+//!   state per in-flight request;
+//! * for registers **below** the [`qsim::parallel_threshold`] amplitude count, the batch
+//!   is data-parallelized *across* the pool states (one thread per state, with every
+//!   kernel inside a worker pinned serial via `qop::par::serial_scope`); at or above the
+//!   threshold each state is executed serially in the batch while the gate kernels
+//!   parallelize *within* the state.  One knob (`QSIM_PAR_THRESHOLD`) picks the regime
+//!   and the scope pin guarantees the two levels of parallelism never nest.
+//!
+//! Batched evaluation is **bit-identical** to the serial loop: requests are charged and
+//! (for the sampled backend) noise-sampled in request order, so optimizer trajectories do
+//! not depend on whether the caller batches.  Memory is bounded by chunking: at most
+//! [`batch_chunk`] scratch states are live at once (`VQA_BATCH_CHUNK`, default 16).
 
 use crate::task::InitialState;
 use qcircuit::Circuit;
+use qop::par::SendPtr;
 use qop::{PauliOp, Statevector};
 use qsim::{
-    analytic_sampled_expectation, attenuation_factor, run_circuit_in_place, CircuitNoiseProfile,
+    analytic_sampled_expectation, attenuation_factor, CircuitNoiseProfile, CompiledCircuit,
     NoiseModel, PauliPropagator, PauliPropagatorConfig, ShotLedger,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One evaluation of a parameterized ansatz against a charged observable (plus free
+/// tracking observables), submitted to [`Backend::evaluate_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct EvalRequest<'a> {
+    /// The ansatz circuit (typically shared by every request of a batch).
+    pub circuit: &'a Circuit,
+    /// The bound parameter vector for this request.
+    pub params: &'a [f64],
+    /// The initial state the ansatz is applied to.
+    pub initial: &'a InitialState,
+    /// The observable whose estimation is charged shots.
+    pub charged_op: &'a PauliOp,
+    /// Observables evaluated exactly at zero shot cost on the same state.
+    pub free_ops: &'a [&'a PauliOp],
+}
+
+/// The outcome of one [`EvalRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalResult {
+    /// The (possibly noise-affected) charged-observable estimate.
+    pub charged: f64,
+    /// Exact tracking values, one per `free_ops` entry.
+    pub free: Vec<f64>,
+    /// Shots charged for this request (lets callers attribute cost per request).
+    pub shots: u64,
+}
 
 /// A quantum-execution substrate.
 pub trait Backend {
@@ -32,6 +85,18 @@ pub trait Backend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>);
+
+    /// Evaluates a whole batch of requests, in request order.
+    ///
+    /// The default implementation is a serial loop over [`Backend::evaluate`], so every
+    /// backend supports batching; the dense statevector backends override it with a
+    /// compiled-circuit + scratch-pool implementation that prepares the batch's states
+    /// concurrently (see the module docs).  Implementations must preserve request-order
+    /// semantics (shot charging, RNG consumption) so batched and serial execution yield
+    /// identical results.
+    fn evaluate_batch(&mut self, requests: &[EvalRequest<'_>]) -> Vec<EvalResult> {
+        default_serial_batch(self, requests)
+    }
 
     /// Evaluates `op` on the prepared state **without charging any shots**.
     ///
@@ -59,13 +124,158 @@ pub trait Backend {
     fn name(&self) -> &'static str;
 }
 
+/// Maximum number of scratch statevectors live at once in a batched evaluation; larger
+/// batches are processed in chunks of this size (request order is preserved).  Tune with
+/// the `VQA_BATCH_CHUNK` environment variable (read once per process, minimum 1).
+pub fn batch_chunk() -> usize {
+    use std::sync::OnceLock;
+    static CHUNK: OnceLock<usize> = OnceLock::new();
+    *CHUNK.get_or_init(|| {
+        std::env::var("VQA_BATCH_CHUNK")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(16)
+    })
+}
+
+/// Single-entry compiled-circuit cache keyed by circuit equality.
+///
+/// Optimizer loops evaluate one ansatz at thousands of parameter vectors, so the common
+/// case is a permanent cache hit (one O(gates) equality check per call, no compilation).
+/// A different circuit simply recompiles — correct for every caller, optimal for the hot
+/// ones.
+#[derive(Debug, Default)]
+struct CompiledCache {
+    source: Option<Circuit>,
+    compiled: Option<CompiledCircuit>,
+}
+
+impl CompiledCache {
+    fn get(&mut self, circuit: &Circuit) -> &CompiledCircuit {
+        if self.source.as_ref() != Some(circuit) {
+            self.compiled = Some(CompiledCircuit::compile(circuit));
+            self.source = Some(circuit.clone());
+        }
+        self.compiled.as_ref().expect("compiled just populated")
+    }
+}
+
+/// A pool of reusable scratch statevectors, one per in-flight batch request.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    states: Vec<Statevector>,
+}
+
+impl ScratchPool {
+    /// Makes at least `count` scratch states of the right register size available.
+    fn ensure(&mut self, count: usize, num_qubits: usize) {
+        self.states.retain(|s| s.num_qubits() == num_qubits);
+        while self.states.len() < count {
+            self.states.push(Statevector::zero_state(num_qubits));
+        }
+    }
+}
+
+/// Prepares `|ψ(θ)⟩` for `req` into `state` and returns the exact charged and free
+/// expectations.
+fn evaluate_exact(
+    compiled: &CompiledCircuit,
+    req: &EvalRequest<'_>,
+    state: &mut Statevector,
+) -> (f64, Vec<f64>) {
+    req.initial.prepare_into(state);
+    compiled.execute_in_place(req.params, state);
+    let charged = req.charged_op.expectation(state);
+    let free = req
+        .free_ops
+        .iter()
+        .map(|op| op.expectation(state))
+        .collect();
+    (charged, free)
+}
+
+/// Runs one chunk of same-circuit requests, preparing request `i`'s final state into
+/// `pool.states[i]` and reducing it with `finish` (which computes whatever per-request
+/// readout the backend needs — expectations are state-sized work, so they belong inside
+/// this, potentially parallel, region).  Results are returned in request order.
+///
+/// Chooses between across-state parallelism (small registers: one thread per scratch
+/// state) and within-state parallelism (large registers: the gate kernels split each
+/// state across threads) based on the shared `QSIM_PAR_THRESHOLD` knob, so the two
+/// regimes never nest.
+fn run_chunk_with<T, F>(
+    compiled: &CompiledCircuit,
+    chunk: &[EvalRequest<'_>],
+    pool: &mut ScratchPool,
+    finish: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&EvalRequest<'_>, &Statevector) -> T + Sync,
+{
+    let n = compiled.num_qubits();
+    pool.ensure(chunk.len(), n);
+    let dim = 1usize << n;
+    let threshold = qsim::parallel_threshold();
+    let across_states = chunk.len() >= 2
+        && threshold != 0
+        && dim < threshold
+        && chunk.len() * dim >= threshold
+        && rayon::current_num_threads() > 1;
+    let prepare = |req: &EvalRequest<'_>, state: &mut Statevector| {
+        req.initial.prepare_into(state);
+        compiled.execute_in_place(req.params, state);
+    };
+    if across_states {
+        let slots = SendPtr(pool.states.as_mut_ptr());
+        (0..chunk.len())
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                // Workers own their threads: every kernel `finish` reaches (including
+                // multi-term expectations, which would otherwise gate on
+                // `num_terms × dim` and could cross the threshold) is pinned serial so
+                // the two parallelism levels cannot nest.
+                qop::par::serial_scope(|| {
+                    // SAFETY: each index i is visited by exactly one worker and maps to
+                    // the distinct pool entry i, which outlives the parallel region.
+                    let state = unsafe { &mut *slots.add(i) };
+                    prepare(&chunk[i], state);
+                    finish(&chunk[i], state)
+                })
+            })
+            .collect()
+    } else {
+        chunk
+            .iter()
+            .zip(pool.states.iter_mut())
+            .map(|(req, state)| {
+                prepare(req, state);
+                finish(req, state)
+            })
+            .collect()
+    }
+}
+
+/// The shared circuit of a batch, if all requests reference the same one (pointer
+/// equality short-circuits the structural comparison).
+fn uniform_circuit<'a>(requests: &[EvalRequest<'a>]) -> Option<&'a Circuit> {
+    let first = requests.first()?.circuit;
+    requests
+        .iter()
+        .all(|r| std::ptr::eq(r.circuit, first) || r.circuit == first)
+        .then_some(first)
+}
+
 /// Exact statevector backend: no sampling noise, but shots are still charged according to
 /// the paper's cost model.  This is the configuration behind all noiseless results.
 #[derive(Debug)]
 pub struct StatevectorBackend {
     shots_per_pauli: u64,
     ledger: ShotLedger,
-    scratch: Option<Statevector>,
+    cache: CompiledCache,
+    pool: ScratchPool,
 }
 
 impl StatevectorBackend {
@@ -79,7 +289,8 @@ impl StatevectorBackend {
         StatevectorBackend {
             shots_per_pauli,
             ledger: ShotLedger::new(),
-            scratch: None,
+            cache: CompiledCache::default(),
+            pool: ScratchPool::default(),
         }
     }
 }
@@ -90,32 +301,12 @@ impl Default for StatevectorBackend {
     }
 }
 
-/// One-shot state preparation (kept for tests and ad-hoc callers; the backends use
-/// [`prepare_state_reusing`] to avoid per-evaluation allocations).
+/// One-shot state preparation (kept for tests and ad-hoc callers; the backends use their
+/// compiled-circuit cache and scratch pool to avoid per-evaluation work).
 #[cfg(test)]
 fn prepare_state(circuit: &Circuit, params: &[f64], initial: &InitialState) -> Statevector {
     let init = initial.prepare(circuit.num_qubits());
     qsim::run_circuit(circuit, params, &init)
-}
-
-/// Prepares `U(θ)|init⟩` into a backend-owned scratch statevector, so the optimizer's
-/// inner loop performs zero statevector allocations after the first evaluation (the
-/// scratch is allocated once and refilled in place on every subsequent call with the same
-/// register size).
-fn prepare_state_reusing<'a>(
-    circuit: &Circuit,
-    params: &[f64],
-    initial: &InitialState,
-    scratch: &'a mut Option<Statevector>,
-) -> &'a Statevector {
-    let n = circuit.num_qubits();
-    match scratch {
-        Some(state) if state.num_qubits() == n => initial.prepare_into(state),
-        _ => *scratch = Some(initial.prepare(n)),
-    }
-    let state = scratch.as_mut().expect("scratch just prepared");
-    run_circuit_in_place(circuit, params, state);
-    state
 }
 
 impl Backend for StatevectorBackend {
@@ -127,12 +318,50 @@ impl Backend for StatevectorBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        let state = prepare_state_reusing(circuit, params, initial, &mut self.scratch);
+        let compiled = self.cache.get(circuit);
+        self.pool.ensure(1, circuit.num_qubits());
+        let req = EvalRequest {
+            circuit,
+            params,
+            initial,
+            charged_op,
+            free_ops,
+        };
+        let (charged, free) = evaluate_exact(compiled, &req, &mut self.pool.states[0]);
         self.ledger
             .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
-        let charged = charged_op.expectation(state);
-        let free = free_ops.iter().map(|op| op.expectation(state)).collect();
         (charged, free)
+    }
+
+    fn evaluate_batch(&mut self, requests: &[EvalRequest<'_>]) -> Vec<EvalResult> {
+        let Some(circuit) = uniform_circuit(requests) else {
+            // Mixed-circuit batches take the serial path (each request still runs
+            // through the compiled cache via `evaluate`).
+            return default_serial_batch(self, requests);
+        };
+        let compiled = self.cache.get(circuit);
+        let mut results = Vec::with_capacity(requests.len());
+        for chunk in requests.chunks(batch_chunk()) {
+            let exact = run_chunk_with(compiled, chunk, &mut self.pool, |req, state| {
+                let charged = req.charged_op.expectation(state);
+                let free: Vec<f64> = req
+                    .free_ops
+                    .iter()
+                    .map(|op| op.expectation(state))
+                    .collect();
+                (charged, free)
+            });
+            for (req, (charged, free)) in chunk.iter().zip(exact) {
+                self.ledger
+                    .charge_evaluation(self.shots_per_pauli, req.charged_op.num_terms());
+                results.push(EvalResult {
+                    charged,
+                    free,
+                    shots: self.shots_per_pauli * req.charged_op.num_terms() as u64,
+                });
+            }
+        }
+        results
     }
 
     fn probe(
@@ -142,12 +371,12 @@ impl Backend for StatevectorBackend {
         initial: &InitialState,
         op: &PauliOp,
     ) -> f64 {
-        op.expectation(prepare_state_reusing(
-            circuit,
-            params,
-            initial,
-            &mut self.scratch,
-        ))
+        let compiled = self.cache.get(circuit);
+        self.pool.ensure(1, circuit.num_qubits());
+        let state = &mut self.pool.states[0];
+        initial.prepare_into(state);
+        compiled.execute_in_place(params, state);
+        op.expectation(state)
     }
 
     fn shots_used(&self) -> u64 {
@@ -167,6 +396,28 @@ impl Backend for StatevectorBackend {
     }
 }
 
+/// The one serial batch loop: the [`Backend::evaluate_batch`] trait default delegates
+/// here, and overriding implementations reuse it for their fallback paths (mixed-circuit
+/// batches), so the request-order semantics live in exactly one place.
+fn default_serial_batch<B: Backend + ?Sized>(
+    backend: &mut B,
+    requests: &[EvalRequest<'_>],
+) -> Vec<EvalResult> {
+    requests
+        .iter()
+        .map(|r| {
+            let before = backend.shots_used();
+            let (charged, free) =
+                backend.evaluate(r.circuit, r.params, r.initial, r.charged_op, r.free_ops);
+            EvalResult {
+                charged,
+                free,
+                shots: backend.shots_used() - before,
+            }
+        })
+        .collect()
+}
+
 /// Shot-sampled statevector backend: the charged observable receives per-term binomial
 /// sampling noise matching the allotted shots; tracking observables remain exact.
 #[derive(Debug)]
@@ -174,7 +425,8 @@ pub struct SampledBackend {
     shots_per_pauli: u64,
     ledger: ShotLedger,
     rng: StdRng,
-    scratch: Option<Statevector>,
+    cache: CompiledCache,
+    pool: ScratchPool,
 }
 
 impl SampledBackend {
@@ -184,7 +436,8 @@ impl SampledBackend {
             shots_per_pauli,
             ledger: ShotLedger::new(),
             rng: StdRng::seed_from_u64(seed),
-            scratch: None,
+            cache: CompiledCache::default(),
+            pool: ScratchPool::default(),
         }
     }
 }
@@ -198,13 +451,57 @@ impl Backend for SampledBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        let state = prepare_state_reusing(circuit, params, initial, &mut self.scratch);
+        let compiled = self.cache.get(circuit);
+        self.pool.ensure(1, circuit.num_qubits());
+        let state = &mut self.pool.states[0];
+        initial.prepare_into(state);
+        compiled.execute_in_place(params, state);
         self.ledger
             .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
+        let state = &self.pool.states[0];
         let charged =
             analytic_sampled_expectation(charged_op, state, self.shots_per_pauli, &mut self.rng);
         let free = free_ops.iter().map(|op| op.expectation(state)).collect();
         (charged, free)
+    }
+
+    fn evaluate_batch(&mut self, requests: &[EvalRequest<'_>]) -> Vec<EvalResult> {
+        let Some(circuit) = uniform_circuit(requests) else {
+            return default_serial_batch(self, requests);
+        };
+        let compiled = self.cache.get(circuit);
+        let mut results = Vec::with_capacity(requests.len());
+        for chunk in requests.chunks(batch_chunk()) {
+            // The exact per-term expectations (the state-sized work) are computed inside
+            // the potentially parallel chunk region; only the Gaussian noise draws run
+            // serially afterwards, in request order, so the RNG stream — and therefore
+            // every optimizer trajectory — is identical to the serial evaluate loop.
+            let exact = run_chunk_with(compiled, chunk, &mut self.pool, |req, state| {
+                let terms = qsim::exact_term_expectations(req.charged_op, state);
+                let free: Vec<f64> = req
+                    .free_ops
+                    .iter()
+                    .map(|op| op.expectation(state))
+                    .collect();
+                (terms, free)
+            });
+            for (req, (terms, free)) in chunk.iter().zip(exact) {
+                self.ledger
+                    .charge_evaluation(self.shots_per_pauli, req.charged_op.num_terms());
+                let charged = qsim::analytic_sampled_from_expectations(
+                    req.charged_op,
+                    &terms,
+                    self.shots_per_pauli,
+                    &mut self.rng,
+                );
+                results.push(EvalResult {
+                    charged,
+                    free,
+                    shots: self.shots_per_pauli * req.charged_op.num_terms() as u64,
+                });
+            }
+        }
+        results
     }
 
     fn probe(
@@ -214,12 +511,12 @@ impl Backend for SampledBackend {
         initial: &InitialState,
         op: &PauliOp,
     ) -> f64 {
-        op.expectation(prepare_state_reusing(
-            circuit,
-            params,
-            initial,
-            &mut self.scratch,
-        ))
+        let compiled = self.cache.get(circuit);
+        self.pool.ensure(1, circuit.num_qubits());
+        let state = &mut self.pool.states[0];
+        initial.prepare_into(state);
+        compiled.execute_in_place(params, state);
+        op.expectation(state)
     }
 
     fn shots_used(&self) -> u64 {
@@ -250,7 +547,8 @@ pub struct NoisyBackend {
     model: NoiseModel,
     /// Ansatz repetitions used for the per-layer depolarizing channel.
     layers: usize,
-    scratch: Option<Statevector>,
+    cache: CompiledCache,
+    pool: ScratchPool,
 }
 
 impl NoisyBackend {
@@ -262,7 +560,8 @@ impl NoisyBackend {
             rng: StdRng::seed_from_u64(seed),
             model,
             layers,
-            scratch: None,
+            cache: CompiledCache::default(),
+            pool: ScratchPool::default(),
         }
     }
 
@@ -285,13 +584,16 @@ impl Backend for NoisyBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        // Split borrows: the scratch state must not alias the rng/model fields.
-        let mut scratch = self.scratch.take();
-        let state = prepare_state_reusing(circuit, params, initial, &mut scratch);
+        let compiled = self.cache.get(circuit);
+        self.pool.ensure(1, circuit.num_qubits());
+        let state = &mut self.pool.states[0];
+        initial.prepare_into(state);
+        compiled.execute_in_place(params, state);
         let profile = CircuitNoiseProfile::from_circuit(circuit, self.layers);
         self.ledger
             .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
         // Attenuate each term, then add shot noise on top of the attenuated value.
+        let state = &self.pool.states[0];
         let attenuated = self.noisy_exact(charged_op, state, &profile);
         let shot_noise = {
             // Sample the *difference* between a sampled and an exact estimate of the
@@ -310,7 +612,6 @@ impl Backend for NoisyBackend {
             .iter()
             .map(|op| self.noisy_exact(op, state, &profile))
             .collect();
-        self.scratch = scratch;
         (charged, free)
     }
 
@@ -323,12 +624,12 @@ impl Backend for NoisyBackend {
     ) -> f64 {
         // Probes report the *ideal* energy of the prepared state: fidelity metrics measure
         // how good the optimized state is, independent of readout-time attenuation.
-        op.expectation(prepare_state_reusing(
-            circuit,
-            params,
-            initial,
-            &mut self.scratch,
-        ))
+        let compiled = self.cache.get(circuit);
+        self.pool.ensure(1, circuit.num_qubits());
+        let state = &mut self.pool.states[0];
+        initial.prepare_into(state);
+        compiled.execute_in_place(params, state);
+        op.expectation(state)
     }
 
     fn shots_used(&self) -> u64 {
@@ -351,7 +652,9 @@ impl Backend for NoisyBackend {
 /// Pauli-propagation backend for large registers (no dense state is ever formed).
 ///
 /// Only basis-state initial states are supported; optionally applies the per-layer
-/// depolarizing attenuation of the large-scale noisy study.
+/// depolarizing attenuation of the large-scale noisy study.  Uses the trait's default
+/// (serial) batch implementation: the propagator is Heisenberg-picture, so there is no
+/// shared prepared state to amortize.
 #[derive(Debug)]
 pub struct PauliPropagationBackend {
     propagator: PauliPropagator,
@@ -478,6 +781,99 @@ mod tests {
         backend.reset_shots();
         assert_eq!(backend.shots_used(), 0);
         assert_eq!(backend.name(), "statevector");
+    }
+
+    #[test]
+    fn batched_evaluation_matches_serial_exactly() {
+        let (circuit, params, h1, h2) = demo_setup();
+        for batch_size in [1usize, 2, 17] {
+            let candidates: Vec<Vec<f64>> = (0..batch_size)
+                .map(|k| params.iter().map(|p| p + 0.01 * k as f64).collect())
+                .collect();
+            let free_ops = [&h2];
+            let requests: Vec<EvalRequest<'_>> = candidates
+                .iter()
+                .map(|c| EvalRequest {
+                    circuit: &circuit,
+                    params: c,
+                    initial: &InitialState::Basis(0),
+                    charged_op: &h1,
+                    free_ops: &free_ops,
+                })
+                .collect();
+            let mut batched = StatevectorBackend::with_shots(100);
+            let results = batched.evaluate_batch(&requests);
+
+            let mut serial = StatevectorBackend::with_shots(100);
+            for (c, r) in candidates.iter().zip(&results) {
+                let (charged, free) =
+                    serial.evaluate(&circuit, c, &InitialState::Basis(0), &h1, &[&h2]);
+                assert_eq!(charged, r.charged, "batch size {batch_size}");
+                assert_eq!(free, r.free);
+                assert_eq!(r.shots, 100 * h1.num_terms() as u64);
+            }
+            assert_eq!(batched.shots_used(), serial.shots_used());
+        }
+    }
+
+    #[test]
+    fn sampled_batch_reproduces_the_serial_rng_stream() {
+        let (circuit, params, h1, _) = demo_setup();
+        let candidates: Vec<Vec<f64>> = (0..5)
+            .map(|k| params.iter().map(|p| p + 0.02 * k as f64).collect())
+            .collect();
+        let requests: Vec<EvalRequest<'_>> = candidates
+            .iter()
+            .map(|c| EvalRequest {
+                circuit: &circuit,
+                params: c,
+                initial: &InitialState::Basis(0),
+                charged_op: &h1,
+                free_ops: &[],
+            })
+            .collect();
+        let mut batched = SampledBackend::new(256, 42);
+        let results = batched.evaluate_batch(&requests);
+        let mut serial = SampledBackend::new(256, 42);
+        for (c, r) in candidates.iter().zip(&results) {
+            let (charged, _) = serial.evaluate(&circuit, c, &InitialState::Basis(0), &h1, &[]);
+            assert_eq!(charged, r.charged, "batched sampling must match serial");
+        }
+    }
+
+    #[test]
+    fn mixed_circuit_batches_fall_back_to_the_serial_path() {
+        let (circuit_a, params, h1, _) = demo_setup();
+        let circuit_b = HardwareEfficientAnsatz::new(3, 2, Entanglement::Circular).build();
+        let params_b: Vec<f64> = (0..circuit_b.num_parameters()).map(|_| 0.05).collect();
+        let requests = [
+            EvalRequest {
+                circuit: &circuit_a,
+                params: &params,
+                initial: &InitialState::Basis(0),
+                charged_op: &h1,
+                free_ops: &[],
+            },
+            EvalRequest {
+                circuit: &circuit_b,
+                params: &params_b,
+                initial: &InitialState::Basis(0),
+                charged_op: &h1,
+                free_ops: &[],
+            },
+        ];
+        let mut backend = StatevectorBackend::with_shots(10);
+        let results = backend.evaluate_batch(&requests);
+        assert_eq!(results.len(), 2);
+        let expected_a =
+            h1.expectation(&prepare_state(&circuit_a, &params, &InitialState::Basis(0)));
+        let expected_b = h1.expectation(&prepare_state(
+            &circuit_b,
+            &params_b,
+            &InitialState::Basis(0),
+        ));
+        assert!((results[0].charged - expected_a).abs() < 1e-12);
+        assert!((results[1].charged - expected_b).abs() < 1e-12);
     }
 
     #[test]

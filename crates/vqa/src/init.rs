@@ -14,7 +14,6 @@ use crate::task::InitialState;
 use qcircuit::{Circuit, QaoaAnsatz};
 use qgraph::{pool_graph, WeightedGraph};
 use qop::PauliOp;
-use qsim::run_circuit_into;
 
 /// Result of a CAFQA-style Clifford search.
 #[derive(Clone, Debug)]
@@ -52,11 +51,13 @@ pub fn cafqa_initialize(
     ];
 
     let init_state = initial.prepare(ansatz.num_qubits());
-    // One scratch statevector for the whole coordinate sweep; each evaluation re-prepares
-    // it in place instead of allocating a fresh state.
+    // Lower the ansatz once for the whole sweep (re-binding θ per evaluation is O(ops)),
+    // and keep one scratch statevector that each evaluation re-prepares in place instead
+    // of allocating a fresh state.
+    let compiled = qsim::CompiledCircuit::compile(ansatz);
     let mut scratch = init_state.clone();
     let mut evaluate = |params: &[f64]| -> f64 {
-        run_circuit_into(ansatz, params, &init_state, &mut scratch);
+        compiled.execute_into(params, &init_state, &mut scratch);
         target.expectation(&scratch)
     };
 

@@ -4,7 +4,9 @@
 //!
 //! * [`VqaTask`] / [`VqaApplication`] — the paper's task/application terminology.
 //! * [`Backend`] — one trait over all execution substrates (exact, shot-sampled, noisy,
-//!   Pauli propagation), with explicit shot accounting.
+//!   Pauli propagation), with explicit shot accounting and a batched submission form
+//!   ([`Backend::evaluate_batch`] over [`EvalRequest`]s) that the dense backends
+//!   implement with a compiled-circuit cache and a data-parallel scratch-state pool.
 //! * [`run_single_vqa`] / [`run_baseline`] — conventional VQA, the paper's baseline.
 //! * [`cafqa_initialize`] / [`red_qaoa_initial_point`] — classical warm starts.
 //! * [`metrics`] — fidelity-vs-shots analysis shared by all experiments.
@@ -19,7 +21,8 @@ mod runner;
 mod task;
 
 pub use backend::{
-    Backend, NoisyBackend, PauliPropagationBackend, SampledBackend, StatevectorBackend,
+    batch_chunk, Backend, EvalRequest, EvalResult, NoisyBackend, PauliPropagationBackend,
+    SampledBackend, StatevectorBackend,
 };
 pub use init::{cafqa_initialize, red_qaoa_initial_point, CafqaResult};
 pub use runner::{

@@ -5,7 +5,7 @@
 //! (Section 7.3).  [`run_single_vqa`] drives one task; [`run_baseline`] drives the whole
 //! application and aggregates shot usage.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, EvalRequest};
 use crate::task::{InitialState, VqaApplication, VqaTask};
 use qcircuit::Circuit;
 use qopt::OptimizerSpec;
@@ -94,13 +94,28 @@ pub fn run_single_vqa(
     let record_every = config.record_every.max(1);
 
     for iteration in 0..config.max_iterations {
-        let stats = {
-            let mut objective = |p: &[f64]| {
-                backend
-                    .evaluate(ansatz, p, initial, &task.hamiltonian, &[])
-                    .0
-            };
-            optimizer.step(&mut params, &mut objective)
+        // Drive the optimizer's propose/observe phases, submitting each phase's
+        // candidates (SPSA's ± pair, a simplex build, …) as one backend batch so the
+        // dense backends can prepare the states concurrently.  The phase protocol visits
+        // the same candidates in the same order as the serial closure API, so
+        // trajectories and shot accounting are unchanged.
+        let stats = loop {
+            let candidates = optimizer.propose(&params);
+            let requests: Vec<EvalRequest<'_>> = candidates
+                .iter()
+                .map(|candidate| EvalRequest {
+                    circuit: ansatz,
+                    params: candidate,
+                    initial,
+                    charged_op: &task.hamiltonian,
+                    free_ops: &[],
+                })
+                .collect();
+            let results = backend.evaluate_batch(&requests);
+            let values: Vec<f64> = results.iter().map(|r| r.charged).collect();
+            if let Some(stats) = optimizer.observe(&mut params, &values) {
+                break stats;
+            }
         };
 
         if iteration % record_every == 0 || iteration + 1 == config.max_iterations {

@@ -46,6 +46,14 @@ fn main() {
         .collect();
     let application = VqaApplication::new("ieee14-maxcut", tasks, ansatz, InitialState::Basis(0));
 
+    // The QAOA cost layer is all diagonal ZZ rotations, so the compiled path collapses
+    // it into a single phase pass per layer — show the lowering the backends will use.
+    let stats = qsim::CompiledCircuit::compile(&application.ansatz).stats();
+    println!(
+        "  compiled ansatz: {} gates -> {} ops ({} diagonal passes covering {} gates)",
+        stats.source_gates, stats.compiled_ops, stats.diagonal_passes, stats.diagonal_gates_batched
+    );
+
     let optimizer = OptimizerSpec::Spsa(SpsaConfig {
         a: 0.2,
         ..Default::default()

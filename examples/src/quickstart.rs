@@ -49,6 +49,20 @@ fn main() {
         InitialState::Basis(molecule.hartree_fock_state()),
     );
 
+    // Both arms execute the ansatz through the compiled path: the backends lower it
+    // once (fusing single-qubit runs, batching diagonal gates) and re-bind θ per
+    // evaluation.  Show what the lowering achieved for this circuit.
+    let compiled = qsim::CompiledCircuit::compile(&application.ansatz);
+    let stats = compiled.stats();
+    println!(
+        "  compiled ansatz: {} gates -> {} ops ({} fused 1q chains, {} diagonal passes covering {} gates)",
+        stats.source_gates,
+        stats.compiled_ops,
+        stats.fused_chains,
+        stats.diagonal_passes,
+        stats.diagonal_gates_batched
+    );
+
     let optimizer = OptimizerSpec::Spsa(SpsaConfig {
         ..Default::default()
     });

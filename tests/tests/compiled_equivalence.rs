@@ -1,0 +1,292 @@
+//! Property tests pinning compiled (fused) and batched execution to the naive
+//! reference kernels.
+//!
+//! Companion to `kernel_equivalence.rs`: where that suite pins the per-gate kernels,
+//! this one pins the two layers PR 2 added on top — [`qsim::CompiledCircuit`]'s
+//! single-qubit fusion + diagonal batching, and the `vqa` backends' batched evaluation
+//! over a compiled-circuit cache and scratch-state pool.  Every property demands
+//! agreement with `qsim::reference` (or the serial evaluate loop) to 1e-12 on random
+//! circuits that include parameterized rotations, Pauli rotations and diagonal runs.
+//! The forced-parallel properties drive the across-state batch path with multiple
+//! workers; batch sizes 1, 2 and 17 cover the degenerate, SPSA-pair and chunk-splitting
+//! shapes.
+
+use proptest::prelude::*;
+use qcircuit::{Angle, Circuit, Gate};
+use qop::{Complex64, PauliOp, PauliString, Statevector};
+use qsim::{reference, CompiledCircuit};
+use vqa::{Backend, EvalRequest, InitialState, SampledBackend, StatevectorBackend};
+
+/// Forces multiple workers even on single-core CI machines (the vendored rayon honors
+/// this like the real global-pool configuration).
+fn force_parallel_workers() {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global()
+        .ok();
+}
+
+/// A dense, structured, normalized state: every amplitude distinct so index or phase
+/// mix-ups cannot cancel.
+fn dense_state(num_qubits: usize) -> Statevector {
+    let dim = 1usize << num_qubits;
+    let mut psi = Statevector::from_amplitudes(
+        (0..dim)
+            .map(|i| Complex64::new((i as f64 * 0.137).sin() + 0.3, (i as f64 * 0.291).cos()))
+            .collect(),
+    );
+    psi.normalize();
+    psi
+}
+
+fn max_amplitude_diff(a: &Statevector, b: &Statevector) -> f64 {
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).norm())
+        .fold(0.0, f64::max)
+}
+
+const NUM_PARAMS: usize = 4;
+
+/// Strategy for one random gate on an `n`-qubit register: every gate kind, fixed and
+/// parameterized angles, and Pauli rotations (whose labels make diagonal runs likely
+/// enough to exercise the batching pass).
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    (
+        0usize..14,
+        0usize..n,
+        0usize..n,
+        -3.2f64..3.2,
+        0usize..NUM_PARAMS,
+        proptest::collection::vec(proptest::sample::select(vec!['I', 'X', 'Y', 'Z']), n),
+        proptest::collection::vec(proptest::sample::select(vec!['I', 'Z']), n),
+    )
+        .prop_map(move |(kind, q, q2, theta, slot, label, diag_label)| {
+            // Force distinct qubits for the two-qubit gates.
+            let q2 = if q2 == q { (q + 1) % n } else { q2 };
+            match kind {
+                0 => Gate::H(q),
+                1 => Gate::X(q),
+                2 => Gate::Y(q),
+                3 => Gate::Z(q),
+                4 => Gate::S(q),
+                5 => Gate::Sdg(q),
+                6 => Gate::Cx(q, q2),
+                7 => Gate::Cz(q, q2),
+                8 => Gate::Rx(q, Angle::Fixed(theta)),
+                9 => Gate::Ry(q, Angle::param(slot)),
+                10 => Gate::Rz(q, Angle::param(slot)),
+                11 => Gate::PauliRotation(
+                    PauliString::from_label(&label.iter().collect::<String>()).unwrap(),
+                    Angle::Fixed(theta),
+                ),
+                // Diagonal (Z/I) rotations, fixed and parameterized: the food of the
+                // diagonal-batching pass.
+                12 => Gate::PauliRotation(
+                    PauliString::from_label(&diag_label.iter().collect::<String>()).unwrap(),
+                    Angle::Fixed(theta),
+                ),
+                _ => Gate::PauliRotation(
+                    PauliString::from_label(&diag_label.iter().collect::<String>()).unwrap(),
+                    Angle::param(slot),
+                ),
+            }
+        })
+}
+
+fn circuit_from_gates(num_qubits: usize, gates: Vec<Gate>) -> Circuit {
+    let mut circuit = Circuit::new(num_qubits);
+    for gate in gates {
+        circuit.push(gate);
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled (fused + diagonal-batched) execution equals the naive reference on
+    /// random circuits, to 1e-12 per amplitude.
+    #[test]
+    fn compiled_circuits_agree_with_reference(
+        gates in proptest::collection::vec(arb_gate(6), 1..40),
+        params in proptest::collection::vec(-3.2f64..3.2, NUM_PARAMS),
+    ) {
+        let n = 6;
+        let circuit = circuit_from_gates(n, gates);
+        let compiled = CompiledCircuit::compile(&circuit);
+        let initial = dense_state(n);
+        let mut fast = initial.clone();
+        compiled.execute_in_place(&params, &mut fast);
+        let naive = reference::run_circuit(&circuit, &params, &initial);
+        prop_assert!(max_amplitude_diff(&fast, &naive) < 1e-12);
+    }
+
+    /// Re-binding a compiled circuit to new parameters equals compiling-and-running
+    /// fresh: parameter slots must hold no stale state.
+    #[test]
+    fn compiled_rebinding_is_stateless(
+        gates in proptest::collection::vec(arb_gate(5), 1..25),
+        params_a in proptest::collection::vec(-3.2f64..3.2, NUM_PARAMS),
+        params_b in proptest::collection::vec(-3.2f64..3.2, NUM_PARAMS),
+    ) {
+        let n = 5;
+        let circuit = circuit_from_gates(n, gates);
+        let compiled = CompiledCircuit::compile(&circuit);
+        let initial = dense_state(n);
+        let mut scratch = initial.clone();
+        // Bind θ_a, then θ_b, on the same compiled object.
+        compiled.execute_into(&params_a, &initial, &mut scratch);
+        compiled.execute_into(&params_b, &initial, &mut scratch);
+        let naive = reference::run_circuit(&circuit, &params_b, &initial);
+        prop_assert!(max_amplitude_diff(&scratch, &naive) < 1e-12);
+    }
+
+    /// Batched backend evaluation equals a fresh serial backend, value for value and
+    /// shot for shot, at batch sizes 1, 2 (the SPSA pair) and 17 (splits across the
+    /// scratch-pool chunk size).
+    #[test]
+    fn batched_evaluation_equals_serial(
+        gates in proptest::collection::vec(arb_gate(5), 1..20),
+        params in proptest::collection::vec(-3.2f64..3.2, NUM_PARAMS),
+    ) {
+        let n = 5;
+        let circuit = circuit_from_gates(n, gates);
+        let charged = PauliOp::from_labels(n, &[("ZZIII", -1.0), ("IXIXI", 0.4), ("IIZZI", 0.7)]);
+        let tracking = PauliOp::from_labels(n, &[("ZIIIZ", 0.9)]);
+        for batch_size in [1usize, 2, 17] {
+            let candidates: Vec<Vec<f64>> = (0..batch_size)
+                .map(|k| params.iter().map(|p| p + 0.013 * k as f64).collect())
+                .collect();
+            let free_ops = [&tracking];
+            let requests: Vec<EvalRequest<'_>> = candidates
+                .iter()
+                .map(|c| EvalRequest {
+                    circuit: &circuit,
+                    params: c,
+                    initial: &InitialState::Basis(1),
+                    charged_op: &charged,
+                    free_ops: &free_ops,
+                })
+                .collect();
+            let mut batched = StatevectorBackend::with_shots(64);
+            let results = batched.evaluate_batch(&requests);
+            let mut serial = StatevectorBackend::with_shots(64);
+            for (candidate, result) in candidates.iter().zip(&results) {
+                let (c_serial, f_serial) = serial.evaluate(
+                    &circuit,
+                    candidate,
+                    &InitialState::Basis(1),
+                    &charged,
+                    &free_ops,
+                );
+                prop_assert!((result.charged - c_serial).abs() < 1e-12);
+                prop_assert!((result.free[0] - f_serial[0]).abs() < 1e-12);
+            }
+            prop_assert_eq!(batched.shots_used(), serial.shots_used());
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases for the forced-parallel properties: each prepares many states.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The across-state parallel batch path (small register × many candidates, forced
+    /// multi-worker) equals the serial loop exactly.
+    #[test]
+    fn parallel_batch_path_equals_serial(
+        gates in proptest::collection::vec(arb_gate(11), 1..12),
+        params in proptest::collection::vec(-3.2f64..3.2, NUM_PARAMS),
+    ) {
+        force_parallel_workers();
+        // 17 candidates × 2^11 amplitudes crosses the default QSIM_PAR_THRESHOLD of
+        // 2^14 while each state stays below it, which is exactly the regime where the
+        // pool parallelizes across states.
+        let n = 11;
+        let circuit = circuit_from_gates(n, gates);
+        let charged = PauliOp::from_labels(n, &[("ZZIIIIIIIII", -1.0), ("IIXIXIIIIII", 0.3)]);
+        let candidates: Vec<Vec<f64>> = (0..17)
+            .map(|k| params.iter().map(|p| p + 0.011 * k as f64).collect())
+            .collect();
+        let requests: Vec<EvalRequest<'_>> = candidates
+            .iter()
+            .map(|c| EvalRequest {
+                circuit: &circuit,
+                params: c,
+                initial: &InitialState::Basis(0),
+                charged_op: &charged,
+                free_ops: &[],
+            })
+            .collect();
+        let mut batched = StatevectorBackend::with_shots(8);
+        let results = batched.evaluate_batch(&requests);
+        let mut serial = StatevectorBackend::with_shots(8);
+        for (candidate, result) in candidates.iter().zip(&results) {
+            let (c_serial, _) =
+                serial.evaluate(&circuit, candidate, &InitialState::Basis(0), &charged, &[]);
+            prop_assert!((result.charged - c_serial).abs() < 1e-12);
+        }
+    }
+
+    /// The sampled backend consumes its RNG in request order regardless of batching, so
+    /// batched and serial runs with the same seed produce identical noisy values.
+    #[test]
+    fn sampled_batch_rng_stream_is_order_stable(
+        gates in proptest::collection::vec(arb_gate(5), 1..15),
+        params in proptest::collection::vec(-3.2f64..3.2, NUM_PARAMS),
+        seed in 0u64..1000,
+    ) {
+        force_parallel_workers();
+        let n = 5;
+        let circuit = circuit_from_gates(n, gates);
+        let charged = PauliOp::from_labels(n, &[("ZZIII", -1.0), ("IXXII", 0.5)]);
+        let candidates: Vec<Vec<f64>> = (0..6)
+            .map(|k| params.iter().map(|p| p + 0.017 * k as f64).collect())
+            .collect();
+        let requests: Vec<EvalRequest<'_>> = candidates
+            .iter()
+            .map(|c| EvalRequest {
+                circuit: &circuit,
+                params: c,
+                initial: &InitialState::UniformSuperposition,
+                charged_op: &charged,
+                free_ops: &[],
+            })
+            .collect();
+        let mut batched = SampledBackend::new(128, seed);
+        let results = batched.evaluate_batch(&requests);
+        let mut serial = SampledBackend::new(128, seed);
+        for (candidate, result) in candidates.iter().zip(&results) {
+            let (c_serial, _) = serial.evaluate(
+                &circuit,
+                candidate,
+                &InitialState::UniformSuperposition,
+                &charged,
+                &[],
+            );
+            prop_assert_eq!(result.charged, c_serial);
+        }
+    }
+}
+
+/// One deterministic end-to-end check that the `run_circuit` wrapper (now compiled) and
+/// the retained per-gate interpreter agree on an ansatz with every fusion pattern.
+#[test]
+fn wrapper_interpreter_and_reference_agree() {
+    use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+    let circuit = HardwareEfficientAnsatz::new(6, 3, Entanglement::Circular).build();
+    let params: Vec<f64> = (0..circuit.num_parameters())
+        .map(|i| (i as f64 * 0.37).sin())
+        .collect();
+    let initial = dense_state(6);
+
+    let compiled_out = qsim::run_circuit(&circuit, &params, &initial);
+    let mut interpreted = initial.clone();
+    qsim::interpret_circuit_in_place(&circuit, &params, &mut interpreted);
+    let naive = reference::run_circuit(&circuit, &params, &initial);
+
+    assert!(max_amplitude_diff(&compiled_out, &interpreted) < 1e-12);
+    assert!(max_amplitude_diff(&compiled_out, &naive) < 1e-12);
+}
