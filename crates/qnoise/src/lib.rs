@@ -1,0 +1,72 @@
+//! # qnoise — stochastic Pauli-channel noise simulation and error mitigation
+//!
+//! The reproduction's original noise story was purely analytic (`qsim::NoiseModel`
+//! attenuates expectation values term by term).  This crate adds the *trajectory* story:
+//! per-gate Pauli error channels simulated by **stochastic trajectory sampling on the
+//! statevector** — never a density matrix.  Each trajectory is a seeded random Pauli
+//! insertion stream replayed through a [`qsim::CompiledCircuit`], so the
+//! compile-once/bind-many split is reused verbatim and K trajectories of one parameter
+//! binding become one `vqa::Backend::evaluate_batch`-shaped workload that
+//! data-parallelizes across scratch states (see `vqa::NoisyStatevectorBackend`).
+//!
+//! ## The pieces
+//!
+//! * [`PauliNoiseModel`] / [`PauliChannel`] — per-gate channels: depolarizing (1q and
+//!   k-qubit uniform for entangling gates), dephasing, Pauli-twirled amplitude damping,
+//!   plus a readout bit-flip model applied as per-term expectation attenuation.
+//! * [`TrajectorySampler`] — binds a model to a compiled circuit's
+//!   [`qsim::NoiseSite`] table once, then samples per-trajectory
+//!   [`qsim::PauliInsertion`] schedules with no re-walk of the gate list.
+//! * [`fold_gates`] / [`richardson_extrapolate`] — zero-noise extrapolation building
+//!   blocks: local gate folding (`g ↦ g·g†·g`, odd scale factors) amplifies every noise
+//!   site by exactly the scale factor, and a Richardson (Lagrange-at-zero) fit
+//!   extrapolates measured expectations back to the zero-noise limit (see
+//!   `vqa::ZneBackend` for the backend wrapper).
+//!
+//! ## Seeding contract
+//!
+//! Trajectory `i` of stream seed `s` is fully determined by `(s, i)` — independent of
+//! batch size, chunk size (the `vqa` crate's `VQA_BATCH_CHUNK`), worker count, and of which other
+//! trajectories are sampled: every trajectory draws from its own RNG seeded with
+//! [`trajectory_seed`]`(s, i)`.  The draw stream *within* a trajectory consumes one
+//! uniform per nonzero channel per noise site, in site order, so a schedule is also
+//! independent of how many errors actually fire.  Changing the noise model (adding or
+//! zeroing channels) changes the stream; changing only the parameter vector does not,
+//! because insertion schedules never depend on `θ`.
+//!
+//! ## Knobs
+//!
+//! The trajectory count defaults to the `QNOISE_TRAJECTORIES` environment variable
+//! (read once per process, default [`DEFAULT_TRAJECTORIES`]); see the workspace README's
+//! "Tuning" section for how it interacts with `QSIM_PAR_THRESHOLD` and
+//! `VQA_BATCH_CHUNK`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod model;
+mod trajectory;
+mod zne;
+
+pub use model::{
+    readout_attenuation, uniform_depolarizing_attenuation, PauliChannel, PauliNoiseModel,
+};
+pub use trajectory::{trajectory_seed, TrajectorySampler};
+pub use zne::{fold_gates, fold_global, richardson_extrapolate, DEFAULT_ZNE_SCALES};
+
+/// Default trajectory count when `QNOISE_TRAJECTORIES` is unset.
+pub const DEFAULT_TRAJECTORIES: usize = 64;
+
+/// The process-wide default trajectory count: the `QNOISE_TRAJECTORIES` environment
+/// variable (read once, minimum 1), falling back to [`DEFAULT_TRAJECTORIES`].
+pub fn default_trajectories() -> usize {
+    use std::sync::OnceLock;
+    static TRAJ: OnceLock<usize> = OnceLock::new();
+    *TRAJ.get_or_init(|| {
+        std::env::var("QNOISE_TRAJECTORIES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_TRAJECTORIES)
+    })
+}

@@ -33,8 +33,8 @@
 //! of parameter vectors (see `vqa`'s batched backends).
 
 use crate::simulator::{
-    apply_cx, apply_cz, apply_pauli_rotation, apply_single_qubit, rx_matrix, ry_matrix, rz_matrix,
-    Matrix2,
+    apply_cx, apply_cz, apply_pauli_rotation, apply_pauli_string, apply_single_qubit, rx_matrix,
+    ry_matrix, rz_matrix, Matrix2,
 };
 use qcircuit::{Angle, Circuit, Gate};
 use qop::par::{use_parallel, SendPtr, MIN_PAR_INDICES};
@@ -168,6 +168,29 @@ type BoundPhase = (u64, [Complex64; 2]);
 /// heap buffer (only reachable for >64-term diagonal runs).
 const DIAG_STACK_TERMS: usize = 64;
 
+/// A diagonal pass bound to concrete phase values, reusable across executions whose
+/// resolved diagonal angles are identical (see [`CompiledCircuit::prepare_batch_tables`]).
+#[derive(Clone, Debug)]
+enum BoundDiagonal {
+    /// Short term lists / tiny registers: the bound per-term phase factors.
+    Direct(Vec<BoundPhase>),
+    /// The factored low/high phase tables of the tabulated path.
+    Tabulated(TabulatedTables),
+}
+
+/// The low/high-table factorization of a bound diagonal pass (see
+/// [`DiagonalPass::execute_tabulated`] for the math).
+#[derive(Clone, Debug)]
+struct TabulatedTables {
+    /// Split position: low table indexes `b & low_mask`, high table indexes `b >> s`.
+    s: usize,
+    low_mask: u64,
+    low_table: Vec<Complex64>,
+    high_table: Vec<Complex64>,
+    /// Terms whose mask spans the split; applied per amplitude on top of the tables.
+    span_terms: Vec<BoundPhase>,
+}
+
 impl DiagonalPass {
     fn push_term(&mut self, mask: u64, angle: PhaseAngle) {
         // Constant terms on the same mask merge by summing exponents.
@@ -205,10 +228,40 @@ impl DiagonalPass {
             &heap
         };
         let num_qubits = state.num_qubits();
-        if bound.len() >= 4 && num_qubits >= 8 {
-            self.execute_tabulated(bound, state);
+        if Self::use_tabulated(bound.len(), num_qubits) {
+            let tables = self.build_tables(bound, num_qubits);
+            self.apply_tables(&tables, state);
         } else {
             self.execute_direct(bound, state);
+        }
+    }
+
+    /// Same path choice as [`DiagonalPass::execute`], so binding once and reusing is
+    /// arithmetic-identical to binding per execution.
+    fn use_tabulated(num_terms: usize, num_qubits: usize) -> bool {
+        num_terms >= 4 && num_qubits >= 8
+    }
+
+    /// Binds every term (and, on the tabulated path, builds the phase tables) once, for
+    /// reuse across a batch of executions that resolve the same diagonal angles.
+    fn bind_full(&self, params: &[f64], num_qubits: usize) -> BoundDiagonal {
+        let bound: Vec<BoundPhase> = self
+            .terms
+            .iter()
+            .map(|t| Self::bind_term(t, params))
+            .collect();
+        if Self::use_tabulated(bound.len(), num_qubits) {
+            BoundDiagonal::Tabulated(self.build_tables(&bound, num_qubits))
+        } else {
+            BoundDiagonal::Direct(bound)
+        }
+    }
+
+    /// Executes from pre-bound data (the reuse counterpart of [`DiagonalPass::execute`]).
+    fn execute_bound(&self, bound: &BoundDiagonal, state: &mut Statevector) {
+        match bound {
+            BoundDiagonal::Direct(terms) => self.execute_direct(terms, state),
+            BoundDiagonal::Tabulated(tables) => self.apply_tables(tables, state),
         }
     }
 
@@ -265,8 +318,7 @@ impl DiagonalPass {
     /// the geometrically local Hamiltonian layers that dominate real ansätze this is
     /// O(1) terms, not O(K)).  This is what makes one batched pass decisively cheaper
     /// than K well-pipelined per-gate passes.
-    fn execute_tabulated(&self, bound: &[BoundPhase], state: &mut Statevector) {
-        let num_qubits = state.num_qubits();
+    fn build_tables(&self, bound: &[BoundPhase], num_qubits: usize) -> TabulatedTables {
         let s = num_qubits.div_ceil(2);
         let low_mask = (1u64 << s) - 1;
 
@@ -297,12 +349,29 @@ impl DiagonalPass {
         let high_table: Vec<Complex64> = (0..1usize << (num_qubits - s))
             .map(|h| self.global * product_at(&high_terms, (h as u64) << s))
             .collect();
+        TabulatedTables {
+            s,
+            low_mask,
+            low_table,
+            high_table,
+            span_terms,
+        }
+    }
 
+    fn apply_tables(&self, tables: &TabulatedTables, state: &mut Statevector) {
+        let TabulatedTables {
+            s,
+            low_mask,
+            low_table,
+            high_table,
+            span_terms,
+        } = tables;
+        let (s, low_mask) = (*s, *low_mask);
         let dim = state.dim();
         let amps = state.amplitudes_mut();
         let phase_of = |b: usize| -> Complex64 {
             let mut p = low_table[b & low_mask as usize] * high_table[b >> s];
-            for t in &span_terms {
+            for t in span_terms {
                 p *= t.1[((b as u64 & t.0).count_ones() & 1) as usize];
             }
             p
@@ -366,6 +435,71 @@ struct OpEntry {
     mask: u64,
 }
 
+/// One potential error location of a compiled circuit: a source gate, the compiled op it
+/// was folded into, and the qubits it touches.
+///
+/// Stochastic Pauli-trajectory noise simulation (`qnoise`) attaches a per-gate error
+/// channel to every site and pre-samples, per trajectory, the list of
+/// [`PauliInsertion`]s to replay through
+/// [`CompiledCircuit::execute_in_place_with_insertions`] — the compiled gate list itself
+/// is never re-walked.  An error attached to a fused op fires when that op *completes*;
+/// for gates that were commuted backwards during fusion this coarse-grains the error
+/// location to the op they merged into (exact for depolarizing channels, which commute
+/// with the single-qubit chain they ride on, and first-order-exact otherwise).
+#[derive(Clone, Debug)]
+pub struct NoiseSite {
+    /// Index of the compiled op this gate was folded into; the error fires after it.
+    pub op_index: usize,
+    /// The qubits the source gate touches.
+    pub qubits: Vec<usize>,
+    /// Whether the source gate was entangling (two-or-more-qubit) — noise models charge
+    /// entangling gates a different (usually much larger) error rate.
+    pub entangling: bool,
+}
+
+/// One pre-sampled Pauli error of a noise trajectory: apply `string` after compiled op
+/// `after_op` executes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PauliInsertion {
+    /// Compiled-op index this error fires after (an [`NoiseSite::op_index`]).
+    pub after_op: usize,
+    /// The error to apply, as a full-register Pauli string.
+    pub string: PauliString,
+}
+
+/// One bound diagonal pass of a [`BatchTables`], plus the resolved first-term phase it
+/// was bound for (the staleness fingerprint checked on every cached execution in debug
+/// builds).
+#[derive(Clone, Debug)]
+struct BoundTableEntry {
+    bound: BoundDiagonal,
+    first_phi_bits: u64,
+}
+
+/// Pre-bound diagonal-pass data shared across a batch of executions.
+///
+/// Built by [`CompiledCircuit::prepare_batch_tables`] when every parameter vector of a
+/// batch resolves a diagonal pass to the same phase values — the common case for noise
+/// trajectories (K executions of one binding) and calibration batches.  Passes whose
+/// angles differ across the batch simply stay unbound and re-bind per execution.
+///
+/// Tables are only valid for the circuit and the parameter bindings they were prepared
+/// from: executing them against a different circuit is rejected (op-count check), and
+/// executing against parameters that resolve different diagonal angles is caught by a
+/// per-pass fingerprint in debug builds.
+#[derive(Clone, Debug, Default)]
+pub struct BatchTables {
+    /// One slot per compiled op; `Some` only for diagonal passes bound once.
+    per_op: Vec<Option<BoundTableEntry>>,
+}
+
+impl BatchTables {
+    /// Number of diagonal passes that were bound once for the whole batch.
+    pub fn num_bound(&self) -> usize {
+        self.per_op.iter().filter(|b| b.is_some()).count()
+    }
+}
+
 /// Summary of what compilation achieved (surfaced by examples and benches).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CompileStats {
@@ -408,6 +542,8 @@ pub struct CompiledCircuit {
     num_qubits: usize,
     ops: Vec<OpEntry>,
     stats: CompileStats,
+    /// One entry per source gate (identity rotations excluded), in source order.
+    noise_sites: Vec<NoiseSite>,
 }
 
 impl Clone for OpEntry {
@@ -439,22 +575,29 @@ impl CompiledCircuit {
     pub fn compile(circuit: &Circuit) -> Self {
         let mut ops: Vec<OpEntry> = Vec::new();
         let mut source_gates = 0usize;
+        let mut noise_sites: Vec<NoiseSite> = Vec::new();
         for gate in circuit.gates() {
-            match Self::classify(gate) {
+            let op_index = match Self::classify(gate) {
                 Lowered::Skip => continue,
                 Lowered::Single(q, elem, diagonal) => {
                     source_gates += 1;
-                    Self::merge_single(&mut ops, q, elem, diagonal);
+                    Self::merge_single(&mut ops, q, elem, diagonal)
                 }
                 Lowered::Diagonal(atom) => {
                     source_gates += 1;
-                    Self::merge_diagonal(&mut ops, atom);
+                    Self::merge_diagonal(&mut ops, atom)
                 }
                 Lowered::Other(op, mask) => {
                     source_gates += 1;
                     ops.push(OpEntry { op, mask });
+                    ops.len() - 1
                 }
-            }
+            };
+            noise_sites.push(NoiseSite {
+                op_index,
+                qubits: gate.qubits(),
+                entangling: gate.is_entangling(),
+            });
         }
         let mut stats = CompileStats {
             source_gates,
@@ -477,6 +620,7 @@ impl CompiledCircuit {
             num_qubits: circuit.num_qubits(),
             ops,
             stats,
+            noise_sites,
         }
     }
 
@@ -504,6 +648,98 @@ impl CompiledCircuit {
     /// Panics if the register sizes differ or a parameter slot is out of range for
     /// `params`.
     pub fn execute_in_place(&self, params: &[f64], state: &mut Statevector) {
+        self.execute_full(params, state, None, &[]);
+    }
+
+    /// Executes starting from `initial`, writing into `scratch` (the zero-allocation
+    /// batch building block: `scratch`'s buffer is reused when dimensions match).
+    pub fn execute_into(&self, params: &[f64], initial: &Statevector, scratch: &mut Statevector) {
+        scratch.clone_from(initial);
+        self.execute_in_place(params, scratch);
+    }
+
+    /// The noise sites of the source circuit, in source-gate order (see [`NoiseSite`]).
+    pub fn noise_sites(&self) -> &[NoiseSite] {
+        &self.noise_sites
+    }
+
+    /// Binds the diagonal passes once for a whole batch of parameter vectors.
+    ///
+    /// For every diagonal pass whose phase angles resolve to **bit-identical** values
+    /// under all of `params_list` (always true for fixed-angle gates, for batches that
+    /// only vary non-diagonal parameters, and for the K-trajectories-of-one-binding
+    /// batches of noise simulation), the pass's bound terms — and on the tabulated path
+    /// its `O(√dim)` low/high phase tables — are computed once here instead of once per
+    /// execution.  Executing with the returned tables via
+    /// [`CompiledCircuit::execute_in_place_cached`] is arithmetic-identical to
+    /// [`CompiledCircuit::execute_in_place`]: the same binding and table-construction
+    /// code runs, just once.
+    pub fn prepare_batch_tables(&self, params_list: &[&[f64]]) -> BatchTables {
+        let mut per_op: Vec<Option<BoundTableEntry>> = vec![None; self.ops.len()];
+        let Some((first, rest)) = params_list.split_first() else {
+            return BatchTables { per_op };
+        };
+        for (slot, entry) in per_op.iter_mut().zip(&self.ops) {
+            let CompiledOp::Diagonal(pass) = &entry.op else {
+                continue;
+            };
+            let uniform = pass.terms.iter().all(|t| {
+                let phi = t.angle.resolve(first).to_bits();
+                rest.iter().all(|p| t.angle.resolve(p).to_bits() == phi)
+            });
+            if uniform {
+                *slot = Some(BoundTableEntry {
+                    bound: pass.bind_full(first, self.num_qubits),
+                    first_phi_bits: pass.terms[0].angle.resolve(first).to_bits(),
+                });
+            }
+        }
+        BatchTables { per_op }
+    }
+
+    /// [`CompiledCircuit::execute_in_place`] with pre-bound diagonal tables from
+    /// [`CompiledCircuit::prepare_batch_tables`].
+    pub fn execute_in_place_cached(
+        &self,
+        params: &[f64],
+        state: &mut Statevector,
+        tables: &BatchTables,
+    ) {
+        self.execute_full(params, state, Some(tables), &[]);
+    }
+
+    /// Executes the compiled circuit while replaying a pre-sampled Pauli error stream:
+    /// each [`PauliInsertion`] is applied immediately after its `after_op` op executes.
+    ///
+    /// This is the noise-trajectory hot path (`qnoise`): the insertion schedule is
+    /// sampled once per trajectory from the [`CompiledCircuit::noise_sites`] table, and
+    /// replaying it costs one [`apply_pauli_string`] pass per *fired* error — the
+    /// compiled op list is never re-walked or re-lowered.  With an empty schedule this
+    /// is exactly [`CompiledCircuit::execute_in_place`] (bit-identical, same code path),
+    /// which is what pins the noise-rate-0 equivalence property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insertions` is not sorted by `after_op` or references an op index out
+    /// of range, in addition to the register/parameter panics of
+    /// [`CompiledCircuit::execute_in_place`].
+    pub fn execute_in_place_with_insertions(
+        &self,
+        params: &[f64],
+        state: &mut Statevector,
+        insertions: &[PauliInsertion],
+        tables: Option<&BatchTables>,
+    ) {
+        self.execute_full(params, state, tables, insertions);
+    }
+
+    fn execute_full(
+        &self,
+        params: &[f64],
+        state: &mut Statevector,
+        tables: Option<&BatchTables>,
+        insertions: &[PauliInsertion],
+    ) {
         assert_eq!(
             self.num_qubits,
             state.num_qubits(),
@@ -511,7 +747,22 @@ impl CompiledCircuit {
             self.num_qubits,
             state.num_qubits()
         );
-        for entry in &self.ops {
+        assert!(
+            insertions
+                .windows(2)
+                .all(|w| w[0].after_op <= w[1].after_op),
+            "Pauli insertions must be sorted by after_op"
+        );
+        if let Some(t) = tables {
+            assert_eq!(
+                t.per_op.len(),
+                self.ops.len(),
+                "batch tables were prepared for a different compiled circuit"
+            );
+        }
+        let mut cursor = 0usize;
+        for (i, entry) in self.ops.iter().enumerate() {
+            let bound = tables.and_then(|t| t.per_op.get(i).and_then(Option::as_ref));
             match &entry.op {
                 CompiledOp::Fused1Q(f) => {
                     apply_single_qubit(state, f.qubit, &f.bound_matrix(params));
@@ -521,16 +772,34 @@ impl CompiledCircuit {
                 CompiledOp::Rotation(string, angle) => {
                     apply_pauli_rotation(state, string, angle.resolve(params));
                 }
-                CompiledOp::Diagonal(pass) => pass.execute(params, state),
+                CompiledOp::Diagonal(pass) => match bound {
+                    Some(entry) => {
+                        // Stale-table misuse (tables prepared for a binding whose
+                        // diagonal angles differ from `params`) corrupts amplitudes
+                        // silently; the fingerprint catches it in debug builds.
+                        debug_assert_eq!(
+                            pass.terms[0].angle.resolve(params).to_bits(),
+                            entry.first_phi_bits,
+                            "batch tables are stale: diagonal angles changed since \
+                             prepare_batch_tables"
+                        );
+                        pass.execute_bound(&entry.bound, state);
+                    }
+                    None => pass.execute(params, state),
+                },
+            }
+            while cursor < insertions.len() && insertions[cursor].after_op == i {
+                apply_pauli_string(state, &insertions[cursor].string);
+                cursor += 1;
             }
         }
-    }
-
-    /// Executes starting from `initial`, writing into `scratch` (the zero-allocation
-    /// batch building block: `scratch`'s buffer is reused when dimensions match).
-    pub fn execute_into(&self, params: &[f64], initial: &Statevector, scratch: &mut Statevector) {
-        scratch.clone_from(initial);
-        self.execute_in_place(params, scratch);
+        assert_eq!(
+            cursor,
+            insertions.len(),
+            "Pauli insertion references op index {} but the circuit has {} ops",
+            insertions.get(cursor).map(|p| p.after_op).unwrap_or(0),
+            self.ops.len()
+        );
     }
 
     fn classify(gate: &Gate) -> Lowered {
@@ -602,7 +871,13 @@ impl CompiledCircuit {
 
     /// Merges a single-qubit gate into an existing chain on the same qubit, commuting it
     /// past earlier ops on disjoint qubits (and, for diagonal gates, past diagonal ops).
-    fn merge_single(ops: &mut Vec<OpEntry>, q: usize, elem: ChainElem, elem_diagonal: bool) {
+    /// Returns the op index the gate landed in.
+    fn merge_single(
+        ops: &mut Vec<OpEntry>,
+        q: usize,
+        elem: ChainElem,
+        elem_diagonal: bool,
+    ) -> usize {
         let qmask = qubit_mask([q]);
         let mut target = None;
         let mut i = ops.len();
@@ -623,7 +898,7 @@ impl CompiledCircuit {
         if let Some(j) = target {
             if let CompiledOp::Fused1Q(f) = &mut ops[j].op {
                 f.push(elem);
-                return;
+                return j;
             }
         }
         ops.push(OpEntry {
@@ -634,12 +909,13 @@ impl CompiledCircuit {
             }),
             mask: qmask,
         });
+        ops.len() - 1
     }
 
     /// Merges a diagonal gate into an earlier diagonal op (pass, CZ, or diagonal
     /// rotation), commuting it past disjoint or diagonal ops; otherwise emits its
-    /// dedicated-kernel form.
-    fn merge_diagonal(ops: &mut Vec<OpEntry>, atom: DiagonalAtom) {
+    /// dedicated-kernel form.  Returns the op index the gate landed in.
+    fn merge_diagonal(ops: &mut Vec<OpEntry>, atom: DiagonalAtom) -> usize {
         let mask = atom.terms.iter().fold(0u64, |acc, t| acc | t.mask);
         let mut target = None;
         let mut i = ops.len();
@@ -673,12 +949,13 @@ impl CompiledCircuit {
                 pass.absorb(atom);
             }
             entry.mask |= mask;
-            return;
+            return j;
         }
         ops.push(OpEntry {
             op: atom.single,
             mask,
         });
+        ops.len() - 1
     }
 
     /// Re-lowers an already-emitted diagonal op back into phase terms so it can seed a
@@ -904,6 +1181,115 @@ mod tests {
         assert_eq!(buffer, scratch.amplitudes().as_ptr(), "scratch reallocated");
         let expected = reference::run_circuit(&circ, &[0.7], &initial);
         assert!(max_diff(&expected, &scratch) < 1e-12);
+    }
+
+    #[test]
+    fn noise_sites_track_fused_gates() {
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::H(0));
+        circ.push(Gate::Rz(0, Angle::param(0)));
+        circ.push(Gate::Cx(0, 1));
+        circ.push(Gate::H(1));
+        let compiled = CompiledCircuit::compile(&circ);
+        let sites = compiled.noise_sites();
+        assert_eq!(sites.len(), 4, "one site per source gate");
+        // H and Rz fuse into op 0; CX is op 1; the trailing H is op 2.
+        assert_eq!(sites[0].op_index, sites[1].op_index);
+        assert_eq!(sites[2].qubits, vec![0, 1]);
+        assert!(sites[2].entangling);
+        assert!(!sites[0].entangling);
+        assert!(sites.iter().all(|s| s.op_index < compiled.num_ops()));
+        // Identity rotations contribute no site.
+        let mut with_id = Circuit::new(2);
+        with_id.push(Gate::H(0));
+        with_id.push(Gate::PauliRotation(
+            PauliString::identity(2),
+            Angle::Fixed(0.4),
+        ));
+        assert_eq!(CompiledCircuit::compile(&with_id).noise_sites().len(), 1);
+    }
+
+    #[test]
+    fn insertions_fire_after_their_op() {
+        // X inserted after the (single) H op flips the state exactly like appending an
+        // X gate to the circuit.
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::H(0));
+        let compiled = CompiledCircuit::compile(&circ);
+        let mut noisy = Statevector::zero_state(2);
+        let insertions = [super::PauliInsertion {
+            after_op: 0,
+            string: PauliString::from_label("IX").unwrap(),
+        }];
+        compiled.execute_in_place_with_insertions(&[], &mut noisy, &insertions, None);
+
+        let mut with_gate = Circuit::new(2);
+        with_gate.push(Gate::H(0));
+        with_gate.push(Gate::X(1));
+        let expected = reference::run_circuit(&with_gate, &[], &Statevector::zero_state(2));
+        assert!(max_diff(&noisy, &expected) < 1e-12);
+    }
+
+    #[test]
+    fn empty_insertion_schedule_is_bit_identical_to_plain_execution() {
+        use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+        let circ = HardwareEfficientAnsatz::new(4, 2, Entanglement::Circular).build();
+        let params: Vec<f64> = (0..circ.num_parameters())
+            .map(|i| (i as f64 * 0.29).sin())
+            .collect();
+        let compiled = CompiledCircuit::compile(&circ);
+        let mut plain = dense_state(4);
+        let mut noisy = plain.clone();
+        compiled.execute_in_place(&params, &mut plain);
+        compiled.execute_in_place_with_insertions(&params, &mut noisy, &[], None);
+        for (a, b) in plain.amplitudes().iter().zip(noisy.amplitudes()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_tables_bind_uniform_diagonal_passes_and_match_exactly() {
+        // A 9-qubit QAOA-style circuit: the diagonal pass takes the tabulated path
+        // (≥4 terms, ≥8 qubits), so the cached execution reuses real low/high tables.
+        let n = 9;
+        let mut circ = Circuit::new(n);
+        for q in 0..n {
+            circ.push(Gate::H(q));
+        }
+        for q in 0..n {
+            let mut label = vec!['I'; n];
+            label[q] = 'Z';
+            label[(q + 1) % n] = 'Z';
+            let string = PauliString::from_label(&label.iter().collect::<String>()).unwrap();
+            circ.push(Gate::PauliRotation(string, Angle::param(0)));
+        }
+        for q in 0..n {
+            circ.push(Gate::Rx(q, Angle::param(1)));
+        }
+        let compiled = CompiledCircuit::compile(&circ);
+        assert_eq!(compiled.stats().diagonal_passes, 1);
+
+        // Two bindings that share the diagonal parameter but vary the mixer.
+        let a = [0.7, 0.3];
+        let b = [0.7, -1.1];
+        let tables = compiled.prepare_batch_tables(&[&a, &b]);
+        assert_eq!(tables.num_bound(), 1);
+        for (params, label) in [(&a, "a"), (&b, "b")] {
+            let mut cached = Statevector::zero_state(n);
+            let mut fresh = Statevector::zero_state(n);
+            compiled.execute_in_place_cached(params.as_slice(), &mut cached, &tables);
+            compiled.execute_in_place(params.as_slice(), &mut fresh);
+            for (x, y) in cached.amplitudes().iter().zip(fresh.amplitudes()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "binding {label}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "binding {label}");
+            }
+        }
+
+        // A binding that changes the diagonal parameter disables the reuse.
+        let c = [0.9, 0.3];
+        let tables = compiled.prepare_batch_tables(&[&a, &c]);
+        assert_eq!(tables.num_bound(), 0);
     }
 
     #[test]

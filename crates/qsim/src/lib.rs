@@ -41,7 +41,7 @@
 //! states of a batch instead of within one state.  Optimizer inner loops should compile
 //! once and drive [`CompiledCircuit::execute_into`] with a reused scratch state (the
 //! `run_circuit*` wrappers compile on *every* call and allocate, so they are for
-//! one-shot use); the original unoptimized kernels are kept in [`reference`] as the
+//! one-shot use); the original unoptimized kernels are kept in [`mod@reference`] as the
 //! correctness and speedup baseline.
 
 #![warn(missing_docs)]
@@ -54,7 +54,7 @@ mod pauliprop;
 mod shots;
 mod simulator;
 
-pub use compiled::{CompileStats, CompiledCircuit};
+pub use compiled::{BatchTables, CompileStats, CompiledCircuit, NoiseSite, PauliInsertion};
 pub use estimator::{
     analytic_sampled_expectation, analytic_sampled_from_expectations, estimate_expectation,
     exact_term_expectations, multinomial_sampled_expectation, EstimatorConfig, SamplingMethod,
@@ -63,7 +63,7 @@ pub use noise::{attenuation_factor, noisy_expectation, CircuitNoiseProfile, Nois
 pub use pauliprop::{PauliPropagator, PauliPropagatorConfig};
 pub use shots::{ShotLedger, DEFAULT_SHOTS_PER_PAULI};
 pub use simulator::{
-    apply_cx, apply_cz, apply_gate, apply_pauli_rotation, apply_single_qubit,
+    apply_cx, apply_cz, apply_gate, apply_pauli_rotation, apply_pauli_string, apply_single_qubit,
     interpret_circuit_in_place, parallel_threshold, reference, run_circuit, run_circuit_in_place,
     run_circuit_into, rx_matrix, ry_matrix, rz_matrix, Matrix2,
 };

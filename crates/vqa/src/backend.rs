@@ -139,31 +139,81 @@ pub fn batch_chunk() -> usize {
     })
 }
 
-/// Single-entry compiled-circuit cache keyed by circuit equality.
+/// A tiny most-recently-used cache of per-circuit derived data, keyed by circuit
+/// equality.
 ///
 /// Optimizer loops evaluate one ansatz at thousands of parameter vectors, so the common
-/// case is a permanent cache hit (one O(gates) equality check per call, no compilation).
-/// A different circuit simply recompiles — correct for every caller, optimal for the hot
-/// ones.
-#[derive(Debug, Default)]
+/// case is a permanent hit on the front entry (one O(gates) equality check per call).
+/// The capacity is a handful rather than one because mitigation wrappers rotate between
+/// a few fixed circuits per logical evaluation (ZNE's 1×/3×/5× gate foldings); an LRU of
+/// that depth keeps each folding's compilation (and trajectory-sampler construction)
+/// amortized instead of thrashing.
+#[derive(Debug)]
+pub(crate) struct CircuitCache<V> {
+    /// Most-recently-used first.
+    entries: Vec<(Circuit, V)>,
+    capacity: usize,
+}
+
+/// Cache depth of the dense backends: enough for every folding of a ZNE ladder up to
+/// seven scales plus the unfolded probe circuit.  A mitigation wrapper rotating through
+/// more than `CIRCUIT_CACHE_CAPACITY − 1` circuits per logical evaluation would turn
+/// every access into a miss (recompiling per scale), so `ZneBackend::with_scales`
+/// documents this coupling; longer ladders still compute correctly, just without the
+/// amortization.
+pub(crate) const CIRCUIT_CACHE_CAPACITY: usize = 8;
+
+impl<V> CircuitCache<V> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        CircuitCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached value for `circuit`, building it with `make` on a miss (and
+    /// evicting the least-recently-used entry past capacity).
+    pub(crate) fn get_or_insert_with(
+        &mut self,
+        circuit: &Circuit,
+        make: impl FnOnce(&Circuit) -> V,
+    ) -> &V {
+        if let Some(pos) = self.entries.iter().position(|(c, _)| c == circuit) {
+            let entry = self.entries.remove(pos);
+            self.entries.insert(0, entry);
+        } else {
+            let value = make(circuit);
+            self.entries.insert(0, (circuit.clone(), value));
+            self.entries.truncate(self.capacity);
+        }
+        &self.entries[0].1
+    }
+}
+
+/// The dense backends' compiled-circuit cache.
+#[derive(Debug)]
 struct CompiledCache {
-    source: Option<Circuit>,
-    compiled: Option<CompiledCircuit>,
+    inner: CircuitCache<CompiledCircuit>,
+}
+
+impl Default for CompiledCache {
+    fn default() -> Self {
+        CompiledCache {
+            inner: CircuitCache::new(CIRCUIT_CACHE_CAPACITY),
+        }
+    }
 }
 
 impl CompiledCache {
     fn get(&mut self, circuit: &Circuit) -> &CompiledCircuit {
-        if self.source.as_ref() != Some(circuit) {
-            self.compiled = Some(CompiledCircuit::compile(circuit));
-            self.source = Some(circuit.clone());
-        }
-        self.compiled.as_ref().expect("compiled just populated")
+        self.inner
+            .get_or_insert_with(circuit, CompiledCircuit::compile)
     }
 }
 
 /// A pool of reusable scratch statevectors, one per in-flight batch request.
 #[derive(Debug, Default)]
-struct ScratchPool {
+pub(crate) struct ScratchPool {
     states: Vec<Statevector>,
 }
 
@@ -174,6 +224,67 @@ impl ScratchPool {
         while self.states.len() < count {
             self.states.push(Statevector::zero_state(num_qubits));
         }
+    }
+
+    /// Direct access for single-state callers (grown on demand).
+    pub(crate) fn state(&mut self, num_qubits: usize) -> &mut Statevector {
+        self.ensure(1, num_qubits);
+        &mut self.states[0]
+    }
+}
+
+/// Runs `work(i, state_i)` for `i in 0..count` over the scratch pool, choosing between
+/// across-state parallelism (small registers, large batches: one worker per scratch
+/// state, kernels pinned serial via `qop::par::serial_scope`) and the serial loop whose
+/// kernels parallelize within each state — the same `QSIM_PAR_THRESHOLD`-driven policy
+/// described in the module docs.  Results come back in index order.
+///
+/// This is the shared engine under every dense batched backend: the exact/sampled
+/// backends map indices to batch requests, the trajectory-noise backend maps them to
+/// (request, trajectory) pairs.
+pub(crate) fn run_indexed_chunk<T, F>(
+    count: usize,
+    num_qubits: usize,
+    pool: &mut ScratchPool,
+    work: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Statevector) -> T + Sync,
+{
+    pool.ensure(count, num_qubits);
+    let dim = 1usize << num_qubits;
+    let threshold = qsim::parallel_threshold();
+    let across_states = count >= 2
+        && threshold != 0
+        && dim < threshold
+        && count * dim >= threshold
+        && rayon::current_num_threads() > 1;
+    if across_states {
+        let slots = SendPtr(pool.states.as_mut_ptr());
+        (0..count)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                // Workers own their threads: every kernel `work` reaches (including
+                // multi-term expectations, which would otherwise gate on
+                // `num_terms × dim` and could cross the threshold) is pinned serial so
+                // the two parallelism levels cannot nest.
+                qop::par::serial_scope(|| {
+                    // SAFETY: each index i is visited by exactly one worker and maps to
+                    // the distinct pool entry i, which outlives the parallel region.
+                    let state = unsafe { &mut *slots.add(i) };
+                    work(i, state)
+                })
+            })
+            .collect()
+    } else {
+        pool.states
+            .iter_mut()
+            .take(count)
+            .enumerate()
+            .map(|(i, state)| work(i, state))
+            .collect()
     }
 }
 
@@ -214,53 +325,23 @@ where
     T: Send,
     F: Fn(&EvalRequest<'_>, &Statevector) -> T + Sync,
 {
-    let n = compiled.num_qubits();
-    pool.ensure(chunk.len(), n);
-    let dim = 1usize << n;
-    let threshold = qsim::parallel_threshold();
-    let across_states = chunk.len() >= 2
-        && threshold != 0
-        && dim < threshold
-        && chunk.len() * dim >= threshold
-        && rayon::current_num_threads() > 1;
-    let prepare = |req: &EvalRequest<'_>, state: &mut Statevector| {
+    // Bind the diagonal passes once for the whole chunk when the chunk's bindings
+    // resolve them identically (always for fixed-angle layers; for QAOA batches,
+    // whenever only non-diagonal parameters vary between candidates).  Arithmetic-
+    // identical to per-request binding, so batched-equals-serial is unaffected.
+    let params_list: Vec<&[f64]> = chunk.iter().map(|r| r.params).collect();
+    let tables = compiled.prepare_batch_tables(&params_list);
+    run_indexed_chunk(chunk.len(), compiled.num_qubits(), pool, |i, state| {
+        let req = &chunk[i];
         req.initial.prepare_into(state);
-        compiled.execute_in_place(req.params, state);
-    };
-    if across_states {
-        let slots = SendPtr(pool.states.as_mut_ptr());
-        (0..chunk.len())
-            .into_par_iter()
-            .with_min_len(1)
-            .map(|i| {
-                // Workers own their threads: every kernel `finish` reaches (including
-                // multi-term expectations, which would otherwise gate on
-                // `num_terms × dim` and could cross the threshold) is pinned serial so
-                // the two parallelism levels cannot nest.
-                qop::par::serial_scope(|| {
-                    // SAFETY: each index i is visited by exactly one worker and maps to
-                    // the distinct pool entry i, which outlives the parallel region.
-                    let state = unsafe { &mut *slots.add(i) };
-                    prepare(&chunk[i], state);
-                    finish(&chunk[i], state)
-                })
-            })
-            .collect()
-    } else {
-        chunk
-            .iter()
-            .zip(pool.states.iter_mut())
-            .map(|(req, state)| {
-                prepare(req, state);
-                finish(req, state)
-            })
-            .collect()
-    }
+        compiled.execute_in_place_cached(req.params, state, &tables);
+        finish(req, state)
+    })
 }
 
 /// The shared circuit of a batch, if all requests reference the same one (pointer
 /// equality short-circuits the structural comparison).
-fn uniform_circuit<'a>(requests: &[EvalRequest<'a>]) -> Option<&'a Circuit> {
+pub(crate) fn uniform_circuit<'a>(requests: &[EvalRequest<'a>]) -> Option<&'a Circuit> {
     let first = requests.first()?.circuit;
     requests
         .iter()
@@ -399,7 +480,7 @@ impl Backend for StatevectorBackend {
 /// The one serial batch loop: the [`Backend::evaluate_batch`] trait default delegates
 /// here, and overriding implementations reuse it for their fallback paths (mixed-circuit
 /// batches), so the request-order semantics live in exactly one place.
-fn default_serial_batch<B: Backend + ?Sized>(
+pub(crate) fn default_serial_batch<B: Backend + ?Sized>(
     backend: &mut B,
     requests: &[EvalRequest<'_>],
 ) -> Vec<EvalResult> {

@@ -3,10 +3,14 @@
 //! Sits between the simulators (`qsim`) and TreeVQA (`treevqa`):
 //!
 //! * [`VqaTask`] / [`VqaApplication`] — the paper's task/application terminology.
-//! * [`Backend`] — one trait over all execution substrates (exact, shot-sampled, noisy,
-//!   Pauli propagation), with explicit shot accounting and a batched submission form
-//!   ([`Backend::evaluate_batch`] over [`EvalRequest`]s) that the dense backends
-//!   implement with a compiled-circuit cache and a data-parallel scratch-state pool.
+//! * [`Backend`] — one trait over all execution substrates (exact, shot-sampled,
+//!   analytically noisy, trajectory-noisy, Pauli propagation), with explicit shot
+//!   accounting and a batched submission form ([`Backend::evaluate_batch`] over
+//!   [`EvalRequest`]s) that the dense backends implement with a compiled-circuit cache
+//!   and a data-parallel scratch-state pool.
+//! * [`NoisyStatevectorBackend`] — stochastic Pauli-trajectory noise simulation
+//!   (`qnoise` channels replayed through the compiled batch engine) and [`ZneBackend`],
+//!   the zero-noise-extrapolation mitigation wrapper any backend can opt into.
 //! * [`run_single_vqa`] / [`run_baseline`] — conventional VQA, the paper's baseline.
 //! * [`cafqa_initialize`] / [`red_qaoa_initial_point`] — classical warm starts.
 //! * [`metrics`] — fidelity-vs-shots analysis shared by all experiments.
@@ -17,6 +21,8 @@
 mod backend;
 mod init;
 pub mod metrics;
+mod mitigation;
+mod noisy;
 mod runner;
 mod task;
 
@@ -25,6 +31,8 @@ pub use backend::{
     SampledBackend, StatevectorBackend,
 };
 pub use init::{cafqa_initialize, red_qaoa_initial_point, CafqaResult};
+pub use mitigation::ZneBackend;
+pub use noisy::NoisyStatevectorBackend;
 pub use runner::{
     run_baseline, run_single_vqa, BaselineRunResult, IterationRecord, VqaRunConfig, VqaRunResult,
 };

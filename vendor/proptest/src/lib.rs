@@ -154,7 +154,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use rand::Rng;
 
-    /// Size specification for [`vec`]: a fixed length or a half-open range of lengths.
+    /// Size specification for [`fn@vec`]: a fixed length or a half-open range of lengths.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -189,7 +189,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
