@@ -7,47 +7,11 @@
 //! `BENCH_batch.json` summary at the workspace root.
 
 use criterion::{criterion_group, Criterion};
-use qcircuit::{Angle, Circuit, Entanglement, Gate, HardwareEfficientAnsatz};
-use qop::{PauliOp, PauliString, Statevector};
+use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qop::Statevector;
 use qsim::CompiledCircuit;
+use treevqa_bench::workloads::{ansatz_params, rotation_heavy_ansatz, tfim_hamiltonian};
 use vqa::{Backend, EvalRequest, InitialState, StatevectorBackend};
-
-/// A Pauli-rotation-heavy ansatz: QAOA-shaped layers of diagonal ZZ-chain rotations
-/// (ring + chords, the diagonal-batching target) alternating with Rx mixers, preceded by
-/// a Hadamard wall.  This is the gate mix the paper's MaxCut and spin-chain workloads
-/// spend their time in.
-fn rotation_heavy_ansatz(num_qubits: usize, layers: usize) -> Circuit {
-    let mut circ = Circuit::new(num_qubits);
-    for q in 0..num_qubits {
-        circ.push(Gate::H(q));
-    }
-    let mut slot = 0usize;
-    for _ in 0..layers {
-        // Cost layer: ZZ ring plus next-nearest chords — all diagonal, one fused pass.
-        for step in [1usize, 2] {
-            for q in 0..num_qubits {
-                let mut label = vec!['I'; num_qubits];
-                label[q] = 'Z';
-                label[(q + step) % num_qubits] = 'Z';
-                let string = PauliString::from_label(&label.iter().collect::<String>()).unwrap();
-                circ.push(Gate::PauliRotation(string, Angle::param(slot)));
-                slot += 1;
-            }
-        }
-        // Mixer layer.
-        for q in 0..num_qubits {
-            circ.push(Gate::Rx(q, Angle::param(slot)));
-            slot += 1;
-        }
-    }
-    circ
-}
-
-fn ansatz_params(circ: &Circuit) -> Vec<f64> {
-    (0..circ.num_parameters())
-        .map(|i| (i as f64 * 0.37).sin())
-        .collect()
-}
 
 const COMPILED_QUBITS: [usize; 3] = [12, 16, 18];
 
@@ -112,18 +76,7 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
     let n = 12;
     let circ = HardwareEfficientAnsatz::new(n, 2, Entanglement::Circular).build();
     let base = ansatz_params(&circ);
-    let mut terms: Vec<(String, f64)> = Vec::new();
-    for q in 0..n {
-        let mut zz = vec!['I'; n];
-        zz[q] = 'Z';
-        zz[(q + 1) % n] = 'Z';
-        terms.push((zz.iter().collect(), -1.0));
-        let mut x = vec!['I'; n];
-        x[q] = 'X';
-        terms.push((x.iter().collect(), 0.5));
-    }
-    let refs: Vec<(&str, f64)> = terms.iter().map(|(l, c)| (l.as_str(), *c)).collect();
-    let ham = PauliOp::from_labels(n, &refs);
+    let ham = tfim_hamiltonian(n);
 
     for batch in BATCH_SIZES {
         let candidates: Vec<Vec<f64>> = (0..batch)

@@ -10,9 +10,12 @@
 use criterion::{criterion_group, BatchSize, Criterion};
 use qchem::MoleculeSpec;
 use qcircuit::{Angle, Entanglement, Gate, HardwareEfficientAnsatz};
-use qop::{ground_energy, Complex64, LanczosOptions, PauliOp, PauliString, Statevector};
+use qop::{ground_energy, LanczosOptions, PauliOp, Statevector};
 use qsim::{reference, run_circuit, PauliPropagator, PauliPropagatorConfig};
 use treevqa::{TreeVqa, TreeVqaConfig};
+use treevqa_bench::workloads::{
+    dense_state, mixed_rotation_string, synthetic_hamiltonian, uccsd_rotation_string,
+};
 use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
 
 fn bench_expectation(c: &mut Criterion) {
@@ -111,72 +114,6 @@ fn bench_treevqa_short_run(c: &mut Criterion) {
     });
 }
 
-/// A dense normalized state with structure on every amplitude.
-fn dense_state(num_qubits: usize) -> Statevector {
-    let dim = 1usize << num_qubits;
-    let mut psi = Statevector::from_amplitudes(
-        (0..dim)
-            .map(|i| Complex64::new((i as f64 * 0.137).sin() + 0.2, (i as f64 * 0.291).cos()))
-            .collect(),
-    );
-    psi.normalize();
-    psi
-}
-
-/// A Jordan–Wigner double-excitation string — the shape every UCCSD Pauli rotation in
-/// the hot path actually has: X/Y on four spread orbital sites, Z-chains between them.
-fn uccsd_rotation_string(num_qubits: usize) -> PauliString {
-    let sites = [0, num_qubits / 3, 2 * num_qubits / 3, num_qubits - 1];
-    let label: String = (0..num_qubits)
-        .map(|q| {
-            if q == sites[0] || q == sites[2] {
-                'X'
-            } else if q == sites[1] || q == sites[3] {
-                'Y'
-            } else {
-                'Z'
-            }
-        })
-        .collect();
-    PauliString::from_label(&label).unwrap()
-}
-
-/// A weight-heavy Pauli string mixing X, Y and Z across the register, the worst case for
-/// the rotation kernel (dense phase logic, maximal x-mask span — every second qubit
-/// contributes to the pair permutation).
-fn mixed_rotation_string(num_qubits: usize) -> PauliString {
-    let label: String = (0..num_qubits)
-        .map(|q| match q % 4 {
-            0 => 'X',
-            1 => 'Z',
-            2 => 'Y',
-            _ => 'I',
-        })
-        .collect();
-    PauliString::from_label(&label).unwrap()
-}
-
-/// A synthetic Hamiltonian with `2n` terms spanning diagonal and off-diagonal strings.
-fn synthetic_hamiltonian(num_qubits: usize) -> PauliOp {
-    let mut op = PauliOp::zero(num_qubits);
-    for q in 0..num_qubits {
-        // Diagonal ZZ chain (takes the diagonal fast path).
-        let mut label = vec!['I'; num_qubits];
-        label[q] = 'Z';
-        label[(q + 1) % num_qubits] = 'Z';
-        let zz: String = label.iter().collect();
-        op.add_term(PauliString::from_label(&zz).unwrap(), 1.0 - 0.01 * q as f64);
-        // Off-diagonal XY pair (general pairwise path).
-        let mut label = vec!['I'; num_qubits];
-        label[q] = 'X';
-        label[(q + 2) % num_qubits] = 'Y';
-        let xy: String = label.iter().collect();
-        op.add_term(PauliString::from_label(&xy).unwrap(), 0.3 + 0.01 * q as f64);
-    }
-    op.simplify(0.0);
-    op
-}
-
 /// The qubit sizes for the fast-vs-naive comparisons (paper-scale register sweep).
 const COMPARE_QUBITS: [usize; 4] = [12, 16, 20, 22];
 
@@ -187,9 +124,9 @@ fn bench_single_qubit_kernels(c: &mut Criterion) {
         c.bench_function(&format!("single_qubit_rx/fast/{n}q"), |b| {
             b.iter(|| qsim::apply_gate(&mut state, &gate, &[]))
         });
-        let mut state = dense_state(n);
+        let mut amps = dense_state(n).to_amplitudes();
         c.bench_function(&format!("single_qubit_rx/naive/{n}q"), |b| {
-            b.iter(|| reference::apply_gate(&mut state, &gate, &[]))
+            b.iter(|| reference::apply_gate_amps(&mut amps, &gate, &[]))
         });
     }
 }
@@ -205,11 +142,11 @@ fn bench_cx_ladder_kernels(c: &mut Criterion) {
                 }
             })
         });
-        let mut state = dense_state(n);
+        let mut amps = dense_state(n).to_amplitudes();
         c.bench_function(&format!("cx_ladder/naive/{n}q"), |b| {
             b.iter(|| {
                 for gate in &ladder {
-                    reference::apply_gate(&mut state, gate, &[]);
+                    reference::apply_gate_amps(&mut amps, gate, &[]);
                 }
             })
         });
@@ -225,9 +162,9 @@ fn bench_pauli_rotation_kernels(c: &mut Criterion) {
         c.bench_function(&format!("pauli_rotation/fast/{n}q"), |b| {
             b.iter(|| qsim::apply_pauli_rotation(&mut state, &string, 0.9))
         });
-        let mut state = dense_state(n);
+        let mut amps = dense_state(n).to_amplitudes();
         c.bench_function(&format!("pauli_rotation/naive/{n}q"), |b| {
-            b.iter(|| reference::apply_pauli_rotation(&mut state, &string, 0.9))
+            b.iter(|| reference::apply_pauli_rotation_amps(&mut amps, &string, 0.9))
         });
     }
     for n in COMPARE_QUBITS {
@@ -236,9 +173,9 @@ fn bench_pauli_rotation_kernels(c: &mut Criterion) {
         c.bench_function(&format!("pauli_rotation_xdense/fast/{n}q"), |b| {
             b.iter(|| qsim::apply_pauli_rotation(&mut state, &string, 0.9))
         });
-        let mut state = dense_state(n);
+        let mut amps = dense_state(n).to_amplitudes();
         c.bench_function(&format!("pauli_rotation_xdense/naive/{n}q"), |b| {
-            b.iter(|| reference::apply_pauli_rotation(&mut state, &string, 0.9))
+            b.iter(|| reference::apply_pauli_rotation_amps(&mut amps, &string, 0.9))
         });
     }
 }
@@ -250,12 +187,15 @@ fn bench_expectation_kernels(c: &mut Criterion) {
         c.bench_function(&format!("hamiltonian_expectation/fast/{n}q"), |b| {
             b.iter(|| std::hint::black_box(op.expectation(&state)))
         });
+        let amps = state.to_amplitudes();
         c.bench_function(&format!("hamiltonian_expectation/naive/{n}q"), |b| {
             b.iter(|| {
                 let serial: f64 = op
                     .terms()
                     .iter()
-                    .map(|t| t.coefficient * PauliOp::string_expectation_naive(&t.string, &state))
+                    .map(|t| {
+                        t.coefficient * PauliOp::string_expectation_naive_amps(&t.string, &amps)
+                    })
                     .sum();
                 std::hint::black_box(serial)
             })

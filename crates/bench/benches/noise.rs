@@ -13,63 +13,24 @@
 //! Run with `cargo bench -p treevqa_bench --bench noise`.
 
 use criterion::{criterion_group, Criterion};
-use qcircuit::{Angle, Circuit, Gate, QaoaAnsatz, QaoaStyle};
+use qcircuit::{QaoaAnsatz, QaoaStyle};
 use qgraph::{ieee14_base_graph, maxcut_cost_hamiltonian};
-use qnoise::PauliNoiseModel;
-use qop::{PauliOp, PauliString};
 use qopt::{OptimizerSpec, SpsaConfig};
+use treevqa_bench::workloads::{
+    ansatz_params, bench_noise_model as device_model, rotation_heavy_ansatz, zz_ring_hamiltonian,
+};
 use vqa::{
     red_qaoa_initial_point, run_single_vqa, Backend, InitialState, NoisyStatevectorBackend,
     StatevectorBackend, VqaRunConfig, VqaTask, ZneBackend,
 };
-
-/// The QAOA-shaped gate mix of `benches/batch.rs`: diagonal ZZ layers + Rx mixers.
-fn rotation_heavy_ansatz(num_qubits: usize, layers: usize) -> Circuit {
-    let mut circ = Circuit::new(num_qubits);
-    for q in 0..num_qubits {
-        circ.push(Gate::H(q));
-    }
-    let mut slot = 0usize;
-    for _ in 0..layers {
-        for step in [1usize, 2] {
-            for q in 0..num_qubits {
-                let mut label = vec!['I'; num_qubits];
-                label[q] = 'Z';
-                label[(q + step) % num_qubits] = 'Z';
-                let string = PauliString::from_label(&label.iter().collect::<String>()).unwrap();
-                circ.push(Gate::PauliRotation(string, Angle::param(slot)));
-                slot += 1;
-            }
-        }
-        for q in 0..num_qubits {
-            circ.push(Gate::Rx(q, Angle::param(slot)));
-            slot += 1;
-        }
-    }
-    circ
-}
-
-fn device_model() -> PauliNoiseModel {
-    PauliNoiseModel::ibm_like("bench-device", 5e-4, 4e-3, 1e-3, 0.01)
-}
 
 const TRAJECTORY_COUNTS: [usize; 3] = [4, 16, 64];
 const BENCH_QUBITS: usize = 12;
 
 fn bench_trajectory_throughput(c: &mut Criterion) {
     let circ = rotation_heavy_ansatz(BENCH_QUBITS, 2);
-    let params: Vec<f64> = (0..circ.num_parameters())
-        .map(|i| (i as f64 * 0.37).sin())
-        .collect();
-    let mut terms: Vec<(String, f64)> = Vec::new();
-    for q in 0..BENCH_QUBITS {
-        let mut zz = ['I'; BENCH_QUBITS];
-        zz[q] = 'Z';
-        zz[(q + 1) % BENCH_QUBITS] = 'Z';
-        terms.push((zz.iter().collect(), -1.0));
-    }
-    let refs: Vec<(&str, f64)> = terms.iter().map(|(l, c)| (l.as_str(), *c)).collect();
-    let ham = PauliOp::from_labels(BENCH_QUBITS, &refs);
+    let params = ansatz_params(&circ);
+    let ham = zz_ring_hamiltonian(BENCH_QUBITS);
 
     let mut ideal = StatevectorBackend::with_shots(0);
     c.bench_function("noisy_eval/ideal_baseline", |b| {

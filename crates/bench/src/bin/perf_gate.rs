@@ -1,0 +1,76 @@
+//! CI perf-regression gate: compares `target/bench_quick.json` (first CLI argument, or
+//! that default) against the checked-in `BENCH_kernels.json` / `BENCH_batch.json` /
+//! `BENCH_noise.json` baselines and exits non-zero if any workload's throughput regressed
+//! by more than the tolerance (default 25%; override with `PERF_GATE_TOLERANCE`).
+//!
+//! The tolerance is generous on purpose: CI hosts are not the baseline-recording host,
+//! so the gate is a tripwire for real regressions (a kernel accidentally de-vectorized,
+//! a batching path disabled), not a precision benchmark.  Quick workloads with no
+//! baseline entry are reported but gate nothing.
+
+use treevqa_bench::quick::{
+    compare_against_baselines, gate_tolerance, parse_median_records, parse_records, QuickRecord,
+};
+
+const BASELINE_FILES: [&str; 3] = ["BENCH_kernels.json", "BENCH_batch.json", "BENCH_noise.json"];
+
+fn main() {
+    let quick_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/bench_quick.json".to_string());
+    let quick_json = std::fs::read_to_string(&quick_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {quick_path}: {e} (run the quick_bench binary first)");
+        std::process::exit(2);
+    });
+    // Re-parse through the shared scanner so the gate sees exactly what it would see in
+    // a baseline file.
+    let quick: Vec<QuickRecord> = parse_records(&quick_json)
+        .into_iter()
+        .map(|(id, median_ns, min_ns)| QuickRecord {
+            id,
+            median_ns,
+            mean_ns: median_ns,
+            min_ns: min_ns.unwrap_or(median_ns),
+            max_ns: median_ns,
+            samples: 0,
+            iters_per_sample: 0,
+        })
+        .collect();
+
+    let mut baselines: Vec<(String, f64)> = Vec::new();
+    for file in BASELINE_FILES {
+        match std::fs::read_to_string(file) {
+            Ok(json) => baselines.extend(parse_median_records(&json)),
+            Err(e) => eprintln!("warning: skipping baseline {file}: {e}"),
+        }
+    }
+
+    let tolerance = gate_tolerance();
+    let rows = compare_against_baselines(&quick, &baselines, tolerance);
+    println!(
+        "== perf gate: quick medians vs checked-in baselines (fail below {:.0}% throughput) ==",
+        (1.0 - tolerance) * 100.0
+    );
+    for row in &rows {
+        println!(
+            "{:<34} quick {:>12.1} ns   baseline {:>12.1} ns   throughput {:>5.2}x  {}",
+            row.id,
+            row.quick_ns,
+            row.baseline_ns,
+            row.throughput_ratio,
+            if row.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for q in &quick {
+        if !rows.iter().any(|r| r.id == q.id) {
+            println!("{:<34} (no baseline entry; not gated)", q.id);
+        }
+    }
+
+    let regressed = rows.iter().filter(|r| r.regressed).count();
+    if regressed > 0 {
+        eprintln!("\nperf gate FAILED: {regressed} workload(s) regressed beyond tolerance");
+        std::process::exit(1);
+    }
+    println!("\nperf gate passed ({} workloads compared)", rows.len());
+}

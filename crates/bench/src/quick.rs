@@ -1,0 +1,385 @@
+//! Deterministic quick-bench mode and the CI perf-regression gate.
+//!
+//! `cargo run --release -p treevqa_bench --bin quick_bench` runs a fixed subset of the
+//! criterion benchmark workloads (same builders, see [`crate::workloads`]) with **fixed**
+//! iteration counts and sample counts — no adaptive calibration, no RNG — and writes
+//! `target/bench_quick.json` in the `BENCH_*.json` record schema.
+//!
+//! `cargo run --release -p treevqa_bench --bin perf_gate` then compares that file
+//! against the checked-in `BENCH_kernels.json` / `BENCH_batch.json` / `BENCH_noise.json`
+//! baselines.  The tolerance is deliberately generous — CI hosts differ from the
+//! baseline-recording host — so the gate only fails on a throughput regression larger
+//! than [`DEFAULT_TOLERANCE`] (override with the `PERF_GATE_TOLERANCE` environment
+//! variable, a fraction in `(0, 1)`).  The workflow uploads the quick JSON as an
+//! artifact on every run, so the perf trajectory accumulates even when the gate passes.
+
+use crate::workloads;
+use std::time::Instant;
+use vqa::{Backend, EvalRequest, InitialState, NoisyStatevectorBackend, StatevectorBackend};
+
+/// One timed quick-bench workload, in the `BENCH_*.json` record schema.
+#[derive(Clone, Debug)]
+pub struct QuickRecord {
+    /// Benchmark id, matching the criterion id of the same workload.
+    pub id: String,
+    /// Median per-iteration wall time over the samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration wall time.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample (fixed per workload — the "deterministic" in
+    /// deterministic mode).
+    pub iters_per_sample: usize,
+}
+
+/// Samples per workload (fixed; sample 0 is preceded by one untimed warmup pass).
+const QUICK_SAMPLES: usize = 9;
+
+fn time_workload(id: &str, iters: usize, mut f: impl FnMut()) -> QuickRecord {
+    // One untimed warmup pass populates caches and faults in the state memory.
+    for _ in 0..iters {
+        f();
+    }
+    let mut per_iter: Vec<f64> = (0..QUICK_SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    QuickRecord {
+        id: id.to_string(),
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: per_iter[0],
+        max_ns: *per_iter.last().unwrap(),
+        samples: QUICK_SAMPLES,
+        iters_per_sample: iters,
+    }
+}
+
+/// Runs the deterministic quick suite: one 12-qubit representative per kernel family of
+/// `BENCH_kernels.json`, the compiled-execution and batched-evaluation workloads of
+/// `BENCH_batch.json`, and the 16-trajectory noisy evaluation of `BENCH_noise.json`.
+///
+/// Iteration counts are fixed so a full run takes a few seconds; ids match the criterion
+/// benches exactly so the perf gate can line records up against the baselines.
+pub fn run_quick_suite() -> Vec<QuickRecord> {
+    let n = 12;
+    let mut records = Vec::new();
+
+    {
+        let gate = qcircuit::Gate::Rx(n / 2, qcircuit::Angle::Fixed(0.7));
+        let mut state = workloads::dense_state(n);
+        records.push(time_workload("single_qubit_rx/fast/12q", 2000, || {
+            qsim::apply_gate(&mut state, &gate, &[])
+        }));
+    }
+    {
+        let ladder: Vec<qcircuit::Gate> =
+            (0..n - 1).map(|q| qcircuit::Gate::Cx(q, q + 1)).collect();
+        let mut state = workloads::dense_state(n);
+        records.push(time_workload("cx_ladder/fast/12q", 500, || {
+            for gate in &ladder {
+                qsim::apply_gate(&mut state, gate, &[]);
+            }
+        }));
+    }
+    {
+        let string = workloads::uccsd_rotation_string(n);
+        let mut state = workloads::dense_state(n);
+        records.push(time_workload("pauli_rotation/fast/12q", 2000, || {
+            qsim::apply_pauli_rotation(&mut state, &string, 0.9)
+        }));
+    }
+    {
+        let string = workloads::mixed_rotation_string(n);
+        let mut state = workloads::dense_state(n);
+        records.push(time_workload(
+            "pauli_rotation_xdense/fast/12q",
+            2000,
+            || qsim::apply_pauli_rotation(&mut state, &string, 0.9),
+        ));
+    }
+    {
+        let op = workloads::synthetic_hamiltonian(n);
+        let state = workloads::dense_state(n);
+        records.push(time_workload(
+            "hamiltonian_expectation/fast/12q",
+            300,
+            || {
+                std::hint::black_box(op.expectation(&state));
+            },
+        ));
+    }
+    {
+        let circ = workloads::rotation_heavy_ansatz(n, 2);
+        let params = workloads::ansatz_params(&circ);
+        let compiled = qsim::CompiledCircuit::compile(&circ);
+        let initial = qop::Statevector::zero_state(n);
+        let mut scratch = qop::Statevector::zero_state(n);
+        records.push(time_workload("circuit_exec/compiled/12q", 150, || {
+            compiled.execute_into(&params, &initial, &mut scratch);
+            std::hint::black_box(&scratch);
+        }));
+    }
+    {
+        let circ =
+            qcircuit::HardwareEfficientAnsatz::new(n, 2, qcircuit::Entanglement::Circular).build();
+        let base = workloads::ansatz_params(&circ);
+        let ham = workloads::tfim_hamiltonian(n);
+        let candidates: Vec<Vec<f64>> = (0..8)
+            .map(|k| base.iter().map(|p| p + 0.01 * k as f64).collect())
+            .collect();
+        let mut backend = StatevectorBackend::with_shots(0);
+        records.push(time_workload("evaluate/batched/8", 30, || {
+            let requests: Vec<EvalRequest<'_>> = candidates
+                .iter()
+                .map(|candidate| EvalRequest {
+                    circuit: &circ,
+                    params: candidate,
+                    initial: &InitialState::Basis(0),
+                    charged_op: &ham,
+                    free_ops: &[],
+                })
+                .collect();
+            std::hint::black_box(backend.evaluate_batch(&requests));
+        }));
+    }
+    {
+        let circ = workloads::rotation_heavy_ansatz(n, 2);
+        let params = workloads::ansatz_params(&circ);
+        let ham = workloads::zz_ring_hamiltonian(n);
+        let mut backend = NoisyStatevectorBackend::new(workloads::bench_noise_model(), 0, 7)
+            .with_trajectories(16);
+        records.push(time_workload("noisy_eval/trajectories/16", 8, || {
+            std::hint::black_box(backend.evaluate(
+                &circ,
+                &params,
+                &InitialState::Basis(0),
+                &ham,
+                &[],
+            ));
+        }));
+    }
+
+    records
+}
+
+/// Serializes records in the `BENCH_*.json` array schema.
+pub fn records_to_json(records: &[QuickRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.id, r.median_ns, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Extracts `(id, median_ns)` pairs from any of the `BENCH_*.json` files (the kernel and
+/// batch files are record arrays, the noise file nests records under `"throughput"`; this
+/// scanner only relies on the `"id": "…"` / `"median_ns": N` field pairing those share).
+pub fn parse_median_records(json: &str) -> Vec<(String, f64)> {
+    parse_records(json)
+        .into_iter()
+        .map(|(id, median, _)| (id, median))
+        .collect()
+}
+
+/// Like [`parse_median_records`] but also captures the optional `min_ns` field, which
+/// the perf gate prefers for the quick run (see [`compare_against_baselines`]).
+pub fn parse_records(json: &str) -> Vec<(String, f64, Option<f64>)> {
+    fn leading_number(s: &str) -> Option<f64> {
+        let num: String = s
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        num.parse::<f64>().ok()
+    }
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(idx) = rest.find("\"id\":") {
+        rest = &rest[idx + 5..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        let id = rest[open + 1..open + 1 + close].to_string();
+        rest = &rest[open + 1 + close..];
+        // The median (and, when present, min) fields follow their id within the same
+        // record, before the record's closing brace.
+        let Some(midx) = rest.find("\"median_ns\":") else {
+            break;
+        };
+        let tail = &rest[midx + 12..];
+        let record_end = tail.find('}').unwrap_or(tail.len());
+        let min = tail[..record_end]
+            .find("\"min_ns\":")
+            .and_then(|i| leading_number(&tail[i + 9..record_end]));
+        if let Some(v) = leading_number(tail) {
+            out.push((id, v, min));
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Default allowed throughput regression (25%): the gate fails only when the quick run's
+/// throughput on a workload drops below 75% of the checked-in baseline's.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One row of the perf-gate comparison.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// Benchmark id.
+    pub id: String,
+    /// Quick-run median, ns.
+    pub quick_ns: f64,
+    /// Checked-in baseline median, ns.
+    pub baseline_ns: f64,
+    /// `baseline / quick`: > 1 means the quick run is faster than the baseline.
+    pub throughput_ratio: f64,
+    /// Whether this row violates the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares quick records against baseline `(id, median_ns)` pairs.
+///
+/// The quick side is judged by its **fastest** sample (`min(min_ns, median_ns)`), not
+/// its median: CI boxes share hosts, and interference inflates most samples of a run by
+/// large, correlated factors — but the minimum over nine samples is a stable estimate
+/// of the machine's clean per-iteration time, which is what a code regression actually
+/// moves.  Returns the matched rows; ids missing from every baseline are skipped (new
+/// workloads gate nothing until their baseline is checked in).
+pub fn compare_against_baselines(
+    quick: &[QuickRecord],
+    baselines: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<GateRow> {
+    quick
+        .iter()
+        .filter_map(|q| {
+            let baseline_ns = baselines
+                .iter()
+                .find(|(id, _)| *id == q.id)
+                .map(|(_, ns)| *ns)?;
+            let quick_ns = q.min_ns.min(q.median_ns);
+            let throughput_ratio = baseline_ns / quick_ns;
+            Some(GateRow {
+                id: q.id.clone(),
+                quick_ns,
+                baseline_ns,
+                throughput_ratio,
+                regressed: throughput_ratio < 1.0 - tolerance,
+            })
+        })
+        .collect()
+}
+
+/// The gate tolerance: `PERF_GATE_TOLERANCE` (a fraction in `(0, 1)`) or the default.
+pub fn gate_tolerance() -> f64 {
+    std::env::var("PERF_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| *t > 0.0 && *t < 1.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, median_ns: f64) -> QuickRecord {
+        QuickRecord {
+            id: id.to_string(),
+            median_ns,
+            mean_ns: median_ns,
+            min_ns: median_ns,
+            max_ns: median_ns,
+            samples: 1,
+            iters_per_sample: 1,
+        }
+    }
+
+    #[test]
+    fn parses_array_schema() {
+        let json = r#"[
+  {"id": "a/fast/12q", "median_ns": 123.5, "mean_ns": 130.0, "samples": 10},
+  {"id": "b/naive/12q", "median_ns": 999.0, "mean_ns": 1000.0, "samples": 10}
+]"#;
+        let records = parse_median_records(json);
+        assert_eq!(
+            records,
+            vec![
+                ("a/fast/12q".to_string(), 123.5),
+                ("b/naive/12q".to_string(), 999.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_nested_noise_schema() {
+        let json = r#"{
+  "throughput": [
+    {"id": "noisy_eval/trajectories/16", "median_ns": 5.5e6, "mean_ns": 6e6, "samples": 10}
+  ],
+  "quality": {"instance": "ieee14"}
+}"#;
+        let records = parse_median_records(json);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0, "noisy_eval/trajectories/16");
+        assert!((records[0].1 - 5.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baselines = vec![("k".to_string(), 100.0)];
+        // 20% slower: within the 25% default tolerance.
+        let rows = compare_against_baselines(&[record("k", 125.0)], &baselines, 0.25);
+        assert!(!rows[0].regressed);
+        // 50% throughput loss: regression.
+        let rows = compare_against_baselines(&[record("k", 200.0)], &baselines, 0.25);
+        assert!(rows[0].regressed);
+        // Faster than baseline never fails.
+        let rows = compare_against_baselines(&[record("k", 50.0)], &baselines, 0.25);
+        assert!(!rows[0].regressed && rows[0].throughput_ratio > 1.9);
+    }
+
+    #[test]
+    fn unmatched_ids_are_skipped() {
+        let rows = compare_against_baselines(
+            &[record("brand-new-workload", 10.0)],
+            &[("other".to_string(), 100.0)],
+            0.25,
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let records = vec![record("x/fast/12q", 42.0), record("y/fast/12q", 7.0)];
+        let parsed = parse_median_records(&records_to_json(&records));
+        assert_eq!(
+            parsed,
+            vec![
+                ("x/fast/12q".to_string(), 42.0),
+                ("y/fast/12q".to_string(), 7.0)
+            ]
+        );
+    }
+}

@@ -190,7 +190,7 @@ fn median(values: &mut [f64]) -> f64 {
     }
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = values.len() / 2;
-    if values.len().is_multiple_of(2) {
+    if values.len() % 2 == 0 {
         0.5 * (values[mid - 1] + values[mid])
     } else {
         values[mid]

@@ -190,8 +190,8 @@ impl QaoaAnsatz {
                 let mut v = Vec::with_capacity((m + n) * p);
                 for l in 0..p {
                     let frac = (l as f64 + 0.5) / p as f64;
-                    v.extend(std::iter::repeat_n(0.4 * frac, m));
-                    v.extend(std::iter::repeat_n(0.4 * (1.0 - frac), n));
+                    v.extend(std::iter::repeat(0.4 * frac).take(m));
+                    v.extend(std::iter::repeat(0.4 * (1.0 - frac)).take(n));
                 }
                 v
             }

@@ -117,10 +117,10 @@ mod tests {
             assert_eq!(folded.num_gates(), scale * circ.num_gates());
             let out = qsim::run_circuit(&folded, &params, &Statevector::zero_state(2));
             let diff = out
-                .amplitudes()
+                .to_amplitudes()
                 .iter()
-                .zip(base.amplitudes())
-                .map(|(a, b)| (*a - *b).norm())
+                .zip(base.to_amplitudes())
+                .map(|(a, b)| (*a - b).norm())
                 .fold(0.0, f64::max);
             assert!(diff < 1e-12, "scale {scale}: {diff}");
         }
@@ -155,10 +155,10 @@ mod tests {
             assert_eq!(folded.num_gates(), scale * circ.num_gates());
             let out = qsim::run_circuit(&folded, &params, &Statevector::zero_state(2));
             let diff = out
-                .amplitudes()
+                .to_amplitudes()
                 .iter()
-                .zip(base.amplitudes())
-                .map(|(a, b)| (*a - *b).norm())
+                .zip(base.to_amplitudes())
+                .map(|(a, b)| (*a - b).norm())
                 .fold(0.0, f64::max);
             assert!(diff < 1e-12, "global scale {scale}: {diff}");
         }

@@ -91,9 +91,12 @@ pub fn ground_state(op: &PauliOp, options: &LanczosOptions) -> GroundState {
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut v0 = Statevector::zero_state(n).zeros_like();
     {
-        let amps = v0.amplitudes_mut();
-        for a in amps.iter_mut() {
-            *a = Complex64::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5);
+        // Draw re then im per amplitude (the RNG-stream order of the interleaved layout,
+        // preserved across the split-lane storage change so seeds reproduce).
+        let (re, im) = v0.lanes_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+            *r = rng.random::<f64>() - 0.5;
+            *i = rng.random::<f64>() - 0.5;
         }
     }
     v0.normalize();
@@ -339,9 +342,9 @@ mod tests {
         // Eigenvector satisfies H|psi> = E|psi>.
         let hpsi = h.apply(&gs.state);
         let residual: f64 = hpsi
-            .amplitudes()
+            .to_amplitudes()
             .iter()
-            .zip(gs.state.amplitudes().iter())
+            .zip(gs.state.to_amplitudes().iter())
             .map(|(a, b)| (*a - b.scale(gs.energy)).norm_sqr())
             .sum::<f64>()
             .sqrt();
@@ -422,9 +425,10 @@ mod tests {
         let mut v = Statevector::uniform_superposition(h.num_qubits());
         // Slightly perturb to avoid orthogonal start.
         {
-            let amps = v.amplitudes_mut();
-            for (i, a) in amps.iter_mut().enumerate() {
-                *a += Complex64::new(1e-3 * ((i % 7) as f64), 1e-3 * ((i % 3) as f64));
+            let (re, im) = v.lanes_mut();
+            for (i, (r, im_)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+                *r += 1e-3 * ((i % 7) as f64);
+                *im_ += 1e-3 * ((i % 3) as f64);
             }
         }
         v.normalize();

@@ -29,6 +29,7 @@
 mod complex;
 mod grouping;
 mod lanczos;
+pub mod lanes;
 mod op;
 #[doc(hidden)]
 pub mod par;

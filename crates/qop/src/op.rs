@@ -7,9 +7,11 @@
 //! states rather than materializing the `2^n × 2^n` matrix.
 
 use crate::complex::Complex64;
-use crate::par::{self, SendPtr, I_POWERS, MIN_PAR_INDICES};
+use crate::lanes::{i_power, parity_sign, SignTable, LANES, SIGN_BLOCK};
+use crate::par::{self, SendPtr, MIN_PAR_INDICES};
 use crate::pauli::PauliString;
 use crate::statevector::Statevector;
+use crate::with_lane_perm;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -294,7 +296,8 @@ impl PauliOp {
     /// output index independent — the loop is branch-free and parallelizes over output
     /// chunks for registers at or above [`crate::parallel_threshold`] amplitudes — and all
     /// terms are accumulated in one pass over the state, instead of one scatter pass per
-    /// term.
+    /// term.  Per-term phases are hoisted as `coeff · i^num_y`, leaving only a parity
+    /// sign per (term, index) in the split-lane inner loop.
     ///
     /// # Panics
     ///
@@ -307,40 +310,52 @@ impl PauliOp {
             "output register size mismatch"
         );
         let dim = psi.dim();
-        // Per-term constants, hoisted out of the amplitude loop.
-        let prepared: Vec<(usize, u64, u32, f64)> = self
+        // Per-term constants, hoisted out of the amplitude loop: `(x, z, cg)` with
+        // `cg = coeff · i^num_y` (the index-independent part of the phase).
+        let prepared: Vec<(usize, u64, Complex64)> = self
             .terms
             .iter()
             .map(|t| {
                 let x = t.string.x_mask();
                 let z = t.string.z_mask();
-                (x as usize, z, (x & z).count_ones(), t.coefficient)
+                let g = i_power((x & z).count_ones());
+                (x as usize, z, g.scale(t.coefficient))
             })
             .collect();
-        let amps = psi.amplitudes();
-        let gather = |b: usize| {
-            let mut acc = Complex64::ZERO;
-            for &(x, z, num_y, coeff) in &prepared {
+        let (pre, pim) = psi.lanes();
+        let gather = |b: usize| -> Complex64 {
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for &(x, z, cg) in &prepared {
                 let src = b ^ x;
                 // P|src⟩ = i^num_y · (-1)^popcount(src & z) · |b⟩.
-                let k4 = ((num_y + 2 * (src as u64 & z).count_ones()) & 3) as usize;
-                acc += I_POWERS[k4] * amps[src] * coeff;
+                let s = parity_sign(src as u64 & z);
+                let (r, i) = (pre[src], pim[src]);
+                acc_re += s * (cg.re * r - cg.im * i);
+                acc_im += s * (cg.re * i + cg.im * r);
             }
-            acc
+            Complex64::new(acc_re, acc_im)
         };
-        let out_amps = out.amplitudes_mut();
+        let (ore, oim) = out.lanes_mut();
         if par::use_parallel(dim * self.terms.len().max(1)) {
-            let ptr = SendPtr(out_amps.as_mut_ptr());
+            let rptr = SendPtr(ore.as_mut_ptr());
+            let iptr = SendPtr(oim.as_mut_ptr());
             (0..dim)
                 .into_par_iter()
                 .with_min_len(MIN_PAR_INDICES)
                 .for_each(|b| {
+                    let v = gather(b);
                     // SAFETY: each output index is written by exactly one worker.
-                    unsafe { *ptr.add(b) = gather(b) };
+                    unsafe {
+                        *rptr.add(b) = v.re;
+                        *iptr.add(b) = v.im;
+                    }
                 });
         } else {
-            for (b, o) in out_amps.iter_mut().enumerate() {
-                *o = gather(b);
+            for (b, (r, i)) in ore.iter_mut().zip(oim.iter_mut()).enumerate() {
+                let v = gather(b);
+                *r = v.re;
+                *i = v.im;
             }
         }
     }
@@ -391,24 +406,26 @@ impl PauliOp {
         if par::use_parallel(dim) {
             let x = string.x_mask() as usize;
             let z = string.z_mask();
-            let amps = psi.amplitudes();
+            let (re, im) = psi.lanes();
             if x == 0 {
                 return (0..dim)
                     .into_par_iter()
                     .with_min_len(MIN_PAR_INDICES)
-                    .map(|b| {
-                        let sign = 1.0 - 2.0 * ((b as u64 & z).count_ones() & 1) as f64;
-                        amps[b].norm_sqr() * sign
-                    })
+                    .map(|b| parity_sign(b as u64 & z) * (re[b] * re[b] + im[b] * im[b]))
                     .sum();
             }
-            let num_y = (string.x_mask() & z).count_ones();
+            let g = i_power((string.x_mask() & z).count_ones());
             return (0..dim)
                 .into_par_iter()
                 .with_min_len(MIN_PAR_INDICES)
                 .map(|b| {
-                    let k4 = ((num_y + 2 * (b as u64 & z).count_ones()) & 3) as usize;
-                    (amps[b ^ x].conj() * I_POWERS[k4] * amps[b]).re
+                    // Re(conj(ψ_{b⊕x}) · i^num_y · sgn · ψ_b), with the pair walked from
+                    // both sides (each pair contributes twice, matching the serial 2×).
+                    let s = parity_sign(b as u64 & z);
+                    let p = b ^ x;
+                    let d = re[p] * re[b] + im[p] * im[b];
+                    let e = re[p] * im[b] - im[p] * re[b];
+                    s * (g.re * d - g.im * e)
                 })
                 .sum();
         }
@@ -416,9 +433,16 @@ impl PauliOp {
     }
 
     /// The original scalar expectation kernel (scan + `apply_to_basis` + zero-amplitude
-    /// test), retained as the correctness baseline for property tests and benches.
+    /// test) on interleaved amplitudes, retained as the correctness baseline for property
+    /// tests and benches.  Converts out of the split-lane storage at entry; benches that
+    /// time the naive algorithm itself should pre-convert and call
+    /// [`PauliOp::string_expectation_naive_amps`].
     pub fn string_expectation_naive(string: &PauliString, psi: &Statevector) -> f64 {
-        let amps = psi.amplitudes();
+        Self::string_expectation_naive_amps(string, &psi.to_amplitudes())
+    }
+
+    /// [`PauliOp::string_expectation_naive`] on a raw interleaved amplitude buffer.
+    pub fn string_expectation_naive_amps(string: &PauliString, amps: &[Complex64]) -> f64 {
         let mut acc = Complex64::ZERO;
         for b in 0..amps.len() as u64 {
             let a = amps[b as usize];
@@ -490,48 +514,160 @@ impl PauliOp {
     }
 }
 
-/// Serial branch-free single-string expectation with the diagonal fast path.
+/// Serial branch-free single-string expectation with the diagonal fast path, in
+/// split-lane (SoA) form with explicitly 4-wide-chunked inner loops.
 ///
 /// Off-diagonal strings use the involution-pair identity: the `b` and `b ^ x_mask`
 /// contributions are complex conjugates, so the sum over each pair is
-/// `2·Re(conj(ψ_{b1}) · phase0 · ψ_{b0})` — half the index math, popcounts and loads of
-/// the full scan.
+/// `2·Re(conj(ψ_{b1}) · phase0 · ψ_{b0})` — half the index math and loads of the full
+/// scan.  The phase is factored as the hoisted constant `i^num_y` times a parity sign
+/// served by a [`SignTable`], so the inner loop is pure contiguous FMA work.
 fn string_expectation_serial(string: &PauliString, psi: &Statevector) -> f64 {
-    let amps = psi.amplitudes();
+    let (re, im) = psi.lanes();
     let x = string.x_mask() as usize;
     let z = string.z_mask();
     if x == 0 {
-        // Diagonal string: ⟨P⟩ = Σ_b |ψ_b|² · (-1)^popcount(b & z).
+        return diag_expectation_serial(re, im, z);
+    }
+    pair_expectation_serial(re, im, x, z)
+}
+
+/// `⟨P⟩ = Σ_b |ψ_b|² · (-1)^popcount(b & z)` for diagonal strings: the sign factors
+/// through a 256-entry low table (contiguous multiplier stream) with the high-bit sign
+/// hoisted per block.
+fn diag_expectation_serial(re: &[f64], im: &[f64], z: u64) -> f64 {
+    let dim = re.len();
+    if dim < SIGN_BLOCK {
+        // Below one table block, even the capped table fill (the 2 KiB array init) is
+        // larger than the kernel's own work; a direct parity loop wins.
         let mut acc = 0.0;
-        for (b, a) in amps.iter().enumerate() {
-            let sign = 1.0 - 2.0 * ((b as u64 & z).count_ones() & 1) as f64;
-            acc += a.norm_sqr() * sign;
+        for (b, (r, i)) in re.iter().zip(im).enumerate() {
+            acc += parity_sign(b as u64 & z) * (r * r + i * i);
         }
         return acc;
     }
-    // Pairwise walk in the same block layout as the gate kernels: blocks of 2^(pivot+1)
-    // amplitudes, i0 = base + off, i1 = base + 2^pivot + (off ^ xl).
-    let num_y = (string.x_mask() & z).count_ones();
+    let table = SignTable::new(z, dim);
+    let mut acc = [0.0f64; LANES];
+    let mut b = 0usize;
+    while b < dim {
+        let end = dim.min(b + SIGN_BLOCK);
+        let hs = table.block_sign(b as u64);
+        let low = &table.low()[..end - b];
+        let (r, i) = (&re[b..end], &im[b..end]);
+        let mut rc = r.chunks_exact(LANES);
+        let mut ic = i.chunks_exact(LANES);
+        let mut lc = low.chunks_exact(LANES);
+        for ((r4, i4), l4) in (&mut rc).zip(&mut ic).zip(&mut lc) {
+            for j in 0..LANES {
+                acc[j] += hs * l4[j] * (r4[j] * r4[j] + i4[j] * i4[j]);
+            }
+        }
+        // Scalar tail (registers with fewer than 4 amplitudes).
+        for ((r1, i1), l1) in rc
+            .remainder()
+            .iter()
+            .zip(ic.remainder())
+            .zip(lc.remainder())
+        {
+            acc[0] += hs * l1 * (r1 * r1 + i1 * i1);
+        }
+        b = end;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Pairwise serial expectation of an off-diagonal string over split lanes.
+///
+/// Walks blocks of `2^(pivot+1)` amplitudes with `i0 = base + off` (pivot bit clear) and
+/// `i1 = base + 2^pivot + (off ^ xl)`; within an aligned 4-chunk the partner lane is a
+/// constant shuffle by `xl & 3` (monomorphized via [`with_lane_perm!`]).
+fn pair_expectation_serial(re: &[f64], im: &[f64], x: usize, z: u64) -> f64 {
+    let dim = re.len();
+    let g = i_power((x as u64 & z).count_ones());
     let pivot = (63 - (x as u64).leading_zeros()) as usize;
     let pbit = 1usize << pivot;
     let xl = x & (pbit - 1);
-    let z_low = z & (pbit as u64 - 1);
-    let mut acc = 0.0;
-    for (block_index, block) in amps.chunks_exact(pbit << 1).enumerate() {
-        let base = block_index * (pbit << 1);
-        let base_popc = num_y + 2 * (base as u64 & z).count_ones();
-        let (los, his) = block.split_at(pbit);
-        for off in 0..pbit {
-            let partner = off ^ xl;
-            let k4 = ((base_popc + 2 * (off as u64 & z_low).count_ones()) & 3) as usize;
-            // SAFETY: off and partner are both < pbit, the length of each half-slice.
-            let t = unsafe {
-                his.get_unchecked(partner).conj() * I_POWERS[k4] * *los.get_unchecked(off)
-            };
-            acc += 2.0 * t.re;
+    if dim < SIGN_BLOCK {
+        // Tiny registers: the table fill would dominate; walk the pairs with direct
+        // parity signs instead.
+        let mut acc = 0.0;
+        let mut base = 0usize;
+        while base < dim {
+            for off in 0..pbit {
+                let i0 = base + off;
+                let i1 = base + pbit + (off ^ xl);
+                let s = parity_sign(i0 as u64 & z);
+                let d = re[i1] * re[i0] + im[i1] * im[i0];
+                let e = re[i1] * im[i0] - im[i1] * re[i0];
+                acc += s * (g.re * d - g.im * e);
+            }
+            base += pbit << 1;
         }
+        return 2.0 * acc;
     }
-    acc
+    let z_low = z & (pbit as u64 - 1);
+    let table = SignTable::new(z_low, pbit);
+    let mut acc = [0.0f64; LANES];
+    let mut base = 0usize;
+    while base < dim {
+        // Sign of the block base (bits above the pivot), hoisted for the whole block.
+        let base_sign = parity_sign(base as u64 & z);
+        let (r_lo, r_hi) = re[base..base + (pbit << 1)].split_at(pbit);
+        let (i_lo, i_hi) = im[base..base + (pbit << 1)].split_at(pbit);
+        if pbit >= LANES {
+            let xlh = xl & !(LANES - 1);
+            // Explicit 4-wide chunks staged through fixed-size `[f64; 4]` windows (the
+            // shape the vectorizer turns into 4-lane register blocks); the `off ^ xl`
+            // partner permutation is a compile-time shuffle per `with_lane_perm!` arm.
+            macro_rules! body {
+                ($m:literal) => {{
+                    let mut ob = 0usize;
+                    while ob < pbit {
+                        let oe = pbit.min(ob + SIGN_BLOCK);
+                        let mid = base_sign * table.block_sign(ob as u64);
+                        let mut off = ob;
+                        while off < oe {
+                            // off/pb are 4-aligned and < pbit (the half-slice length);
+                            // lo8 is 4-aligned and < 256, so every window is in bounds
+                            // and the try_into calls cannot fail.
+                            let pb = off ^ xlh;
+                            let lo8 = off & (SIGN_BLOCK - 1);
+                            let sg: &[f64; LANES] =
+                                (&table.low()[lo8..lo8 + LANES]).try_into().unwrap();
+                            let rl: &[f64; LANES] = (&r_lo[off..off + LANES]).try_into().unwrap();
+                            let il: &[f64; LANES] = (&i_lo[off..off + LANES]).try_into().unwrap();
+                            let rh: &[f64; LANES] = (&r_hi[pb..pb + LANES]).try_into().unwrap();
+                            let ih: &[f64; LANES] = (&i_hi[pb..pb + LANES]).try_into().unwrap();
+                            for j in 0..LANES {
+                                let s = mid * sg[j];
+                                let (r0, i0) = (rl[j], il[j]);
+                                let (r1, i1) = (rh[j ^ $m], ih[j ^ $m]);
+                                let d = r1 * r0 + i1 * i0;
+                                let e = r1 * i0 - i1 * r0;
+                                acc[j] += s * (g.re * d - g.im * e);
+                            }
+                            off += LANES;
+                        }
+                        ob = oe;
+                    }
+                }};
+            }
+            with_lane_perm!(xl & (LANES - 1), body);
+        } else {
+            // Scalar tail: pivot < 2 leaves half-blocks narrower than one lane chunk.
+            for off in 0..pbit {
+                let s = base_sign * table.lane(off);
+                let partner = off ^ xl;
+                let (r0, i0) = (r_lo[off], i_lo[off]);
+                let (r1, i1) = (r_hi[partner], i_hi[partner]);
+                let d = r1 * r0 + i1 * i0;
+                let e = r1 * i0 - i1 * r0;
+                acc[0] += s * (g.re * d - g.im * e);
+            }
+        }
+        base += pbit << 1;
+    }
+    2.0 * ((acc[0] + acc[1]) + (acc[2] + acc[3]))
 }
 
 impl fmt::Display for PauliOp {
@@ -734,13 +870,13 @@ mod tests {
             for b in 0..dim as u64 {
                 let (b2, phase) = term.string.apply_to_basis(b);
                 let contribution = phase * psi.amplitude(b) * term.coefficient;
-                expected.amplitudes_mut()[b2 as usize] += contribution;
+                expected.set_amplitude(b2, expected.amplitude(b2) + contribution);
             }
         }
         let mut out = psi.zeros_like();
-        let buffer = out.amplitudes().as_ptr();
+        let buffer = out.re().as_ptr();
         h.apply_into(&psi, &mut out);
-        assert_eq!(buffer, out.amplitudes().as_ptr(), "apply_into reallocated");
+        assert_eq!(buffer, out.re().as_ptr(), "apply_into reallocated");
         for b in 0..dim as u64 {
             let d = expected.amplitude(b) - out.amplitude(b);
             assert!(d.norm() < 1e-10, "mismatch at {b}");

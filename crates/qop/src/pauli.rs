@@ -304,7 +304,7 @@ impl PauliString {
     pub fn commutes_with(&self, other: &PauliString) -> bool {
         let a = (self.x_mask & other.z_mask).count_ones();
         let b = (self.z_mask & other.x_mask).count_ones();
-        (a + b).is_multiple_of(2)
+        (a + b) % 2 == 0
     }
 
     /// Returns `true` if the strings commute **qubit-wise**: on every qubit the two

@@ -4,11 +4,26 @@
 //! underlying data structure plus the linear-algebra primitives that both the simulator
 //! and the Lanczos ground-state solver need (inner products, norms, overlaps, sampling
 //! probabilities).
+//!
+//! # Storage layout: split re/im lanes (structure of arrays)
+//!
+//! Amplitudes are stored as two parallel `Vec<f64>` lanes — all real parts in
+//! [`Statevector::re`], all imaginary parts in [`Statevector::im`] — rather than as an
+//! interleaved `Vec<Complex64>`.  Every dense kernel is a butterfly or reduction over
+//! f64 pairs, and with interleaved storage the compiler must shuffle re/im components
+//! in and out of vector registers on every operation, which defeats autovectorization.
+//! With split lanes the inner loops read and write contiguous homogeneous `f64` runs, so
+//! a 4-wide AVX2 register holds four *independent* amplitudes' components and the
+//! butterfly update becomes straight-line FMA code (see `qsim`'s kernels and the
+//! reductions below).  The [`Complex64`]-typed accessors ([`Statevector::amplitude`],
+//! [`Statevector::to_amplitudes`], [`Statevector::from_amplitudes`]) convert at the
+//! boundary; the interleaved reference kernels in `qsim::reference` use exactly those to
+//! stay layout-independent.
 
 use crate::complex::Complex64;
 use serde::{Deserialize, Serialize};
 
-/// A dense n-qubit statevector with `2^n` complex amplitudes.
+/// A dense n-qubit statevector with `2^n` complex amplitudes in split re/im storage.
 ///
 /// Amplitude index `b` corresponds to the computational basis state whose qubit `q` value
 /// is bit `q` of `b` (little-endian qubit ordering, consistent with
@@ -25,7 +40,8 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Statevector {
-    amplitudes: Vec<Complex64>,
+    re: Vec<f64>,
+    im: Vec<f64>,
     num_qubits: usize,
 }
 
@@ -36,13 +52,15 @@ pub struct Statevector {
 impl Clone for Statevector {
     fn clone(&self) -> Self {
         Statevector {
-            amplitudes: self.amplitudes.clone(),
+            re: self.re.clone(),
+            im: self.im.clone(),
             num_qubits: self.num_qubits,
         }
     }
 
     fn clone_from(&mut self, source: &Self) {
-        self.amplitudes.clone_from(&source.amplitudes);
+        self.re.clone_from(&source.re);
+        self.im.clone_from(&source.im);
         self.num_qubits = source.num_qubits;
     }
 }
@@ -69,15 +87,14 @@ impl Statevector {
         );
         let dim = 1usize << num_qubits;
         assert!((basis as usize) < dim, "basis index out of range");
-        let mut amplitudes = vec![Complex64::ZERO; dim];
-        amplitudes[basis as usize] = Complex64::ONE;
-        Statevector {
-            amplitudes,
-            num_qubits,
-        }
+        let mut re = vec![0.0; dim];
+        let im = vec![0.0; dim];
+        re[basis as usize] = 1.0;
+        Statevector { re, im, num_qubits }
     }
 
-    /// Creates a statevector from raw amplitudes.
+    /// Creates a statevector from raw interleaved amplitudes (converted into the split
+    /// re/im storage).
     ///
     /// # Panics
     ///
@@ -89,18 +106,34 @@ impl Statevector {
             "length must be a power of two"
         );
         let num_qubits = dim.trailing_zeros() as usize;
-        Statevector {
-            amplitudes,
-            num_qubits,
-        }
+        let re = amplitudes.iter().map(|a| a.re).collect();
+        let im = amplitudes.iter().map(|a| a.im).collect();
+        Statevector { re, im, num_qubits }
+    }
+
+    /// Creates a statevector directly from its split re/im lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes have different lengths or the length is not a power of two.
+    pub fn from_lanes(re: Vec<f64>, im: Vec<f64>) -> Self {
+        assert_eq!(re.len(), im.len(), "re/im lanes must have equal length");
+        let dim = re.len();
+        assert!(
+            dim.is_power_of_two() && dim > 0,
+            "length must be a power of two"
+        );
+        let num_qubits = dim.trailing_zeros() as usize;
+        Statevector { re, im, num_qubits }
     }
 
     /// Creates the uniform superposition `H^{⊗n}|0⟩` (the standard QAOA initial state).
     pub fn uniform_superposition(num_qubits: usize) -> Self {
         let dim = 1usize << num_qubits;
-        let amp = Complex64::from_real(1.0 / (dim as f64).sqrt());
+        let amp = 1.0 / (dim as f64).sqrt();
         Statevector {
-            amplitudes: vec![amp; dim],
+            re: vec![amp; dim],
+            im: vec![0.0; dim],
             num_qubits,
         }
     }
@@ -114,42 +147,99 @@ impl Statevector {
     /// Dimension of the Hilbert space (`2^n`).
     #[inline]
     pub fn dim(&self) -> usize {
-        self.amplitudes.len()
+        self.re.len()
     }
 
-    /// Immutable view of the amplitudes.
+    /// Immutable view of the real lane.
     #[inline]
-    pub fn amplitudes(&self) -> &[Complex64] {
-        &self.amplitudes
+    pub fn re(&self) -> &[f64] {
+        &self.re
     }
 
-    /// Mutable view of the amplitudes (used by the gate simulator in `qsim`).
+    /// Immutable view of the imaginary lane.
     #[inline]
-    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
-        &mut self.amplitudes
+    pub fn im(&self) -> &[f64] {
+        &self.im
     }
 
-    /// The amplitude of basis state `basis`.
+    /// Both lanes at once, immutably.
+    ///
+    /// Asserts the equal-length lane invariant: the kernels' unsafe parallel paths
+    /// index both lanes up to `dim()` through raw pointers, so any construction path
+    /// that could bypass the constructors (deserialization of corrupted data, once a
+    /// real serde replaces the vendored marker stub) must fail loudly here rather than
+    /// hand the kernels mismatched lanes.
+    #[inline]
+    pub fn lanes(&self) -> (&[f64], &[f64]) {
+        assert_eq!(self.re.len(), self.im.len(), "re/im lanes out of sync");
+        (&self.re, &self.im)
+    }
+
+    /// Both lanes at once, mutably (used by the gate kernels in `qsim`); enforces the
+    /// same lane invariant as [`Statevector::lanes`].
+    #[inline]
+    pub fn lanes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        assert_eq!(self.re.len(), self.im.len(), "re/im lanes out of sync");
+        (&mut self.re, &mut self.im)
+    }
+
+    /// The amplitude of basis state `basis`, reconstructed from the lanes.
     #[inline]
     pub fn amplitude(&self, basis: u64) -> Complex64 {
-        self.amplitudes[basis as usize]
+        Complex64::new(self.re[basis as usize], self.im[basis as usize])
+    }
+
+    /// Writes one amplitude (test/boundary helper; kernels write the lanes directly).
+    #[inline]
+    pub fn set_amplitude(&mut self, basis: u64, value: Complex64) {
+        self.re[basis as usize] = value.re;
+        self.im[basis as usize] = value.im;
+    }
+
+    /// The amplitudes in interleaved `Complex64` form (allocates; conversion boundary
+    /// for the interleaved reference kernels and for tests).
+    pub fn to_amplitudes(&self) -> Vec<Complex64> {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| Complex64::new(r, i))
+            .collect()
+    }
+
+    /// Overwrites this vector from interleaved amplitudes, reusing the lane allocations
+    /// (the write-back half of the interleaved conversion boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the current dimension.
+    pub fn copy_from_amplitudes(&mut self, amplitudes: &[Complex64]) {
+        assert_eq!(amplitudes.len(), self.dim(), "dimension mismatch");
+        for ((r, i), a) in self.re.iter_mut().zip(&mut self.im).zip(amplitudes) {
+            *r = a.re;
+            *i = a.im;
+        }
     }
 
     /// The measurement probability of basis state `basis`.
     #[inline]
     pub fn probability(&self, basis: u64) -> f64 {
-        self.amplitudes[basis as usize].norm_sqr()
+        let b = basis as usize;
+        self.re[b] * self.re[b] + self.im[b] * self.im[b]
     }
 
     /// All measurement probabilities (in basis order).
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| r * r + i * i)
+            .collect()
     }
 
     /// Writes all measurement probabilities into `out`, reusing its allocation.
     pub fn probabilities_into(&self, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(self.amplitudes.iter().map(|a| a.norm_sqr()));
+        out.extend(self.re.iter().zip(&self.im).map(|(&r, &i)| r * r + i * i));
     }
 
     /// Resets this vector to the basis state `|basis⟩` in place (no allocation).
@@ -159,28 +249,57 @@ impl Statevector {
     /// Panics if `basis >= 2^num_qubits`.
     pub fn set_basis_state(&mut self, basis: u64) {
         assert!((basis as usize) < self.dim(), "basis index out of range");
-        self.amplitudes.fill(Complex64::ZERO);
-        self.amplitudes[basis as usize] = Complex64::ONE;
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+        self.re[basis as usize] = 1.0;
     }
 
     /// Resets this vector to the uniform superposition `H^{⊗n}|0⟩` in place.
     pub fn set_uniform_superposition(&mut self) {
-        let amp = Complex64::from_real(1.0 / (self.dim() as f64).sqrt());
-        self.amplitudes.fill(amp);
+        let amp = 1.0 / (self.dim() as f64).sqrt();
+        self.re.fill(amp);
+        self.im.fill(0.0);
     }
 
     /// The inner product `⟨self|other⟩`.
+    ///
+    /// Split-lane reduction with four independent accumulators per component (a single
+    /// dependent accumulator chain is latency-bound; four chains let the compiler keep a
+    /// 4-wide FMA pipeline full).
     ///
     /// # Panics
     ///
     /// Panics if the dimensions differ.
     pub fn inner(&self, other: &Statevector) -> Complex64 {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.amplitudes
+        // ⟨a|b⟩ = Σ conj(a)·b: re += ar·br + ai·bi, im += ar·bi − ai·br.
+        let mut re_acc = [0.0f64; 4];
+        let mut im_acc = [0.0f64; 4];
+        let mut ar = self.re.chunks_exact(4);
+        let mut ai = self.im.chunks_exact(4);
+        let mut br = other.re.chunks_exact(4);
+        let mut bi = other.im.chunks_exact(4);
+        for (((ar, ai), br), bi) in (&mut ar).zip(&mut ai).zip(&mut br).zip(&mut bi) {
+            for j in 0..4 {
+                re_acc[j] += ar[j] * br[j] + ai[j] * bi[j];
+                im_acc[j] += ar[j] * bi[j] - ai[j] * br[j];
+            }
+        }
+        // Scalar tail (dimensions < 4; powers of two otherwise have no remainder).
+        for (((ar, ai), br), bi) in ar
+            .remainder()
             .iter()
-            .zip(other.amplitudes.iter())
-            .map(|(a, b)| a.conj() * *b)
-            .sum()
+            .zip(ai.remainder())
+            .zip(br.remainder())
+            .zip(bi.remainder())
+        {
+            re_acc[0] += ar * br + ai * bi;
+            im_acc[0] += ar * bi - ai * br;
+        }
+        Complex64::new(
+            (re_acc[0] + re_acc[1]) + (re_acc[2] + re_acc[3]),
+            (im_acc[0] + im_acc[1]) + (im_acc[2] + im_acc[3]),
+        )
     }
 
     /// The squared overlap `|⟨self|other⟩|²` (state fidelity for pure states).
@@ -188,13 +307,25 @@ impl Statevector {
         self.inner(other).norm_sqr()
     }
 
+    /// The squared Euclidean norm of the vector (split-lane 4-wide reduction).
+    pub fn norm_sqr(&self) -> f64 {
+        let mut acc = [0.0f64; 4];
+        let mut r = self.re.chunks_exact(4);
+        let mut i = self.im.chunks_exact(4);
+        for (r, i) in (&mut r).zip(&mut i) {
+            for j in 0..4 {
+                acc[j] += r[j] * r[j] + i[j] * i[j];
+            }
+        }
+        for (r, i) in r.remainder().iter().zip(i.remainder()) {
+            acc[0] += r * r + i * i;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    }
+
     /// The Euclidean norm of the vector.
     pub fn norm(&self) -> f64 {
-        self.amplitudes
-            .iter()
-            .map(|a| a.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.norm_sqr().sqrt()
     }
 
     /// Normalizes the vector in place. Returns the previous norm.
@@ -206,9 +337,7 @@ impl Statevector {
             // One division, then multiplies: f64 division is several times the latency of
             // a multiply and does not pipeline as well on this loop.
             let inv = 1.0 / n;
-            for a in &mut self.amplitudes {
-                *a = a.scale(inv);
-            }
+            self.scale(inv);
         }
         n
     }
@@ -220,24 +349,43 @@ impl Statevector {
     /// Panics if the dimensions differ.
     pub fn axpy(&mut self, coeff: Complex64, other: &Statevector) {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        for (a, b) in self.amplitudes.iter_mut().zip(other.amplitudes.iter()) {
-            *a += coeff * *b;
-        }
+        axpy_lanes(
+            &mut self.re,
+            &mut self.im,
+            &other.re,
+            &other.im,
+            coeff.re,
+            coeff.im,
+        );
     }
 
     /// Multiplies every amplitude by a real scalar.
     pub fn scale(&mut self, s: f64) {
-        for a in &mut self.amplitudes {
-            *a = a.scale(s);
+        for r in &mut self.re {
+            *r *= s;
+        }
+        for i in &mut self.im {
+            *i *= s;
         }
     }
 
     /// Returns a zeroed vector of the same shape.
     pub fn zeros_like(&self) -> Statevector {
         Statevector {
-            amplitudes: vec![Complex64::ZERO; self.dim()],
+            re: vec![0.0; self.dim()],
+            im: vec![0.0; self.dim()],
             num_qubits: self.num_qubits,
         }
+    }
+}
+
+/// Split-lane axpy body.  A free function on purpose: the four slices arrive as
+/// `noalias` parameters, which is what lets the flat four-stream zip autovectorize
+/// (reborrows of two structs' fields carry no aliasing information).
+fn axpy_lanes(sre: &mut [f64], sim: &mut [f64], ore: &[f64], oim: &[f64], cr: f64, ci: f64) {
+    for (((r, i), br), bi) in sre.iter_mut().zip(sim.iter_mut()).zip(ore).zip(oim) {
+        *r += cr * br - ci * bi;
+        *i += cr * bi + ci * br;
     }
 }
 
@@ -275,6 +423,30 @@ mod tests {
     }
 
     #[test]
+    fn inner_product_matches_interleaved_definition_on_long_vectors() {
+        // 6 qubits = 64 amplitudes: exercises the 4-wide chunks, not just the tail.
+        let n = 6;
+        let dim = 1usize << n;
+        let mk = |phase: f64| {
+            Statevector::from_amplitudes(
+                (0..dim)
+                    .map(|i| Complex64::new((i as f64 * phase).sin(), (i as f64 * phase).cos()))
+                    .collect(),
+            )
+        };
+        let a = mk(0.13);
+        let b = mk(0.29);
+        let expected: Complex64 = a
+            .to_amplitudes()
+            .iter()
+            .zip(b.to_amplitudes().iter())
+            .map(|(x, y)| x.conj() * *y)
+            .sum();
+        let got = a.inner(&b);
+        assert!((got - expected).norm() < 1e-10);
+    }
+
+    #[test]
     fn normalize_and_axpy() {
         let mut v = Statevector::basis_state(1, 0);
         v.scale(3.0);
@@ -292,6 +464,21 @@ mod tests {
     fn from_amplitudes_infers_qubits() {
         let v = Statevector::from_amplitudes(vec![Complex64::ONE; 8]);
         assert_eq!(v.num_qubits(), 3);
+    }
+
+    #[test]
+    fn amplitude_round_trip_through_lanes() {
+        let raw: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let v = Statevector::from_amplitudes(raw.clone());
+        assert_eq!(v.to_amplitudes(), raw);
+        assert_eq!(v.amplitude(5), raw[5]);
+        let w = Statevector::from_lanes(v.re().to_vec(), v.im().to_vec());
+        assert_eq!(w, v);
+        let mut z = v.zeros_like();
+        z.copy_from_amplitudes(&raw);
+        assert_eq!(z, v);
     }
 
     #[test]

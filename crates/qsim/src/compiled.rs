@@ -179,14 +179,19 @@ enum BoundDiagonal {
 }
 
 /// The low/high-table factorization of a bound diagonal pass (see
-/// [`DiagonalPass::execute_tabulated`] for the math).
+/// [`DiagonalPass::build_tables`] for the math).
+///
+/// Tables are stored as split re/im lanes to match the statevector layout: the main
+/// loop multiplies the amplitude lanes by a *contiguous* low-table phase stream with the
+/// high-table phase hoisted per `2^s` block, so it autovectorizes like the gate kernels.
 #[derive(Clone, Debug)]
 struct TabulatedTables {
-    /// Split position: low table indexes `b & low_mask`, high table indexes `b >> s`.
+    /// Split position: low table indexes `b & (2^s − 1)`, high table indexes `b >> s`.
     s: usize,
-    low_mask: u64,
-    low_table: Vec<Complex64>,
-    high_table: Vec<Complex64>,
+    low_re: Vec<f64>,
+    low_im: Vec<f64>,
+    high_re: Vec<f64>,
+    high_im: Vec<f64>,
     /// Terms whose mask spans the split; applied per amplitude on top of the tables.
     span_terms: Vec<BoundPhase>,
 }
@@ -271,7 +276,7 @@ impl DiagonalPass {
     fn execute_direct(&self, bound: &[BoundPhase], state: &mut Statevector) {
         let global = self.global;
         let dim = state.dim();
-        let amps = state.amplitudes_mut();
+        let (re, im) = state.lanes_mut();
         // Four independent accumulators: a single product chain of K dependent complex
         // multiplies is latency-bound (each multiply waits on the last); interleaving
         // four chains restores instruction-level parallelism.
@@ -294,17 +299,26 @@ impl DiagonalPass {
             (acc0 * acc1) * (acc2 * acc3)
         };
         if use_parallel(dim) {
-            let ptr = SendPtr(amps.as_mut_ptr());
+            let rp = SendPtr(re.as_mut_ptr());
+            let ip = SendPtr(im.as_mut_ptr());
             (0..dim)
                 .into_par_iter()
                 .with_min_len(MIN_PAR_INDICES)
                 .for_each(|b| {
+                    let p = phase_of(b);
                     // SAFETY: each b is visited exactly once.
-                    unsafe { *ptr.add(b) = *ptr.add(b) * phase_of(b) };
+                    unsafe {
+                        let (r, i) = (*rp.add(b), *ip.add(b));
+                        *rp.add(b) = p.re * r - p.im * i;
+                        *ip.add(b) = p.re * i + p.im * r;
+                    }
                 });
         } else {
-            for (b, a) in amps.iter_mut().enumerate() {
-                *a *= phase_of(b);
+            for (b, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+                let p = phase_of(b);
+                let (x, y) = (*r, *i);
+                *r = p.re * x - p.im * y;
+                *i = p.re * y + p.im * x;
             }
         }
     }
@@ -342,52 +356,77 @@ impl DiagonalPass {
             }
             acc
         };
-        let low_table: Vec<Complex64> = (0..1usize << s)
+        let low: Vec<Complex64> = (0..1usize << s)
             .map(|v| product_at(&low_terms, v as u64))
             .collect();
         // The global phase rides on the (smaller) high table.
-        let high_table: Vec<Complex64> = (0..1usize << (num_qubits - s))
+        let high: Vec<Complex64> = (0..1usize << (num_qubits - s))
             .map(|h| self.global * product_at(&high_terms, (h as u64) << s))
             .collect();
         TabulatedTables {
             s,
-            low_mask,
-            low_table,
-            high_table,
+            low_re: low.iter().map(|p| p.re).collect(),
+            low_im: low.iter().map(|p| p.im).collect(),
+            high_re: high.iter().map(|p| p.re).collect(),
+            high_im: high.iter().map(|p| p.im).collect(),
             span_terms,
         }
     }
 
+    /// Applies the tabulated phase pass: amplitude `b` is multiplied by
+    /// `low[b & low_mask] · high[b >> s]` (· spanning terms).  Because `b` sweeps the
+    /// low table **sequentially** within each `2^s` block, the split-lane main loop is a
+    /// contiguous four-stream product — amplitude lanes × low-table lanes with the block's
+    /// high phase hoisted — which vectorizes; the per-amplitude popcount path survives
+    /// only for the (rare, short) spanning terms.
     fn apply_tables(&self, tables: &TabulatedTables, state: &mut Statevector) {
         let TabulatedTables {
             s,
-            low_mask,
-            low_table,
-            high_table,
+            low_re,
+            low_im,
+            high_re,
+            high_im,
             span_terms,
         } = tables;
-        let (s, low_mask) = (*s, *low_mask);
-        let dim = state.dim();
-        let amps = state.amplitudes_mut();
-        let phase_of = |b: usize| -> Complex64 {
-            let mut p = low_table[b & low_mask as usize] * high_table[b >> s];
-            for t in span_terms {
-                p *= t.1[((b as u64 & t.0).count_ones() & 1) as usize];
-            }
-            p
+        let s = *s;
+        let block = 1usize << s;
+        let (re, im) = state.lanes_mut();
+        // One contiguous 2^s block of amplitudes per high-table entry; blocks are
+        // disjoint, so the parallel path splits over them.
+        let apply_block = |h: usize, r_block: &mut [f64], i_block: &mut [f64]| {
+            apply_tabulated_block(
+                r_block,
+                i_block,
+                low_re,
+                low_im,
+                high_re[h],
+                high_im[h],
+                span_terms,
+                h << s,
+            );
         };
-        if use_parallel(dim) {
-            let ptr = SendPtr(amps.as_mut_ptr());
-            (0..dim)
+        if use_parallel(re.len()) {
+            let rp = SendPtr(re.as_mut_ptr());
+            let ip = SendPtr(im.as_mut_ptr());
+            (0..high_re.len())
                 .into_par_iter()
-                .with_min_len(MIN_PAR_INDICES)
-                .for_each(|b| {
-                    // SAFETY: each b is visited exactly once.
-                    unsafe { *ptr.add(b) = *ptr.add(b) * phase_of(b) };
+                .with_min_len((MIN_PAR_INDICES >> s).max(1))
+                .for_each(|h| {
+                    // SAFETY: block h covers indices [h·2^s, (h+1)·2^s), disjoint across
+                    // workers and in bounds (dim = high_len · 2^s).
+                    unsafe {
+                        let r_block = std::slice::from_raw_parts_mut(rp.add(h << s), block);
+                        let i_block = std::slice::from_raw_parts_mut(ip.add(h << s), block);
+                        apply_block(h, r_block, i_block);
+                    }
                 });
         } else {
-            for (b, a) in amps.iter_mut().enumerate() {
-                *a *= phase_of(b);
+            for (h, (r_block, i_block)) in re
+                .chunks_exact_mut(block)
+                .zip(im.chunks_exact_mut(block))
+                .enumerate()
+            {
+                apply_block(h, r_block, i_block);
             }
         }
     }
@@ -396,6 +435,52 @@ impl DiagonalPass {
         let phi = term.angle.resolve(params);
         let (s, c) = phi.sin_cos();
         (term.mask, [Complex64::new(c, s), Complex64::new(c, -s)])
+    }
+}
+
+/// One `2^s` amplitude block of the tabulated diagonal pass: multiplies each amplitude
+/// by `high · low[j]` (· spanning terms).  A free function so the lane and table slices
+/// arrive as `noalias` parameters and the span-free four-stream zip autovectorizes.
+#[allow(clippy::too_many_arguments)]
+fn apply_tabulated_block(
+    r_block: &mut [f64],
+    i_block: &mut [f64],
+    low_re: &[f64],
+    low_im: &[f64],
+    hr: f64,
+    hi: f64,
+    span_terms: &[BoundPhase],
+    base: usize,
+) {
+    if span_terms.is_empty() {
+        for ((r, i), (lr, li)) in r_block
+            .iter_mut()
+            .zip(i_block.iter_mut())
+            .zip(low_re.iter().zip(low_im))
+        {
+            // p = high · low, then a *= p — two complex multiplies kept in the same
+            // operation order as the unfactored path.
+            let (pr, pi) = (lr * hr - li * hi, lr * hi + li * hr);
+            let (x, y) = (*r, *i);
+            *r = x * pr - y * pi;
+            *i = x * pi + y * pr;
+        }
+    } else {
+        for (j, ((r, i), (lr, li))) in r_block
+            .iter_mut()
+            .zip(i_block.iter_mut())
+            .zip(low_re.iter().zip(low_im))
+            .enumerate()
+        {
+            let b = base + j;
+            let mut p = Complex64::new(lr * hr - li * hi, lr * hi + li * hr);
+            for t in span_terms {
+                p *= t.1[((b as u64 & t.0).count_ones() & 1) as usize];
+            }
+            let (x, y) = (*r, *i);
+            *r = x * p.re - y * p.im;
+            *i = x * p.im + y * p.re;
+        }
     }
 }
 
@@ -1029,11 +1114,21 @@ mod tests {
     }
 
     fn max_diff(a: &Statevector, b: &Statevector) -> f64 {
-        a.amplitudes()
+        a.to_amplitudes()
             .iter()
-            .zip(b.amplitudes())
-            .map(|(x, y)| (*x - *y).norm())
+            .zip(b.to_amplitudes())
+            .map(|(x, y)| (*x - y).norm())
             .fold(0.0, f64::max)
+    }
+
+    /// Asserts two states are equal to the last bit, lane for lane.
+    fn assert_bit_identical(a: &Statevector, b: &Statevector, context: &str) {
+        for (x, y) in a.re().iter().zip(b.re()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context} (re)");
+        }
+        for (x, y) in a.im().iter().zip(b.im()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context} (im)");
+        }
     }
 
     fn assert_compiled_matches_reference(circuit: &Circuit, params: &[f64]) {
@@ -1176,9 +1271,9 @@ mod tests {
         let compiled = CompiledCircuit::compile(&circ);
         let initial = Statevector::zero_state(3);
         let mut scratch = Statevector::zero_state(3);
-        let buffer = scratch.amplitudes().as_ptr();
+        let buffer = scratch.re().as_ptr();
         compiled.execute_into(&[0.7], &initial, &mut scratch);
-        assert_eq!(buffer, scratch.amplitudes().as_ptr(), "scratch reallocated");
+        assert_eq!(buffer, scratch.re().as_ptr(), "scratch reallocated");
         let expected = reference::run_circuit(&circ, &[0.7], &initial);
         assert!(max_diff(&expected, &scratch) < 1e-12);
     }
@@ -1242,10 +1337,7 @@ mod tests {
         let mut noisy = plain.clone();
         compiled.execute_in_place(&params, &mut plain);
         compiled.execute_in_place_with_insertions(&params, &mut noisy, &[], None);
-        for (a, b) in plain.amplitudes().iter().zip(noisy.amplitudes()) {
-            assert_eq!(a.re.to_bits(), b.re.to_bits());
-            assert_eq!(a.im.to_bits(), b.im.to_bits());
-        }
+        assert_bit_identical(&plain, &noisy, "empty insertion schedule");
     }
 
     #[test]
@@ -1280,10 +1372,7 @@ mod tests {
             let mut fresh = Statevector::zero_state(n);
             compiled.execute_in_place_cached(params.as_slice(), &mut cached, &tables);
             compiled.execute_in_place(params.as_slice(), &mut fresh);
-            for (x, y) in cached.amplitudes().iter().zip(fresh.amplitudes()) {
-                assert_eq!(x.re.to_bits(), y.re.to_bits(), "binding {label}");
-                assert_eq!(x.im.to_bits(), y.im.to_bits(), "binding {label}");
-            }
+            assert_bit_identical(&cached, &fresh, &format!("binding {label}"));
         }
 
         // A binding that changes the diagonal parameter disables the reuse.

@@ -8,33 +8,45 @@
 //! # Kernel design
 //!
 //! Gate application is the hot path of every VQA optimization loop, so the kernels avoid
-//! the three classic costs of a naive statevector simulator:
+//! the classic costs of a naive statevector simulator:
 //!
 //! * **No data-dependent branches.**  A 2×2 gate on qubit `q` updates the amplitude pairs
 //!   `(i0, i0 | 1<<q)`.  Instead of scanning all `2^n` indices and testing `i & bit == 0`,
 //!   the kernels enumerate exactly the `2^(n-1)` pair indices with a two-level
 //!   `(block, offset)` bit-insertion walk — half the iterations, and the inner loop is
-//!   pure arithmetic the compiler can unroll and vectorize.  Controlled gates enumerate
-//!   only the quarter of indices with the control bit set.
+//!   pure arithmetic.  Controlled gates enumerate only the quarter of indices with the
+//!   control bit set.
 //! * **No allocation.**  Pauli rotations `exp(-iθ/2 P)` exploit that a Pauli string acts
 //!   on the computational basis as the involution `b ↔ b ^ x_mask`: each `(b, b')` pair is
 //!   rotated in place by a 2×2 update, instead of cloning the full state per gate.
 //!   [`run_circuit_in_place`] / [`run_circuit_into`] let callers drive a whole circuit
 //!   without a single allocation, which the backend layers in `vqa` use to keep optimizer
 //!   inner loops allocation-free.
+//! * **Split re/im lanes (SoA).**  The statevector stores real and imaginary parts in
+//!   separate `f64` arrays (see [`Statevector`]), and every serial kernel walks them in
+//!   explicitly 4-wide-chunked inner loops with scalar tails.  Pauli phases are factored
+//!   into a hoisted `i^num_y` constant times a `(−1)^popcount` sign served by a
+//!   [`qop::lanes::SignTable`], and the `b ↔ b ^ x_mask` partner access inside an aligned
+//!   4-chunk is a constant lane shuffle — so the butterfly updates are contiguous
+//!   homogeneous FMA streams the compiler autovectorizes (AVX2 via the pinned
+//!   `target-cpu`), instead of interleaved complex shuffles that defeat it.
 //! * **Data parallelism.**  For registers at or above [`parallel_threshold`] amplitudes
 //!   the kernels split the pair-index range across threads (disjoint index sets, so the
 //!   updates are race-free).  Small registers stay serial: thread fan-out costs more than
 //!   the update itself below the threshold.
 //!
-//! The original straightforward kernels are retained in [`reference`]; property tests and
-//! the `treevqa_bench` criterion benches check the fast kernels against them.
+//! The original straightforward kernels are retained in [`reference`] on **interleaved**
+//! `Complex64` storage (converting at entry/exit), so the equivalence suites pin the
+//! split-lane kernels against a genuinely independent layout; the `treevqa_bench`
+//! criterion benches quantify the speedup.
 
 use qcircuit::{Circuit, Gate};
-// The parallel policy (threshold knob, worker gate, Send pointer wrapper, i-power table)
-// is shared with the expectation kernels and lives in `qop::par`; `SendPtr` is the
-// Sync wrapper for the disjoint-index amplitude writes.
-use qop::par::{use_parallel, SendPtr, I_POWERS, MIN_PAR_INDICES};
+use qop::lanes::{i_power, parity_sign, SignTable, LANES, SIGN_BLOCK};
+// The parallel policy (threshold knob, worker gate, Send pointer wrapper) is shared with
+// the expectation kernels and lives in `qop::par`; `SendPtr` is the Sync wrapper for the
+// disjoint-index lane writes.
+use qop::par::{use_parallel, SendPtr, MIN_PAR_INDICES};
+use qop::with_lane_perm;
 use qop::{Complex64, PauliString, Statevector};
 use rayon::prelude::*;
 
@@ -206,6 +218,9 @@ fn insert_zero_bit(k: usize, pos: usize) -> usize {
 /// Branch-free two-level walk: the outer level ranges over blocks of `2^(q+1)` contiguous
 /// amplitudes, the inner level over the `2^q` offsets inside a block; `i0 = block + off`
 /// and `i1 = i0 | bit` form the update pair directly, so no index test is ever executed.
+/// The serial inner loop runs 4 lanes at a time over the split re/im arrays — eight
+/// scalar matrix constants against four contiguous f64 streams, which vectorizes to
+/// straight FMA code.
 pub fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
     let dim = state.dim();
     let bit = 1usize << q;
@@ -213,10 +228,14 @@ pub fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
         bit < dim,
         "qubit index {q} out of range for {dim} amplitudes"
     );
-    let m = *m;
-    let amps = state.amplitudes_mut();
+    let (m00r, m00i) = (m[0][0].re, m[0][0].im);
+    let (m01r, m01i) = (m[0][1].re, m[0][1].im);
+    let (m10r, m10i) = (m[1][0].re, m[1][0].im);
+    let (m11r, m11i) = (m[1][1].re, m[1][1].im);
+    let (re, im) = state.lanes_mut();
     if use_parallel(dim) {
-        let ptr = SendPtr(amps.as_mut_ptr());
+        let rp = SendPtr(re.as_mut_ptr());
+        let ip = SendPtr(im.as_mut_ptr());
         (0..dim / 2)
             .into_par_iter()
             .with_min_len(MIN_PAR_INDICES)
@@ -226,24 +245,51 @@ pub fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
                 // SAFETY: `insert_zero_bit` is injective over k and never sets `bit`, so
                 // every (i0, i1) pair is disjoint from every other thread's pairs.
                 unsafe {
-                    let a0 = *ptr.add(i0);
-                    let a1 = *ptr.add(i1);
-                    *ptr.add(i0) = m[0][0] * a0 + m[0][1] * a1;
-                    *ptr.add(i1) = m[1][0] * a0 + m[1][1] * a1;
+                    let r0 = *rp.add(i0);
+                    let i0v = *ip.add(i0);
+                    let r1 = *rp.add(i1);
+                    let i1v = *ip.add(i1);
+                    *rp.add(i0) = (m00r * r0 - m00i * i0v) + (m01r * r1 - m01i * i1v);
+                    *ip.add(i0) = (m00r * i0v + m00i * r0) + (m01r * i1v + m01i * r1);
+                    *rp.add(i1) = (m10r * r0 - m10i * i0v) + (m11r * r1 - m11i * i1v);
+                    *ip.add(i1) = (m10r * i0v + m10i * r0) + (m11r * i1v + m11i * r1);
                 }
             });
         return;
     }
-    // Serial path: split each block into its i0 half (qubit bit clear) and i1 half (bit
-    // set) and walk them as a zipped pair of slices — zero index arithmetic and zero
-    // bounds checks in the inner loop, which lets the compiler unroll and vectorize it.
-    for block in amps.chunks_exact_mut(bit << 1) {
-        let (los, his) = block.split_at_mut(bit);
-        for (a0, a1) in los.iter_mut().zip(his.iter_mut()) {
-            let x0 = *a0;
-            let x1 = *a1;
-            *a0 = m[0][0] * x0 + m[0][1] * x1;
-            *a1 = m[1][0] * x0 + m[1][1] * x1;
+    single_qubit_serial(
+        re,
+        im,
+        bit,
+        &[m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i],
+    );
+}
+
+/// Serial single-qubit body.  A separate function on purpose: taking the lanes as two
+/// `&mut [f64]` **parameters** gives LLVM `noalias` guarantees between them (reborrows
+/// of two fields of one struct do not), which is what lets the flat four-stream zip
+/// below autovectorize; a zip-of-chunks formulation, or this same loop written inline
+/// against the struct's lanes, compiles to scalar code.
+fn single_qubit_serial(re: &mut [f64], im: &mut [f64], bit: usize, m: &[f64; 8]) {
+    let [m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i] = *m;
+    for (rb, ib) in re
+        .chunks_exact_mut(bit << 1)
+        .zip(im.chunks_exact_mut(bit << 1))
+    {
+        let (r_lo, r_hi) = rb.split_at_mut(bit);
+        let (i_lo, i_hi) = ib.split_at_mut(bit);
+        for (((r0, i0), r1), i1) in r_lo
+            .iter_mut()
+            .zip(i_lo.iter_mut())
+            .zip(r_hi.iter_mut())
+            .zip(i_hi.iter_mut())
+        {
+            let (x0, y0) = (*r0, *i0);
+            let (x1, y1) = (*r1, *i1);
+            *r0 = (m00r * x0 - m00i * y0) + (m01r * x1 - m01i * y1);
+            *i0 = (m00r * y0 + m00i * x0) + (m01r * y1 + m01i * x1);
+            *r1 = (m10r * x0 - m10i * y0) + (m11r * x1 - m11i * y1);
+            *i1 = (m10r * y0 + m10i * x0) + (m11r * y1 + m11i * x1);
         }
     }
 }
@@ -277,7 +323,10 @@ where
 /// Applies CX with the given control and target.
 ///
 /// Iterates only the quarter of indices with the control bit set and the target bit clear
-/// (the swap partners), rather than scanning and testing all `2^n` indices.
+/// (the swap partners), rather than scanning and testing all `2^n` indices.  Serially,
+/// the swap set decomposes into contiguous runs of `2^min(control, target)` indices
+/// (everything below the lower qubit bit is free), so each run is one pair of
+/// `swap_nonoverlapping` lane memmoves instead of per-index swaps.
 pub fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
     assert_ne!(control, target, "CX control and target must differ");
     let dim = state.dim();
@@ -286,17 +335,54 @@ pub fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
         1usize << control < dim && tbit < dim,
         "CX qubits ({control}, {target}) out of range for {dim} amplitudes"
     );
-    let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
-    for_each_controlled_pair(dim, control, target, |i0| {
-        // SAFETY: i0 has the target bit clear and each i0 is produced exactly once, so
-        // the (i0, i0|tbit) swap pairs are pairwise disjoint.
-        unsafe { std::ptr::swap(ptr.add(i0), ptr.add(i0 | tbit)) };
-    });
+    let (re, im) = state.lanes_mut();
+    let lo = control.min(target);
+    let hi = control.max(target);
+    let cbit = 1usize << control;
+    let run = 1usize << lo;
+    if use_parallel(dim) || run < LANES {
+        // Parallel execution, or serial runs of 1–2 elements where per-run setup would
+        // dominate: per-pair lane swaps over the enumerated quarter
+        // (for_each_controlled_pair self-selects serial vs parallel).
+        let rp = SendPtr(re.as_mut_ptr());
+        let ip = SendPtr(im.as_mut_ptr());
+        for_each_controlled_pair(dim, control, target, |i0| {
+            // SAFETY: i0 has the target bit clear and each i0 is produced exactly once,
+            // so the (i0, i0|tbit) swap pairs are pairwise disjoint.
+            unsafe {
+                std::ptr::swap(rp.add(i0), rp.add(i0 | tbit));
+                std::ptr::swap(ip.add(i0), ip.add(i0 | tbit));
+            }
+        });
+        return;
+    }
+    let mut k = 0usize;
+    while k < dim / 4 {
+        let i0 = insert_zero_bit(insert_zero_bit(k, lo), hi) | cbit;
+        // SAFETY: the `run` indices from i0 all keep the control bit set and the target
+        // bit clear (their varying bits sit strictly below min(control, target)), and
+        // their partners at +tbit are disjoint from them.
+        unsafe {
+            std::ptr::swap_nonoverlapping(
+                re.as_mut_ptr().add(i0),
+                re.as_mut_ptr().add(i0 | tbit),
+                run,
+            );
+            std::ptr::swap_nonoverlapping(
+                im.as_mut_ptr().add(i0),
+                im.as_mut_ptr().add(i0 | tbit),
+                run,
+            );
+        }
+        k += run;
+    }
 }
 
 /// Applies CZ with the given control and target (symmetric).
 ///
-/// Iterates only the quarter of indices with both bits set.
+/// Iterates only the quarter of indices with both bits set; serially those decompose
+/// into contiguous runs of `2^min(control, target)` indices negated as straight lane
+/// sweeps.
 pub fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
     assert_ne!(control, target, "CZ control and target must differ");
     let dim = state.dim();
@@ -305,12 +391,206 @@ pub fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
         1usize << control < dim && tbit < dim,
         "CZ qubits ({control}, {target}) out of range for {dim} amplitudes"
     );
-    let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
-    for_each_controlled_pair(dim, control, target, |i0| {
-        let i = i0 | tbit;
-        // SAFETY: each index with both bits set is produced exactly once.
-        unsafe { *ptr.add(i) = -*ptr.add(i) };
-    });
+    let (re, im) = state.lanes_mut();
+    if use_parallel(dim) {
+        let rp = SendPtr(re.as_mut_ptr());
+        let ip = SendPtr(im.as_mut_ptr());
+        for_each_controlled_pair(dim, control, target, |i0| {
+            let i = i0 | tbit;
+            // SAFETY: each index with both bits set is produced exactly once.
+            unsafe {
+                *rp.add(i) = -*rp.add(i);
+                *ip.add(i) = -*ip.add(i);
+            }
+        });
+        return;
+    }
+    let lo = control.min(target);
+    let hi = control.max(target);
+    let cbit = 1usize << control;
+    let run = 1usize << lo;
+    let mut k = 0usize;
+    while k < dim / 4 {
+        let i = (insert_zero_bit(insert_zero_bit(k, lo), hi) | cbit) | tbit;
+        for r in &mut re[i..i + run] {
+            *r = -*r;
+        }
+        for v in &mut im[i..i + run] {
+            *v = -*v;
+        }
+        k += run;
+    }
+}
+
+/// The split-lane involution-pair update shared by the Pauli-rotation and Pauli-string
+/// kernels: over all pairs `(i0, i1 = i0 ^ x_mask)` (pivot bit of `x_mask` clear in
+/// `i0`), applies
+///
+/// ```text
+/// a0' = c·a0 + sgn·(g01·a1)        a1' = c·a1 + sgn·(g10·a0)
+/// ```
+///
+/// with `sgn = (−1)^popcount(i0 & z_mask)`.  The rotation kernel passes
+/// `(cos θ/2, −i·sin θ/2·conj(i^num_y), −i·sin θ/2·i^num_y)`; the plain Pauli
+/// application passes `(0, conj(i^num_y), i^num_y)` — the phase table of the old
+/// interleaved kernel factored into one hoisted complex constant per side and a ±1 sign
+/// stream, which is what lets the serial inner loop vectorize.
+fn pair_update(
+    state: &mut Statevector,
+    x_mask: u64,
+    z_mask: u64,
+    c: f64,
+    g01: Complex64,
+    g10: Complex64,
+) {
+    let dim = state.dim();
+    let pivot = (63 - x_mask.leading_zeros()) as usize;
+    let x = x_mask as usize;
+    let (re, im) = state.lanes_mut();
+
+    if use_parallel(dim) {
+        let rp = SendPtr(re.as_mut_ptr());
+        let ip = SendPtr(im.as_mut_ptr());
+        (0..dim / 2)
+            .into_par_iter()
+            .with_min_len(MIN_PAR_INDICES)
+            .for_each(|k| {
+                let i0 = insert_zero_bit(k, pivot);
+                let i1 = i0 ^ x;
+                let s = parity_sign(i0 as u64 & z_mask);
+                // SAFETY: i0 never has the pivot bit, i1 always does, and ^x_mask is an
+                // involution, so pairs are pairwise disjoint across threads.
+                unsafe {
+                    let (r0, v0) = (*rp.add(i0), *ip.add(i0));
+                    let (r1, v1) = (*rp.add(i1), *ip.add(i1));
+                    *rp.add(i0) = c * r0 + s * (g01.re * r1 - g01.im * v1);
+                    *ip.add(i0) = c * v0 + s * (g01.re * v1 + g01.im * r1);
+                    *rp.add(i1) = c * r1 + s * (g10.re * r0 - g10.im * v0);
+                    *ip.add(i1) = c * v1 + s * (g10.re * v0 + g10.im * r0);
+                }
+            });
+        return;
+    }
+
+    pair_update_serial(re, im, x_mask, z_mask, c, g01, g10);
+}
+
+/// Serial body of [`pair_update`], walking blocks of `2^(pivot+1)` amplitudes: within a
+/// block, `i0 = base + off` and `i1 = base + 2^pivot + (off ^ xl)`, where `xl` is
+/// `x_mask` with its pivot bit removed (the pivot is x's highest bit, so x spans only
+/// the block).  The sign of the block base is hoisted; the low-bit signs stream from the
+/// table; the partner access is a constant 4-lane shuffle.  Separate function so the
+/// lanes arrive as `noalias` slice parameters (see [`single_qubit_serial`]).
+fn pair_update_serial(
+    re: &mut [f64],
+    im: &mut [f64],
+    x_mask: u64,
+    z_mask: u64,
+    c: f64,
+    g01: Complex64,
+    g10: Complex64,
+) {
+    let dim = re.len();
+    let pivot = (63 - x_mask.leading_zeros()) as usize;
+    let pbit = 1usize << pivot;
+    let x = x_mask as usize;
+    let xl = x & (pbit - 1);
+    if dim < SIGN_BLOCK {
+        // Below one table block, the table fill (a 2 KiB array init) would dominate
+        // the kernel's own work; update the pairs with direct parity signs.
+        let mut base = 0usize;
+        while base < dim {
+            for off in 0..pbit {
+                let i0 = base + off;
+                let i1 = base + pbit + (off ^ xl);
+                let s = parity_sign(i0 as u64 & z_mask);
+                let (r0, v0) = (re[i0], im[i0]);
+                let (r1, v1) = (re[i1], im[i1]);
+                re[i0] = c * r0 + s * (g01.re * r1 - g01.im * v1);
+                im[i0] = c * v0 + s * (g01.re * v1 + g01.im * r1);
+                re[i1] = c * r1 + s * (g10.re * r0 - g10.im * v0);
+                im[i1] = c * v1 + s * (g10.re * v0 + g10.im * r0);
+            }
+            base += pbit << 1;
+        }
+        return;
+    }
+    let z_low = z_mask & (pbit as u64 - 1);
+    let table = SignTable::new(z_low, pbit);
+    let mut base = 0usize;
+    while base < dim {
+        let base_sign = parity_sign(base as u64 & z_mask);
+        let (r_lo, r_hi) = re[base..base + (pbit << 1)].split_at_mut(pbit);
+        let (i_lo, i_hi) = im[base..base + (pbit << 1)].split_at_mut(pbit);
+        if pbit >= LANES {
+            let xlh = xl & !(LANES - 1);
+            // Explicit 4-wide chunks: all eight streams are staged through fixed-size
+            // `[f64; 4]` arrays (loads, compute, whole-array stores) so the vectorizer
+            // sees straight-line 4-lane register blocks, and the `off ^ xl` partner
+            // permutation is a compile-time shuffle per `with_lane_perm!` arm.  An
+            // element-indexed formulation of the same loop compiles to scalar code.
+            macro_rules! body {
+                ($m:literal) => {{
+                    let mut ob = 0usize;
+                    while ob < pbit {
+                        let oe = pbit.min(ob + SIGN_BLOCK);
+                        let mid = base_sign * table.block_sign(ob as u64);
+                        let mut off = ob;
+                        while off < oe {
+                            // off/pb are 4-aligned and < pbit (the half-slice length);
+                            // lo8 is 4-aligned and < 256, so every window below is in
+                            // bounds and the try_into calls cannot fail.
+                            let pb = off ^ xlh;
+                            let lo8 = off & (SIGN_BLOCK - 1);
+                            let sg: &[f64; LANES] =
+                                (&table.low()[lo8..lo8 + LANES]).try_into().unwrap();
+                            let rl: &mut [f64; LANES] =
+                                (&mut r_lo[off..off + LANES]).try_into().unwrap();
+                            let il: &mut [f64; LANES] =
+                                (&mut i_lo[off..off + LANES]).try_into().unwrap();
+                            let rh: &mut [f64; LANES] =
+                                (&mut r_hi[pb..pb + LANES]).try_into().unwrap();
+                            let ih: &mut [f64; LANES] =
+                                (&mut i_hi[pb..pb + LANES]).try_into().unwrap();
+                            let mut nrl = [0.0; LANES];
+                            let mut nil = [0.0; LANES];
+                            let mut nrh = [0.0; LANES];
+                            let mut nih = [0.0; LANES];
+                            for j in 0..LANES {
+                                let s = mid * sg[j];
+                                let (r0, v0) = (rl[j], il[j]);
+                                let (r1, v1) = (rh[j ^ $m], ih[j ^ $m]);
+                                nrl[j] = c * r0 + s * (g01.re * r1 - g01.im * v1);
+                                nil[j] = c * v0 + s * (g01.re * v1 + g01.im * r1);
+                                nrh[j ^ $m] = c * r1 + s * (g10.re * r0 - g10.im * v0);
+                                nih[j ^ $m] = c * v1 + s * (g10.re * v0 + g10.im * r0);
+                            }
+                            *rl = nrl;
+                            *il = nil;
+                            *rh = nrh;
+                            *ih = nih;
+                            off += LANES;
+                        }
+                        ob = oe;
+                    }
+                }};
+            }
+            with_lane_perm!(xl & (LANES - 1), body);
+        } else {
+            // Scalar tail: pivot < 2 leaves half-blocks narrower than one lane chunk.
+            for off in 0..pbit {
+                let s = base_sign * table.lane(off);
+                let partner = off ^ xl;
+                let (r0, v0) = (r_lo[off], i_lo[off]);
+                let (r1, v1) = (r_hi[partner], i_hi[partner]);
+                r_lo[off] = c * r0 + s * (g01.re * r1 - g01.im * v1);
+                i_lo[off] = c * v0 + s * (g01.re * v1 + g01.im * r1);
+                r_hi[partner] = c * r1 + s * (g10.re * r0 - g10.im * v0);
+                i_hi[partner] = c * v1 + s * (g10.re * v0 + g10.im * r0);
+            }
+        }
+        base += pbit << 1;
+    }
 }
 
 /// Applies `exp(-i θ/2 P)` for a Pauli string `P`, in place and allocation-free.
@@ -318,7 +598,9 @@ pub fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
 /// A Pauli string maps basis states by the involution `b ↔ b ^ x_mask` (with a phase), so
 /// the rotation decomposes into independent 2×2 rotations on `(b, b ^ x_mask)` pairs —
 /// there is no need for the naive `cos·|ψ⟩ − i·sin·P|ψ⟩` construction's full-state clone.
-/// Diagonal strings (`x_mask == 0`) reduce to a pure per-amplitude phase.
+/// Diagonal strings (`x_mask == 0`) reduce to a pure per-amplitude phase whose sign
+/// stream comes from a [`SignTable`]; general strings go through the shared involution-pair
+/// update (`pair_update`).
 pub fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta: f64) {
     if string.is_identity() {
         // Global phase only; expectation values are unaffected, so skip it.
@@ -330,90 +612,101 @@ pub fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta
     let z_mask = string.z_mask();
 
     if x_mask == 0 {
-        // Diagonal: amplitude b picks up exp(-iθ/2 · (-1)^popcount(b & z)).
-        let phases = [c(co, -s), c(co, s)];
-        let amps = state.amplitudes_mut();
+        // Diagonal: amplitude b picks up exp(-iθ/2 · (-1)^popcount(b & z)), i.e. is
+        // multiplied by (cos θ/2, −sin θ/2 · sgn_b).
+        let (re, im) = state.lanes_mut();
         if use_parallel(dim) {
-            let ptr = SendPtr(amps.as_mut_ptr());
+            let rp = SendPtr(re.as_mut_ptr());
+            let ip = SendPtr(im.as_mut_ptr());
             (0..dim)
                 .into_par_iter()
                 .with_min_len(MIN_PAR_INDICES)
                 .for_each(|b| {
-                    let parity = ((b as u64 & z_mask).count_ones() & 1) as usize;
+                    let t = s * parity_sign(b as u64 & z_mask);
                     // SAFETY: each b is visited exactly once.
-                    unsafe { *ptr.add(b) = *ptr.add(b) * phases[parity] };
+                    unsafe {
+                        let (r, i) = (*rp.add(b), *ip.add(b));
+                        *rp.add(b) = co * r + t * i;
+                        *ip.add(b) = co * i - t * r;
+                    }
                 });
         } else {
-            for (b, a) in amps.iter_mut().enumerate() {
-                let parity = ((b as u64 & z_mask).count_ones() & 1) as usize;
-                *a *= phases[parity];
-            }
+            diag_phase_serial(re, im, z_mask, co, s);
         }
         return;
     }
 
-    // General case: pair b0 (pivot bit clear) with b1 = b0 ^ x_mask (pivot bit set).
-    // P|b0⟩ = phase0|b1⟩ with phase0 = i^num_y · (-1)^popcount(b0 & z); because P² = I,
-    // the return phase is conj(phase0).  The 2×2 update is then
-    //   a0' = cos·a0 − i·sin·conj(phase0)·a1
-    //   a1' = cos·a1 − i·sin·phase0·a0
-    //
-    // phase0 only takes the four values i^k, so both off-diagonal factors are precomputed
-    // into a 4-entry table indexed by k — the inner loop is one AND + popcount + table
-    // load per pair, with no branches.
-    let pivot = (63 - x_mask.leading_zeros()) as usize;
-    let num_y = (x_mask & z_mask).count_ones();
+    // General case: 2×2 rotation on each (b0, b0 ^ x_mask) pair.  P|b0⟩ = phase0|b1⟩
+    // with phase0 = i^num_y · (-1)^popcount(b0 & z); because P² = I, the return phase is
+    // conj(phase0).  The update is a0' = cos·a0 − i·sin·conj(phase0)·a1 (and mirrored),
+    // which pair_update applies with the i^num_y part hoisted into its constants.
+    let g = i_power((x_mask & z_mask).count_ones());
     let minus_i_sin = Complex64::new(0.0, -s);
-    // factors[k] = (f01, f10) for phase0 = i^k.
-    let factors: [(Complex64, Complex64); 4] = std::array::from_fn(|k| {
-        let phase0 = I_POWERS[k];
-        (minus_i_sin * phase0.conj(), minus_i_sin * phase0)
-    });
-    let amps = state.amplitudes_mut();
-    if use_parallel(dim) {
-        let ptr = SendPtr(amps.as_mut_ptr());
-        (0..dim / 2)
-            .into_par_iter()
-            .with_min_len(MIN_PAR_INDICES)
-            .for_each(|k| {
-                let i0 = insert_zero_bit(k, pivot);
-                let i1 = i0 ^ x_mask as usize;
-                let k4 = ((num_y + 2 * (i0 as u64 & z_mask).count_ones()) & 3) as usize;
-                let (f01, f10) = factors[k4];
-                // SAFETY: i0 never has the pivot bit, i1 always does, and ^x_mask is an
-                // involution, so pairs are pairwise disjoint across threads.
-                unsafe {
-                    let a0 = *ptr.add(i0);
-                    let a1 = *ptr.add(i1);
-                    *ptr.add(i0) = a0.scale(co) + f01 * a1;
-                    *ptr.add(i1) = a1.scale(co) + f10 * a0;
-                }
-            });
+    pair_update(
+        state,
+        x_mask,
+        z_mask,
+        co,
+        minus_i_sin * g.conj(),
+        minus_i_sin * g,
+    );
+}
+
+/// Serial diagonal sign pass: multiplies amplitude `b`'s lanes by
+/// `(−1)^popcount(b & z)` streamed from a [`SignTable`] (noalias slice parameters, flat
+/// zip — see [`single_qubit_serial`]).
+fn diag_sign_serial(re: &mut [f64], im: &mut [f64], z_mask: u64) {
+    let dim = re.len();
+    if dim < SIGN_BLOCK {
+        for (b, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            let s = parity_sign(b as u64 & z_mask);
+            *r *= s;
+            *i *= s;
+        }
         return;
     }
-    // Serial path: walk blocks of 2^(pivot+1) amplitudes.  Within a block, i0 = base + off
-    // and i1 = base + 2^pivot + (off ^ xl), where xl is x_mask with its pivot bit removed
-    // (the pivot is x's highest bit, so x spans only the block).  The z-parity of the
-    // block base is hoisted; the inner loop popcounts only the low bits.
-    let pbit = 1usize << pivot;
-    let xl = (x_mask as usize) & (pbit - 1);
-    let z_low = z_mask & (pbit as u64 - 1);
-    for (block_index, block) in amps.chunks_exact_mut(pbit << 1).enumerate() {
-        let base = block_index * (pbit << 1);
-        let base_popc = num_y + 2 * (base as u64 & z_mask).count_ones();
-        let (los, his) = block.split_at_mut(pbit);
-        for off in 0..pbit {
-            let partner = off ^ xl;
-            let k4 = ((base_popc + 2 * (off as u64 & z_low).count_ones()) & 3) as usize;
-            let (f01, f10) = factors[k4];
-            // SAFETY: off and partner are both < pbit, the length of each half-slice.
-            unsafe {
-                let a0 = *los.get_unchecked(off);
-                let a1 = *his.get_unchecked(partner);
-                *los.get_unchecked_mut(off) = a0.scale(co) + f01 * a1;
-                *his.get_unchecked_mut(partner) = a1.scale(co) + f10 * a0;
-            }
+    let table = SignTable::new(z_mask, dim);
+    let mut b = 0usize;
+    while b < dim {
+        let end = dim.min(b + SIGN_BLOCK);
+        let hs = table.block_sign(b as u64);
+        let low = &table.low()[..end - b];
+        for ((r, i), l) in re[b..end].iter_mut().zip(&mut im[b..end]).zip(low) {
+            let s = hs * l;
+            *r *= s;
+            *i *= s;
         }
+        b = end;
+    }
+}
+
+/// Serial diagonal phase pass: multiplies amplitude `b` by `(co, −s·sgn_b)` with the
+/// sign streamed from a [`SignTable`].  The flat three-stream zip (both lanes plus the
+/// contiguous ±1 table slice) is the shape the vectorizer widens to 4 lanes.
+fn diag_phase_serial(re: &mut [f64], im: &mut [f64], z_mask: u64, co: f64, s: f64) {
+    let dim = re.len();
+    if dim < SIGN_BLOCK {
+        for (b, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            let t = s * parity_sign(b as u64 & z_mask);
+            let (x, y) = (*r, *i);
+            *r = co * x + t * y;
+            *i = co * y - t * x;
+        }
+        return;
+    }
+    let table = SignTable::new(z_mask, dim);
+    let mut b = 0usize;
+    while b < dim {
+        let end = dim.min(b + SIGN_BLOCK);
+        let hs = table.block_sign(b as u64);
+        let low = &table.low()[..end - b];
+        for ((r, i), l) in re[b..end].iter_mut().zip(&mut im[b..end]).zip(low) {
+            let t = s * (hs * l);
+            let (x, y) = (*r, *i);
+            *r = co * x + t * y;
+            *i = co * y - t * x;
+        }
+        b = end;
     }
 }
 
@@ -424,9 +717,10 @@ pub fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta
 /// The kernel is the θ-free specialization of [`apply_pauli_rotation`]: `P` maps basis
 /// states by the involution `b ↔ b ^ x_mask` with a phase `i^num_y · (−1)^popcount(b & z)`
 /// — so diagonal strings are one sign pass and general strings are one disjoint-pair
-/// swap-with-phase pass, parallelized above [`parallel_threshold`] like every other
-/// kernel.  The application is phase-exact (including the `i^num_y` factor), so inserted
-/// errors compose exactly with per-gate reference simulation, not just up to global phase.
+/// swap-with-phase pass (`pair_update` with `c = 0`), parallelized above
+/// [`parallel_threshold`] like every other kernel.  The application is phase-exact
+/// (including the `i^num_y` factor), so inserted errors compose exactly with per-gate
+/// reference simulation, not just up to global phase.
 pub fn apply_pauli_string(state: &mut Statevector, string: &PauliString) {
     if string.is_identity() {
         return;
@@ -436,77 +730,59 @@ pub fn apply_pauli_string(state: &mut Statevector, string: &PauliString) {
     let z_mask = string.z_mask();
 
     if x_mask == 0 {
-        // Diagonal: amplitude b picks up (−1)^popcount(b & z).
-        let amps = state.amplitudes_mut();
+        // Diagonal: amplitude b picks up (−1)^popcount(b & z).  Multiplying both lanes
+        // by the ±1 sign is exact and branch-free.
+        let (re, im) = state.lanes_mut();
         if use_parallel(dim) {
-            let ptr = SendPtr(amps.as_mut_ptr());
+            let rp = SendPtr(re.as_mut_ptr());
+            let ip = SendPtr(im.as_mut_ptr());
             (0..dim)
                 .into_par_iter()
                 .with_min_len(MIN_PAR_INDICES)
                 .for_each(|b| {
-                    if (b as u64 & z_mask).count_ones() & 1 == 1 {
-                        // SAFETY: each b is visited exactly once.
-                        unsafe { *ptr.add(b) = -*ptr.add(b) };
+                    let s = parity_sign(b as u64 & z_mask);
+                    // SAFETY: each b is visited exactly once.
+                    unsafe {
+                        *rp.add(b) *= s;
+                        *ip.add(b) *= s;
                     }
                 });
         } else {
-            for (b, a) in amps.iter_mut().enumerate() {
-                if (b as u64 & z_mask).count_ones() & 1 == 1 {
-                    *a = -*a;
-                }
-            }
+            diag_sign_serial(re, im, z_mask);
         }
         return;
     }
 
     // General case: P|b0⟩ = phase0|b1⟩ with b1 = b0 ^ x_mask and
     // phase0 = i^num_y · (−1)^popcount(b0 & z); since P² = I the return phase is
-    // conj(phase0).  Pair enumeration mirrors the rotation kernel.
-    let pivot = (63 - x_mask.leading_zeros()) as usize;
-    let num_y = (x_mask & z_mask).count_ones();
-    let amps = state.amplitudes_mut();
-    let ptr = SendPtr(amps.as_mut_ptr());
-    let update = |i0: usize| {
-        let i1 = i0 ^ x_mask as usize;
-        let k4 = ((num_y + 2 * (i0 as u64 & z_mask).count_ones()) & 3) as usize;
-        let phase0 = I_POWERS[k4];
-        // SAFETY: i0 never has the pivot bit, i1 always does, and ^x_mask is an
-        // involution, so pairs are pairwise disjoint (across threads too).
-        unsafe {
-            let a0 = *ptr.add(i0);
-            let a1 = *ptr.add(i1);
-            *ptr.add(i0) = phase0.conj() * a1;
-            *ptr.add(i1) = phase0 * a0;
-        }
-    };
-    if use_parallel(dim) {
-        (0..dim / 2)
-            .into_par_iter()
-            .with_min_len(MIN_PAR_INDICES)
-            .for_each(|k| update(insert_zero_bit(k, pivot)));
-    } else {
-        for k in 0..dim / 2 {
-            update(insert_zero_bit(k, pivot));
-        }
-    }
+    // conj(phase0).  pair_update with c = 0 is exactly that swap-with-phase.
+    let g = i_power((x_mask & z_mask).count_ones());
+    pair_update(state, x_mask, z_mask, 0.0, g.conj(), g);
 }
 
 pub mod reference {
-    //! The original, straightforward kernels, retained as the correctness baseline.
+    //! The original, straightforward kernels on **interleaved** `Complex64` storage,
+    //! retained as the correctness baseline.
     //!
-    //! These scan all `2^n` amplitudes with per-index branches, and the Pauli rotation
-    //! clones the full statevector per gate.  They exist so property tests can check the
-    //! optimized kernels against an independent implementation, and so the criterion
-    //! benches in `treevqa_bench` can quantify the speedup; nothing else should call them.
+    //! The `*_amps` functions operate directly on a raw interleaved amplitude buffer —
+    //! the naive algorithms themselves, with per-index branches, and a full-state clone
+    //! per Pauli rotation.  The [`Statevector`] wrappers convert out of the split-lane
+    //! storage at entry and back at exit ([`Statevector::to_amplitudes`] /
+    //! [`Statevector::copy_from_amplitudes`]), so the reference path never depends on
+    //! the SoA layout it is pinning — the equivalence suites compare two genuinely
+    //! different storage schemes.  [`run_circuit`] converts **once per circuit**, and
+    //! the criterion benches time the `*_amps` forms, so the committed naive baselines
+    //! measure the naive algorithm, not layout conversion.  Nothing but property tests
+    //! and the benches should call any of this.
 
     use super::Matrix2;
     use qop::{Complex64, PauliString, Statevector};
 
-    /// Naive single-qubit gate: scans every index and tests the qubit bit.
-    pub fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
-        let dim = state.dim();
+    /// Naive single-qubit gate on interleaved amplitudes: scans every index and tests
+    /// the qubit bit.
+    pub fn apply_single_qubit_amps(amps: &mut [Complex64], q: usize, m: &Matrix2) {
+        let dim = amps.len();
         let bit = 1usize << q;
-        let amps = state.amplitudes_mut();
         let mut base = 0usize;
         while base < dim {
             if base & bit == 0 {
@@ -521,13 +797,12 @@ pub mod reference {
         }
     }
 
-    /// Naive CX: scans every index and tests both bits.
-    pub fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
+    /// Naive CX on interleaved amplitudes: scans every index and tests both bits.
+    pub fn apply_cx_amps(amps: &mut [Complex64], control: usize, target: usize) {
         assert_ne!(control, target, "CX control and target must differ");
-        let dim = state.dim();
+        let dim = amps.len();
         let cbit = 1usize << control;
         let tbit = 1usize << target;
-        let amps = state.amplitudes_mut();
         for i in 0..dim {
             if i & cbit != 0 && i & tbit == 0 {
                 amps.swap(i, i | tbit);
@@ -535,91 +810,133 @@ pub mod reference {
         }
     }
 
-    /// Naive CZ: scans every index and tests both bits.
-    pub fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
+    /// Naive CZ on interleaved amplitudes: scans every index and tests both bits.
+    pub fn apply_cz_amps(amps: &mut [Complex64], control: usize, target: usize) {
         assert_ne!(control, target, "CZ control and target must differ");
-        let dim = state.dim();
         let cbit = 1usize << control;
         let tbit = 1usize << target;
-        let amps = state.amplitudes_mut();
-        for (i, a) in amps.iter_mut().enumerate().take(dim) {
+        for (i, a) in amps.iter_mut().enumerate() {
             if i & cbit != 0 && i & tbit != 0 {
                 *a = -*a;
             }
         }
     }
 
-    /// Naive Pauli rotation via `cos(θ/2)|ψ⟩ − i·sin(θ/2)·P|ψ⟩`, cloning the state.
-    pub fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta: f64) {
+    /// Naive Pauli rotation via `cos(θ/2)|ψ⟩ − i·sin(θ/2)·P|ψ⟩`, cloning the buffer.
+    pub fn apply_pauli_rotation_amps(amps: &mut [Complex64], string: &PauliString, theta: f64) {
         if string.is_identity() {
             return;
         }
         let (s, co) = (theta / 2.0).sin_cos();
-        let dim = state.dim();
-        let old = state.clone();
-        let old_amps = old.amplitudes();
-        let amps = state.amplitudes_mut();
+        let old = amps.to_vec();
         for a in amps.iter_mut() {
             *a = a.scale(co);
         }
         let minus_i_sin = Complex64::new(0.0, -s);
-        for b in 0..dim as u64 {
-            let a = old_amps[b as usize];
-            if a == Complex64::ZERO {
+        for (b, a) in old.iter().enumerate() {
+            if *a == Complex64::ZERO {
                 continue;
             }
-            let (b2, phase) = string.apply_to_basis(b);
-            amps[b2 as usize] += minus_i_sin * phase * a;
+            let (b2, phase) = string.apply_to_basis(b as u64);
+            amps[b2 as usize] += minus_i_sin * phase * *a;
         }
     }
 
     /// Naive Pauli-string application via [`PauliString::apply_to_basis`], building a
-    /// fresh output vector (reference analogue of [`super::apply_pauli_string`]).
-    pub fn apply_pauli_string(state: &mut Statevector, string: &PauliString) {
-        let old = state.clone();
-        let amps = state.amplitudes_mut();
+    /// fresh output buffer (reference analogue of [`super::apply_pauli_string`]).
+    pub fn apply_pauli_string_amps(amps: &mut [Complex64], string: &PauliString) {
+        let old = amps.to_vec();
         for a in amps.iter_mut() {
             *a = Complex64::ZERO;
         }
-        for (b, a) in old.amplitudes().iter().enumerate() {
+        for (b, a) in old.iter().enumerate() {
             let (b2, phase) = string.apply_to_basis(b as u64);
             amps[b2 as usize] += phase * *a;
         }
     }
 
-    /// Applies one gate using the naive kernels (reference analogue of
-    /// [`super::apply_gate`]).
-    pub fn apply_gate(state: &mut Statevector, gate: &qcircuit::Gate, params: &[f64]) {
+    /// Applies one gate to interleaved amplitudes using the naive kernels.
+    pub fn apply_gate_amps(amps: &mut [Complex64], gate: &qcircuit::Gate, params: &[f64]) {
         use qcircuit::Gate;
         match gate {
-            Gate::H(q) => apply_single_qubit(state, *q, &super::H_MATRIX),
-            Gate::X(q) => apply_single_qubit(state, *q, &super::X_MATRIX),
-            Gate::Y(q) => apply_single_qubit(state, *q, &super::Y_MATRIX),
-            Gate::Z(q) => apply_single_qubit(state, *q, &super::Z_MATRIX),
-            Gate::S(q) => apply_single_qubit(state, *q, &super::S_MATRIX),
-            Gate::Sdg(q) => apply_single_qubit(state, *q, &super::SDG_MATRIX),
-            Gate::Cx(c, t) => apply_cx(state, *c, *t),
-            Gate::Cz(c, t) => apply_cz(state, *c, *t),
-            Gate::Rx(q, a) => apply_single_qubit(state, *q, &super::rx_matrix(a.resolve(params))),
-            Gate::Ry(q, a) => apply_single_qubit(state, *q, &super::ry_matrix(a.resolve(params))),
-            Gate::Rz(q, a) => apply_single_qubit(state, *q, &super::rz_matrix(a.resolve(params))),
+            Gate::H(q) => apply_single_qubit_amps(amps, *q, &super::H_MATRIX),
+            Gate::X(q) => apply_single_qubit_amps(amps, *q, &super::X_MATRIX),
+            Gate::Y(q) => apply_single_qubit_amps(amps, *q, &super::Y_MATRIX),
+            Gate::Z(q) => apply_single_qubit_amps(amps, *q, &super::Z_MATRIX),
+            Gate::S(q) => apply_single_qubit_amps(amps, *q, &super::S_MATRIX),
+            Gate::Sdg(q) => apply_single_qubit_amps(amps, *q, &super::SDG_MATRIX),
+            Gate::Cx(c, t) => apply_cx_amps(amps, *c, *t),
+            Gate::Cz(c, t) => apply_cz_amps(amps, *c, *t),
+            Gate::Rx(q, a) => {
+                apply_single_qubit_amps(amps, *q, &super::rx_matrix(a.resolve(params)))
+            }
+            Gate::Ry(q, a) => {
+                apply_single_qubit_amps(amps, *q, &super::ry_matrix(a.resolve(params)))
+            }
+            Gate::Rz(q, a) => {
+                apply_single_qubit_amps(amps, *q, &super::rz_matrix(a.resolve(params)))
+            }
             Gate::PauliRotation(string, a) => {
-                apply_pauli_rotation(state, string, a.resolve(params))
+                apply_pauli_rotation_amps(amps, string, a.resolve(params))
             }
         }
     }
 
-    /// Runs a whole circuit through the naive kernels.
+    /// Naive single-qubit gate (statevector wrapper; converts at the boundary).
+    pub fn apply_single_qubit(state: &mut Statevector, q: usize, m: &Matrix2) {
+        let mut amps = state.to_amplitudes();
+        apply_single_qubit_amps(&mut amps, q, m);
+        state.copy_from_amplitudes(&amps);
+    }
+
+    /// Naive CX (statevector wrapper; converts at the boundary).
+    pub fn apply_cx(state: &mut Statevector, control: usize, target: usize) {
+        let mut amps = state.to_amplitudes();
+        apply_cx_amps(&mut amps, control, target);
+        state.copy_from_amplitudes(&amps);
+    }
+
+    /// Naive CZ (statevector wrapper; converts at the boundary).
+    pub fn apply_cz(state: &mut Statevector, control: usize, target: usize) {
+        let mut amps = state.to_amplitudes();
+        apply_cz_amps(&mut amps, control, target);
+        state.copy_from_amplitudes(&amps);
+    }
+
+    /// Naive Pauli rotation (statevector wrapper; converts at the boundary).
+    pub fn apply_pauli_rotation(state: &mut Statevector, string: &PauliString, theta: f64) {
+        let mut amps = state.to_amplitudes();
+        apply_pauli_rotation_amps(&mut amps, string, theta);
+        state.copy_from_amplitudes(&amps);
+    }
+
+    /// Naive Pauli-string application (statevector wrapper; converts at the boundary).
+    pub fn apply_pauli_string(state: &mut Statevector, string: &PauliString) {
+        let mut amps = state.to_amplitudes();
+        apply_pauli_string_amps(&mut amps, string);
+        state.copy_from_amplitudes(&amps);
+    }
+
+    /// Applies one gate using the naive kernels (reference analogue of
+    /// [`super::apply_gate`]; converts at the boundary).
+    pub fn apply_gate(state: &mut Statevector, gate: &qcircuit::Gate, params: &[f64]) {
+        let mut amps = state.to_amplitudes();
+        apply_gate_amps(&mut amps, gate, params);
+        state.copy_from_amplitudes(&amps);
+    }
+
+    /// Runs a whole circuit through the naive kernels, converting to interleaved
+    /// storage once for the whole circuit.
     pub fn run_circuit(
         circuit: &qcircuit::Circuit,
         params: &[f64],
         initial: &Statevector,
     ) -> Statevector {
-        let mut state = initial.clone();
+        let mut amps = initial.to_amplitudes();
         for gate in circuit.gates() {
-            apply_gate(&mut state, gate, params);
+            apply_gate_amps(&mut amps, gate, params);
         }
-        state
+        Statevector::from_amplitudes(amps)
     }
 }
 
@@ -779,14 +1096,18 @@ mod tests {
         let initial = Statevector::zero_state(5);
         let expected = run_circuit(&circ, &params, &initial);
         let mut scratch = Statevector::zero_state(5);
-        let buffer_before = scratch.amplitudes().as_ptr();
+        let buffer_before = scratch.re().as_ptr();
         run_circuit_into(&circ, &params, &initial, &mut scratch);
-        assert_eq!(
-            buffer_before,
-            scratch.amplitudes().as_ptr(),
-            "scratch reallocated"
-        );
+        assert_eq!(buffer_before, scratch.re().as_ptr(), "scratch reallocated");
         assert!(close(expected.overlap(&scratch), 1.0));
+    }
+
+    fn max_diff(a: &Statevector, b: &Statevector) -> f64 {
+        a.to_amplitudes()
+            .iter()
+            .zip(b.to_amplitudes())
+            .map(|(x, y)| (*x - y).norm())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -835,12 +1156,7 @@ mod tests {
             let mut naive = base.clone();
             apply_pauli_string(&mut fast, &string);
             reference::apply_pauli_string(&mut naive, &string);
-            let diff = fast
-                .amplitudes()
-                .iter()
-                .zip(naive.amplitudes())
-                .map(|(x, y)| (*x - *y).norm())
-                .fold(0.0, f64::max);
+            let diff = max_diff(&fast, &naive);
             assert!(diff < 1e-14, "pauli-string mismatch on {label}: {diff}");
         }
     }
@@ -864,12 +1180,7 @@ mod tests {
             let mut twice = base.clone();
             apply_pauli_string(&mut twice, &string);
             apply_pauli_string(&mut twice, &string);
-            let diff = twice
-                .amplitudes()
-                .iter()
-                .zip(base.amplitudes())
-                .map(|(x, y)| (*x - *y).norm())
-                .fold(0.0, f64::max);
+            let diff = max_diff(&twice, &base);
             assert!(diff < 1e-14, "P² ≠ I for {label}: {diff}");
         }
     }

@@ -348,7 +348,7 @@ impl TreeVqa {
             }
 
             // Periodic history recording with uncharged probes (metrics only).
-            if round.is_multiple_of(cfg.record_every) {
+            if round % cfg.record_every == 0 {
                 let shots_so_far = backend.shots_used() - shots_at_start;
                 self.record_round(
                     backend,

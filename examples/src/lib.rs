@@ -1,0 +1,26 @@
+//! Shared helpers for the runnable example binaries.
+
+/// The optimizer iteration budget for an example: `default`, unless the
+/// `TREEVQA_EXAMPLE_ITERS` environment variable overrides it.
+///
+/// CI's examples-smoke job sets the override to a tiny value so every example's full
+/// end-to-end path (TreeVQA under noise included) executes on each run without paying
+/// for convergence; humans run the defaults.
+pub fn example_iterations(default: usize) -> usize {
+    std::env::var("TREEVQA_EXAMPLE_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_used_without_override() {
+        // The variable is not set in the test environment.
+        assert_eq!(example_iterations(123), 123);
+    }
+}

@@ -58,7 +58,7 @@ fn main() {
         a: 0.2,
         ..Default::default()
     });
-    let iterations = 120;
+    let iterations = treevqa_examples::example_iterations(120);
 
     // Baseline: each instance separately, all starting from the same Red-QAOA point.
     let baseline_config = VqaRunConfig {

@@ -65,7 +65,7 @@ fn main() {
         ..Default::default()
     });
     let config = TreeVqaConfig {
-        max_cluster_iterations: 80,
+        max_cluster_iterations: treevqa_examples::example_iterations(80),
         optimizer: optimizer.clone(),
         record_every: 20,
         seed: 5,
@@ -107,7 +107,7 @@ fn main() {
     // and the ideal truth.
     let idx = graphs.len() / 2;
     let run_config = VqaRunConfig {
-        max_iterations: 80,
+        max_iterations: treevqa_examples::example_iterations(80),
         optimizer,
         seed: 11,
         record_every: 20,

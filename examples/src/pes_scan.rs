@@ -41,7 +41,7 @@ fn main() {
     );
 
     let config = TreeVqaConfig {
-        max_cluster_iterations: 180,
+        max_cluster_iterations: treevqa_examples::example_iterations(180),
         optimizer: OptimizerSpec::Spsa(SpsaConfig {
             a: 0.25,
             ..Default::default()

@@ -66,7 +66,7 @@ fn main() {
     let optimizer = OptimizerSpec::Spsa(SpsaConfig {
         ..Default::default()
     });
-    let iterations = 800;
+    let iterations = treevqa_examples::example_iterations(800);
 
     // 2. Conventional baseline: every task independently, equal allocation.
     let baseline_config = VqaRunConfig {

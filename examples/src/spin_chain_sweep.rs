@@ -42,7 +42,7 @@ fn compare(
         a: 0.25,
         ..Default::default()
     });
-    let iterations = 120;
+    let iterations = treevqa_examples::example_iterations(120);
 
     let baseline_config = VqaRunConfig {
         max_iterations: iterations,

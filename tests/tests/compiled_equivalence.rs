@@ -20,8 +20,16 @@ use vqa::{Backend, EvalRequest, InitialState, SampledBackend, StatevectorBackend
 /// Forces multiple workers even on single-core CI machines (the vendored rayon honors
 /// this like the real global-pool configuration).
 fn force_parallel_workers() {
+    // Honor the CI matrix's RAYON_NUM_THREADS (1 pins every kernel serial, 2/4 vary
+    // the worker partitioning); default to 4 so a plain local `cargo test` still
+    // drives the parallel paths on a single-core box.
+    let threads = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
     rayon::ThreadPoolBuilder::new()
-        .num_threads(4)
+        .num_threads(threads)
         .build_global()
         .ok();
 }
@@ -40,10 +48,10 @@ fn dense_state(num_qubits: usize) -> Statevector {
 }
 
 fn max_amplitude_diff(a: &Statevector, b: &Statevector) -> f64 {
-    a.amplitudes()
+    a.to_amplitudes()
         .iter()
-        .zip(b.amplitudes())
-        .map(|(x, y)| (*x - *y).norm())
+        .zip(b.to_amplitudes())
+        .map(|(x, y)| (*x - y).norm())
         .fold(0.0, f64::max)
 }
 

@@ -94,6 +94,19 @@ fn treevqa_saves_shots_at_a_common_fidelity_threshold_for_similar_tasks() {
     // individual stream can have the baseline get lucky or TreeVQA get unlucky (and some
     // streams fail to converge within the iteration budget at all).  Run several seeds and
     // assert the *median* shot ratio, which is what the paper's savings claim is about.
+    //
+    // Seed policy (re-examined after the PR 4 split-lane storage change): seeds 1..=10
+    // are fixed, and any seed whose SPSA streams fail to reach even fidelity 0.7 within
+    // 200 iterations simply contributes no ratio — the test only requires that at least
+    // 3 of the 10 converge and that the median ratio over the converged seeds stays
+    // ≤ 1.2.  Which specific seeds converge is NOT part of the contract: the kernels'
+    // summation order (and hence the 1-ulp tail of every expectation value) legitimately
+    // changes under refactors like the SoA layout or a different reduction chunking, and
+    // SPSA amplifies ulp-level input differences into divergent trajectories.  Under the
+    // split-lane kernels 7 of 10 seeds converge (median ratio ≈ 0.36) — the same census
+    // as the interleaved layout, whose 3 non-converging seeds ROADMAP flagged for
+    // re-examination; if a future change trips the `ratios.len() >= 3` floor, widen the
+    // iteration budget rather than cherry-picking seeds.
     let iterations = 200;
     let zeros = vec![0.0; app.num_parameters()];
     let mut ratios: Vec<f64> = Vec::new();
@@ -132,6 +145,12 @@ fn treevqa_saves_shots_at_a_common_fidelity_threshold_for_similar_tasks() {
             }
         }
     }
+    // Surfaced under --nocapture so layout/optimizer refactors can re-check the seed
+    // census against the policy note above without instrumenting the test.
+    eprintln!(
+        "shots-at-equal-fidelity: {} of 10 seeds converged, ratios {ratios:?}",
+        ratios.len()
+    );
     assert!(
         ratios.len() >= 3,
         "too few seeds reached a common fidelity threshold ({} of 10)",

@@ -23,8 +23,16 @@ use vqa::{Backend, EvalRequest, InitialState, NoisyStatevectorBackend, Statevect
 /// Forces multiple workers even on single-core CI machines (the vendored rayon honors
 /// this like the real global-pool configuration).
 fn force_parallel_workers() {
+    // Honor the CI matrix's RAYON_NUM_THREADS (1 pins every kernel serial, 2/4 vary
+    // the worker partitioning); default to 4 so a plain local `cargo test` still
+    // drives the parallel paths on a single-core box.
+    let threads = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
     rayon::ThreadPoolBuilder::new()
-        .num_threads(4)
+        .num_threads(threads)
         .build_global()
         .ok();
 }
@@ -112,7 +120,7 @@ proptest! {
             prop_assert!(schedule.is_empty());
             let mut noisy = Statevector::basis_state(n, 1);
             compiled.execute_in_place_with_insertions(&params, &mut noisy, &schedule, Some(&tables));
-            for (a, b) in noisy.amplitudes().iter().zip(ideal.amplitudes()) {
+            for (a, b) in noisy.to_amplitudes().iter().zip(ideal.to_amplitudes()) {
                 prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
                 prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
             }
@@ -348,10 +356,10 @@ fn certain_errors_replay_like_inserted_gates() {
     spliced.push(Gate::Z(0));
     let expected = qsim::reference::run_circuit(&spliced, &[], &Statevector::zero_state(2));
     let diff = noisy
-        .amplitudes()
+        .to_amplitudes()
         .iter()
-        .zip(expected.amplitudes())
-        .map(|(a, b)| (*a - *b).norm())
+        .zip(expected.to_amplitudes())
+        .map(|(a, b)| (*a - b).norm())
         .fold(0.0, f64::max);
     assert!(diff < 1e-12, "insertion replay diverged: {diff}");
 }
