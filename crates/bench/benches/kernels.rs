@@ -105,10 +105,10 @@ fn bench_treevqa_short_run(c: &mut Criterion) {
             || {
                 (
                     TreeVqa::new(app.clone(), config.clone()),
-                    StatevectorBackend::new(),
+                    qexec::Executor::single(StatevectorBackend::new()),
                 )
             },
-            |(tree, mut backend)| std::hint::black_box(tree.run(&mut backend)),
+            |(tree, executor)| std::hint::black_box(tree.run(&executor).expect("well-formed")),
             BatchSize::SmallInput,
         )
     });

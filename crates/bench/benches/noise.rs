@@ -14,14 +14,15 @@
 
 use criterion::{criterion_group, Criterion};
 use qcircuit::{QaoaAnsatz, QaoaStyle};
+use qexec::{run_single_vqa, Executor};
 use qgraph::{ieee14_base_graph, maxcut_cost_hamiltonian};
 use qopt::{OptimizerSpec, SpsaConfig};
 use treevqa_bench::workloads::{
     ansatz_params, bench_noise_model as device_model, rotation_heavy_ansatz, zz_ring_hamiltonian,
 };
 use vqa::{
-    red_qaoa_initial_point, run_single_vqa, Backend, InitialState, NoisyStatevectorBackend,
-    StatevectorBackend, VqaRunConfig, VqaTask, ZneBackend,
+    red_qaoa_initial_point, Backend, InitialState, NoisyStatevectorBackend, StatevectorBackend,
+    VqaRunConfig, VqaTask, ZneBackend,
 };
 
 const TRAJECTORY_COUNTS: [usize; 3] = [4, 16, 64];
@@ -101,15 +102,16 @@ fn quality_study() -> (f64, Vec<QualityArm>) {
         seed: 5,
         record_every: 40,
     };
-    let mut ideal_backend = StatevectorBackend::with_shots(0);
+    let ideal_executor = Executor::single(StatevectorBackend::with_shots(0));
     let run = run_single_vqa(
         &task,
         &ansatz,
         &InitialState::Basis(0),
         &start,
-        &mut ideal_backend,
+        &ideal_executor.client(),
         &config,
-    );
+    )
+    .expect("well-formed workload");
     let theta = &run.final_params;
     let (max_cut, _) = graph.max_cut_brute_force();
     let k = 256;

@@ -14,6 +14,7 @@
 //! scaling notes.
 
 use qchem::{MoleculeSpec, SpinChainFamily};
+use qexec::Executor;
 use qgraph::Ieee14Family;
 use qop::{ground_state, LanczosOptions};
 use qopt::{CobylaConfig, OptimizerSpec};
@@ -303,7 +304,7 @@ fn fig9() {
             .build();
             let app =
                 vqa::VqaApplication::new(label.clone(), vtasks, ansatz, InitialState::Basis(*hf));
-            let make_backend = || -> Box<dyn Backend> {
+            let make_backend = || -> Box<dyn Backend + Send> {
                 let config = PauliPropagatorConfig {
                     max_weight: 4,
                     coefficient_threshold: 1e-6,
@@ -453,7 +454,7 @@ fn tab2() {
                 5,
                 qsim::DEFAULT_SHOTS_PER_PAULI,
                 29,
-            )) as Box<dyn Backend>
+            )) as Box<dyn Backend + Send>
         });
         let max_fid =
             metrics::mean_fidelity(&app.tasks, &comparison.treevqa.energies()).unwrap_or(f64::NAN);
@@ -542,8 +543,8 @@ fn fig13() {
                 ..Default::default()
             };
             let tree = TreeVqa::new(app.clone(), config);
-            let mut backend = StatevectorBackend::new();
-            let result = tree.run(&mut backend);
+            let executor = Executor::single(StatevectorBackend::new());
+            let result = tree.run(&executor).expect("well-formed application");
             let mean_error: f64 = result
                 .per_task
                 .iter()
@@ -584,8 +585,8 @@ fn fig14() {
                 ..Default::default()
             };
             let tree = TreeVqa::new(app.clone(), config);
-            let mut backend = StatevectorBackend::new();
-            let result = tree.run(&mut backend);
+            let executor = Executor::single(StatevectorBackend::new());
+            let result = tree.run(&executor).expect("well-formed application");
             let accuracy = metrics::mean_fidelity(&app.tasks, &result.energies()).unwrap_or(0.0);
             println!(
                 "    window {window:>3} ({:.0}% of budget): accuracy {:.2}%  critical depth {}",
@@ -612,8 +613,8 @@ fn fig14() {
                 ..Default::default()
             };
             let tree = TreeVqa::new(app.clone(), config);
-            let mut backend = StatevectorBackend::new();
-            let result = tree.run(&mut backend);
+            let executor = Executor::single(StatevectorBackend::new());
+            let result = tree.run(&executor).expect("well-formed application");
             let accuracy = metrics::mean_fidelity(&app.tasks, &result.energies()).unwrap_or(0.0);
             println!(
                 "    epsilon {epsilon:.0e}: accuracy {:.2}%  splits {}",

@@ -14,6 +14,8 @@
 //! artifact on every run, so the perf trajectory accumulates even when the gate passes.
 
 use crate::workloads;
+use qexec::{EvalJob, Executor};
+use std::sync::Arc;
 use std::time::Instant;
 use vqa::{Backend, EvalRequest, InitialState, NoisyStatevectorBackend, StatevectorBackend};
 
@@ -172,19 +174,123 @@ pub fn run_quick_suite() -> Vec<QuickRecord> {
             ));
         }));
     }
+    {
+        // Execution-service overhead (BENCH_exec.json): one probe-job round trip on a
+        // tiny register isolates the submit → schedule → complete → wake path; the
+        // evaluation itself is microseconds, so the record is dominated by service
+        // overhead.
+        let tiny = {
+            let mut c = qcircuit::Circuit::new(2);
+            c.push(qcircuit::Gate::H(0));
+            c.push(qcircuit::Gate::Cx(0, 1));
+            Arc::new(c)
+        };
+        let op = Arc::new(qop::PauliOp::from_labels(2, &[("ZZ", 1.0)]));
+        let executor = Executor::single(StatevectorBackend::with_shots(0));
+        let client = executor.client();
+        records.push(time_workload("exec/submit_probe/2q", 500, || {
+            let job = EvalJob::new(
+                Arc::clone(&tiny),
+                Vec::new(),
+                InitialState::Basis(0),
+                Arc::clone(&op),
+            );
+            std::hint::black_box(client.submit_probe(job).unwrap().wait().unwrap());
+        }));
+    }
+    {
+        // Executor jobs/s at 12q: 4 clients × 8 jobs assembled under pause and released
+        // as one fair round-robin slate, which the service coalesces into one batched
+        // driver submission — the direct-backend counterpart is `evaluate/batched/8`
+        // (BENCH_batch.json), so the two files together bound the service's batching
+        // overhead.
+        let circ = Arc::new(
+            qcircuit::HardwareEfficientAnsatz::new(n, 2, qcircuit::Entanglement::Circular).build(),
+        );
+        let base = workloads::ansatz_params(&circ);
+        let ham = Arc::new(workloads::tfim_hamiltonian(n));
+        let executor = Executor::single(StatevectorBackend::with_shots(0));
+        let clients: Vec<_> = (0..4).map(|_| executor.client()).collect();
+        records.push(time_workload("exec/jobs/4clients_32x12q", 8, || {
+            executor.pause();
+            let handles: Vec<_> = (0..32)
+                .map(|i| {
+                    let params: Vec<f64> = base.iter().map(|p| p + 0.001 * i as f64).collect();
+                    clients[i % clients.len()]
+                        .submit(EvalJob::new(
+                            Arc::clone(&circ),
+                            params,
+                            InitialState::Basis(0),
+                            Arc::clone(&ham),
+                        ))
+                        .unwrap()
+                })
+                .collect();
+            executor.resume();
+            std::hint::black_box(qexec::wait_all(&handles).unwrap());
+        }));
+    }
 
     records
+}
+
+/// Measures the fair-scheduling property itself: 4 clients × 8 jobs released as one
+/// slate must execute in exact round-robin order (client-position spread 0).  Returns
+/// `(clients, jobs_per_client, max_position_spread)` for the `BENCH_exec.json` fairness
+/// section.
+pub fn measure_fairness() -> (usize, usize, u64) {
+    let num_clients = 4usize;
+    let per_client = 8usize;
+    let circ = Arc::new(
+        qcircuit::HardwareEfficientAnsatz::new(6, 1, qcircuit::Entanglement::Linear).build(),
+    );
+    let params = workloads::ansatz_params(&circ);
+    let ham = Arc::new(workloads::tfim_hamiltonian(6));
+    let executor = Executor::single(StatevectorBackend::with_shots(0));
+    executor.pause();
+    let clients: Vec<_> = (0..num_clients).map(|_| executor.client()).collect();
+    let mut handles = Vec::new();
+    for (c, client) in clients.iter().enumerate() {
+        for j in 0..per_client {
+            let handle = client
+                .submit(EvalJob::new(
+                    Arc::clone(&circ),
+                    params.clone(),
+                    InitialState::Basis(0),
+                    Arc::clone(&ham),
+                ))
+                .unwrap();
+            handles.push((c, j, handle));
+        }
+    }
+    executor.resume();
+    let mut spread = 0u64;
+    for (c, j, handle) in &handles {
+        handle.wait().unwrap();
+        let expected = (j * num_clients + c) as u64;
+        let actual = handle.sequence().expect("executed");
+        spread = spread.max(actual.abs_diff(expected));
+    }
+    (num_clients, per_client, spread)
+}
+
+/// Serializes one record as a `BENCH_*.json` object (no indentation or separator) —
+/// the single definition of the record schema, shared by [`records_to_json`] and the
+/// `exec_bench` baseline writer so the files cannot drift apart.
+pub fn record_to_json(r: &QuickRecord) -> String {
+    format!(
+        "{{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+        r.id, r.median_ns, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample,
+    )
 }
 
 /// Serializes records in the `BENCH_*.json` array schema.
 pub fn records_to_json(records: &[QuickRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
-            r.id, r.median_ns, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
+        out.push_str("  ");
+        out.push_str(&record_to_json(r));
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
     out

@@ -3,6 +3,7 @@
 //! noisy study).
 
 use crate::circuit::Circuit;
+use crate::error::CircuitError;
 use crate::gate::{Angle, Gate};
 use serde::{Deserialize, Serialize};
 
@@ -41,17 +42,32 @@ pub struct HardwareEfficientAnsatz {
 }
 
 impl HardwareEfficientAnsatz {
+    /// Creates a HEA specification, validating the register size.
+    pub fn try_new(
+        num_qubits: usize,
+        reps: usize,
+        entanglement: Entanglement,
+    ) -> Result<Self, CircuitError> {
+        if num_qubits == 0 {
+            return Err(CircuitError::EmptyRegister);
+        }
+        Ok(HardwareEfficientAnsatz {
+            num_qubits,
+            reps,
+            entanglement,
+        })
+    }
+
     /// Creates a HEA specification.
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits == 0`.
+    /// Panics if `num_qubits == 0`; use [`HardwareEfficientAnsatz::try_new`] to handle
+    /// that as a [`CircuitError`] instead.
     pub fn new(num_qubits: usize, reps: usize, entanglement: Entanglement) -> Self {
-        assert!(num_qubits > 0, "ansatz needs at least one qubit");
-        HardwareEfficientAnsatz {
-            num_qubits,
-            reps,
-            entanglement,
+        match Self::try_new(num_qubits, reps, entanglement) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
         }
     }
 

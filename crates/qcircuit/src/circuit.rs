@@ -1,5 +1,6 @@
 //! Parameterized-circuit container.
 
+use crate::error::CircuitError;
 use crate::gate::{Angle, Gate};
 use serde::{Deserialize, Serialize};
 
@@ -54,30 +55,57 @@ impl Circuit {
         self.gates.len()
     }
 
+    /// Appends a gate, validating that it fits the register.
+    ///
+    /// This is the fallible form for user-supplied gates; builders whose indices are
+    /// correct by construction use [`Circuit::push`].
+    pub fn try_push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        for q in gate.qubits() {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
     /// Appends a gate.
     ///
     /// # Panics
     ///
-    /// Panics if the gate touches a qubit outside the register.
+    /// Panics if the gate touches a qubit outside the register; use
+    /// [`Circuit::try_push`] to handle that as a [`CircuitError`] instead.
     pub fn push(&mut self, gate: Gate) {
-        for q in gate.qubits() {
-            assert!(
-                q < self.num_qubits,
-                "gate touches qubit {q} but the circuit has {} qubits",
-                self.num_qubits
-            );
+        if let Err(e) = self.try_push(gate) {
+            panic!("{e}");
         }
-        self.gates.push(gate);
+    }
+
+    /// Appends every gate of another circuit, validating the register sizes match.
+    pub fn try_extend(&mut self, other: &Circuit) -> Result<(), CircuitError> {
+        if self.num_qubits != other.num_qubits {
+            return Err(CircuitError::RegisterMismatch {
+                expected: self.num_qubits,
+                got: other.num_qubits,
+            });
+        }
+        self.gates.extend_from_slice(&other.gates);
+        Ok(())
     }
 
     /// Appends every gate of another circuit (must have the same register size).
     ///
     /// # Panics
     ///
-    /// Panics if the register sizes differ.
+    /// Panics if the register sizes differ; use [`Circuit::try_extend`] to handle that
+    /// as a [`CircuitError`] instead.
     pub fn extend(&mut self, other: &Circuit) {
-        assert_eq!(self.num_qubits, other.num_qubits, "register size mismatch");
-        self.gates.extend_from_slice(&other.gates);
+        if let Err(e) = self.try_extend(other) {
+            panic!("{e}");
+        }
     }
 
     /// The number of distinct optimizer parameters referenced by the circuit

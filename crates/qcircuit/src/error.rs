@@ -1,0 +1,52 @@
+//! Structured errors for user-supplied circuit shapes.
+//!
+//! Construction-time shape problems (a gate touching a qubit outside the register, two
+//! circuits of different register sizes being combined, a zero-qubit ansatz request) are
+//! *user input* errors, not internal invariant violations, so the fallible constructor
+//! variants ([`crate::Circuit::try_push`], [`crate::Circuit::try_extend`],
+//! [`crate::HardwareEfficientAnsatz::try_new`]) report them as [`CircuitError`] values
+//! instead of panicking.  The panicking variants survive as thin wrappers for internal
+//! callers whose shapes are correct by construction; the execution-service boundary
+//! (`qexec`) converts these errors into its own structured job errors.
+
+use std::fmt;
+
+/// A user-supplied circuit shape does not fit together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate references a qubit at or beyond the register size.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit's register size.
+        num_qubits: usize,
+    },
+    /// Two circuits with different register sizes were combined.
+    RegisterMismatch {
+        /// Register size of the receiving circuit.
+        expected: usize,
+        /// Register size of the circuit being appended.
+        got: usize,
+    },
+    /// A builder was asked for a zero-qubit register.
+    EmptyRegister,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "gate touches qubit {qubit} but the circuit has {num_qubits} qubits"
+            ),
+            CircuitError::RegisterMismatch { expected, got } => write!(
+                f,
+                "register size mismatch: cannot combine a {expected}-qubit circuit with a \
+                 {got}-qubit circuit"
+            ),
+            CircuitError::EmptyRegister => write!(f, "a circuit needs at least one qubit"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

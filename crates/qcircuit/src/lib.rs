@@ -17,12 +17,14 @@
 
 mod ansatz;
 mod circuit;
+mod error;
 mod gate;
 mod qaoa;
 mod uccsd;
 
 pub use ansatz::{Entanglement, HardwareEfficientAnsatz};
 pub use circuit::Circuit;
+pub use error::CircuitError;
 pub use gate::{Angle, Gate};
 pub use qaoa::{NonDiagonalCostError, QaoaAnsatz, QaoaStyle};
 pub use uccsd::UccsdAnsatz;

@@ -1,0 +1,88 @@
+//! Structured execution-service errors.
+
+use std::fmt;
+
+/// Why a job could not be accepted, scheduled, or executed.
+///
+/// Every malformed-input condition that used to panic deep inside the simulator stack
+/// (parameter-count mismatches, operator/register size disagreements, out-of-range basis
+/// states, empty circuits) is validated at the submission boundary and reported as a
+/// value — either immediately from `submit`, or through the [`crate::JobHandle`] for
+/// conditions that arise after queueing (cancellation, shutdown, a panicking driver).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// No backend with this name is registered with the executor.
+    UnknownBackend(String),
+    /// The selected backend does not advertise a capability the job requires.
+    MissingCapability {
+        /// The backend that was selected.
+        backend: String,
+        /// The first required capability it lacks (`"batch"`, `"shots"`, `"noise"`, or
+        /// `"trajectories"`).
+        missing: &'static str,
+    },
+    /// The job's circuit has no gates.
+    EmptyCircuit,
+    /// The job's parameter vector does not match the circuit's parameter count.
+    ParameterCountMismatch {
+        /// Parameters the circuit expects.
+        expected: usize,
+        /// Parameters the job supplied.
+        got: usize,
+    },
+    /// An observable's register size does not match the circuit's.
+    QubitCountMismatch {
+        /// Qubits in the circuit's register.
+        circuit: usize,
+        /// Qubits in the offending operator.
+        operator: usize,
+    },
+    /// A basis-state initial state indexes outside the circuit's register.
+    BasisStateOutOfRange {
+        /// The requested basis index.
+        basis: u64,
+        /// Qubits in the circuit's register.
+        num_qubits: usize,
+    },
+    /// The job was cancelled before execution started.
+    Cancelled,
+    /// The executor shut down before the job executed.
+    ShutDown,
+    /// The backend driver panicked while executing the job (the payload is the panic
+    /// message).  Validation makes this unreachable for well-formed jobs; it is the
+    /// safety net that turns any residual driver panic into a per-job error instead of
+    /// a crashed service.
+    Execution(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownBackend(name) => write!(f, "unknown backend {name:?}"),
+            ExecError::MissingCapability { backend, missing } => {
+                write!(
+                    f,
+                    "backend {backend:?} lacks required capability {missing:?}"
+                )
+            }
+            ExecError::EmptyCircuit => write!(f, "the job's circuit has no gates"),
+            ExecError::ParameterCountMismatch { expected, got } => write!(
+                f,
+                "parameter vector length {got} does not match the circuit's {expected} parameters"
+            ),
+            ExecError::QubitCountMismatch { circuit, operator } => write!(
+                f,
+                "operator acts on {operator} qubits but the circuit register has {circuit}"
+            ),
+            ExecError::BasisStateOutOfRange { basis, num_qubits } => write!(
+                f,
+                "basis state {basis} does not fit a {num_qubits}-qubit register"
+            ),
+            ExecError::Cancelled => write!(f, "the job was cancelled before execution"),
+            ExecError::ShutDown => write!(f, "the executor shut down before the job executed"),
+            ExecError::Execution(msg) => write!(f, "the backend driver panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

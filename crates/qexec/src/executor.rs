@@ -1,0 +1,762 @@
+//! The executor: backend registry, fair scheduler, and worker.
+
+use crate::error::ExecError;
+use crate::job::{EvalJob, JobHandle, JobKind, JobState, SubmitOptions};
+use qop::PauliOp;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use vqa::{Backend, BackendCaps, EvalRequest, EvalResult};
+
+/// Name under which [`Executor::single`] registers its only backend.
+pub const DEFAULT_BACKEND: &str = "default";
+
+/// Immutable per-backend registry metadata (the boxed driver itself lives on the worker
+/// thread; this is the submission-side view).
+struct BackendMeta {
+    name: String,
+    caps: BackendCaps,
+    /// Mirror of the driver's shot ledger, refreshed by the worker after every executed
+    /// group — consistent whenever the jobs a caller cares about have completed.
+    shots: AtomicU64,
+}
+
+/// A job sitting in a client queue.
+struct QueuedJob {
+    uid: u64,
+    priority: i32,
+    kind: JobKind,
+    backend: usize,
+    job: EvalJob,
+    state: Arc<JobState>,
+}
+
+enum Control {
+    ResetShots {
+        backend: usize,
+        ack: Arc<(Mutex<bool>, Condvar)>,
+    },
+}
+
+/// Lifecycle of a client's queue slot: slots are reused so a long-lived executor
+/// serving many short-lived clients (every TreeVQA run registers a handful) does not
+/// accumulate dead queues.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// At least one `ExecClient` clone holds the slot.
+    Active,
+    /// Every clone was dropped but queued jobs remain; freed once they drain.
+    Retired,
+    /// Reusable by the next [`Executor::client`] call.
+    Free,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// One FIFO per client slot.
+    queues: Vec<VecDeque<QueuedJob>>,
+    /// Lifecycle of each slot, parallel to `queues`.
+    slots: Vec<SlotState>,
+    /// Indices of `Free` slots, reused before growing `queues`.
+    free_slots: Vec<usize>,
+    /// Round-robin cursor: the client index served next at equal priority.
+    rr_next: usize,
+    /// Jobs queued across all clients.
+    pending: usize,
+    /// Jobs picked into the current slate but not yet completed.
+    in_flight: usize,
+    /// Nesting depth of [`Executor::pause`]; scheduling runs only at 0.
+    pause_depth: usize,
+    shutdown: bool,
+    controls: VecDeque<Control>,
+}
+
+impl QueueState {
+    /// Moves drained retired slots to the free list (called after a slate empties the
+    /// queues, and when a client drops with nothing queued).
+    fn reclaim_retired(&mut self) {
+        for id in 0..self.queues.len() {
+            if self.slots[id] == SlotState::Retired && self.queues[id].is_empty() {
+                self.slots[id] = SlotState::Free;
+                self.free_slots.push(id);
+            }
+        }
+    }
+}
+
+/// Owned by every clone of an [`ExecClient`]; the last drop retires the client's queue
+/// slot so the executor can reuse it.
+struct SlotGuard {
+    shared: std::sync::Weak<Shared>,
+    id: usize,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.upgrade() {
+            let mut q = shared.queue.lock().unwrap();
+            q.slots[self.id] = SlotState::Retired;
+            if q.queues[self.id].is_empty() {
+                q.slots[self.id] = SlotState::Free;
+                q.free_slots.push(self.id);
+            }
+        }
+    }
+}
+
+/// State shared between the submission side and the worker thread.
+pub(crate) struct Shared {
+    queue: Mutex<QueueState>,
+    /// Wakes the worker (new jobs, resume, shutdown, controls).
+    work_cv: Condvar,
+    /// Wakes `wait_idle` callers.
+    idle_cv: Condvar,
+    meta: Vec<BackendMeta>,
+    /// Global execution sequence counter (assigned in scheduled order).
+    next_seq: AtomicU64,
+    next_uid: AtomicU64,
+}
+
+impl Shared {
+    fn backend_index(&self, name: &str) -> Result<usize, ExecError> {
+        self.meta
+            .iter()
+            .position(|m| m.name == name)
+            .ok_or_else(|| ExecError::UnknownBackend(name.to_string()))
+    }
+
+    /// Increments the pause depth (see [`Executor::pause`]).
+    pub(crate) fn pause(&self) {
+        self.queue.lock().unwrap().pause_depth += 1;
+    }
+
+    /// Decrements the pause depth, waking the worker at zero (see [`Executor::resume`]).
+    pub(crate) fn resume(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.pause_depth = q.pause_depth.saturating_sub(1);
+        let runnable = q.pause_depth == 0;
+        drop(q);
+        if runnable {
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Pauses scheduling for the lifetime of the returned guard (panic-safe: the
+    /// matching resume happens in `Drop`, so an unwinding caller cannot leave a shared
+    /// executor permanently paused).
+    pub(crate) fn pause_guard(&self) -> PauseGuard<'_> {
+        self.pause();
+        PauseGuard { shared: self }
+    }
+
+    /// Cancels every job queued under one client slot.
+    pub(crate) fn cancel_client_queue(&self, client: usize) {
+        let mut q = self.queue.lock().unwrap();
+        let jobs: Vec<QueuedJob> = q.queues[client].drain(..).collect();
+        q.pending -= jobs.len();
+        q.reclaim_retired();
+        let idle = q.pending == 0 && q.in_flight == 0;
+        drop(q);
+        for job in jobs {
+            job.state.complete(Err(ExecError::Cancelled));
+        }
+        if idle {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Removes a still-queued job and completes it as cancelled.  Returns whether the
+    /// job was found in a queue.
+    pub(crate) fn cancel_queued(&self, uid: u64) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        for queue in &mut q.queues {
+            if let Some(pos) = queue.iter().position(|j| j.uid == uid) {
+                let job = queue.remove(pos).expect("position came from iter");
+                q.pending -= 1;
+                // Cancellation may have emptied a retired client's queue.
+                q.reclaim_retired();
+                let idle = q.pending == 0 && q.in_flight == 0;
+                drop(q);
+                job.state.complete(Err(ExecError::Cancelled));
+                if idle {
+                    self.idle_cv.notify_all();
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// An RAII pause of an executor's scheduling (see [`Executor::scoped_pause`]): the
+/// matching resume runs in `Drop`, so the pause is released even if the scope unwinds.
+pub struct PauseGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.resume();
+    }
+}
+
+/// Builds an [`Executor`] over a registry of named backends.
+#[derive(Default)]
+pub struct ExecutorBuilder {
+    backends: Vec<(String, Box<dyn Backend + Send>, BackendCaps)>,
+    paused: bool,
+}
+
+impl ExecutorBuilder {
+    /// Registers a backend under `name`, advertising the capabilities it reports via
+    /// [`Backend::capabilities`].  The first registered backend is the default target
+    /// for jobs that do not name one.
+    pub fn register(self, name: impl Into<String>, backend: impl Backend + Send + 'static) -> Self {
+        self.register_boxed(name, Box::new(backend))
+    }
+
+    /// Registers an already-boxed backend (see [`ExecutorBuilder::register`]).
+    pub fn register_boxed(
+        mut self,
+        name: impl Into<String>,
+        backend: Box<dyn Backend + Send>,
+    ) -> Self {
+        let caps = backend.capabilities();
+        self.backends.push((name.into(), backend, caps));
+        self
+    }
+
+    /// Starts the executor paused: submissions queue but nothing executes until
+    /// [`Executor::resume`].  Useful for deterministic multi-client scheduling (all
+    /// clients submit, then one resume releases the fair-ordered slate).
+    pub fn paused(mut self) -> Self {
+        self.paused = true;
+        self
+    }
+
+    /// Spawns the worker thread and returns the running executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backend was registered or two backends share a name (builder-time
+    /// programming errors, not runtime job input).
+    pub fn start(self) -> Executor {
+        assert!(
+            !self.backends.is_empty(),
+            "an executor needs at least one registered backend"
+        );
+        let mut names: Vec<&str> = self.backends.iter().map(|(n, _, _)| n.as_str()).collect();
+        names.sort_unstable();
+        assert!(
+            names.windows(2).all(|w| w[0] != w[1]),
+            "backend names must be unique"
+        );
+        let mut drivers = Vec::with_capacity(self.backends.len());
+        let mut meta = Vec::with_capacity(self.backends.len());
+        for (name, backend, caps) in self.backends {
+            meta.push(BackendMeta {
+                name,
+                caps,
+                shots: AtomicU64::new(backend.shots_used()),
+            });
+            drivers.push(backend);
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                pause_depth: usize::from(self.paused),
+                ..QueueState::default()
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            meta,
+            next_seq: AtomicU64::new(0),
+            next_uid: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("qexec-worker".into())
+            .spawn(move || worker_loop(&worker_shared, drivers))
+            .expect("spawning the executor worker thread failed");
+        Executor {
+            shared,
+            worker: Some(worker),
+        }
+    }
+}
+
+/// The execution service: owns a registry of named backends behind a worker thread,
+/// accepts owned [`EvalJob`]s from any number of [`ExecClient`]s, and schedules them
+/// with per-job priority and fair round-robin across clients.
+///
+/// See the crate docs for the serial-replay equivalence contract.
+pub struct Executor {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Starts building an executor (multi-backend registry form).
+    pub fn builder() -> ExecutorBuilder {
+        ExecutorBuilder::default()
+    }
+
+    /// The one-backend convenience: registers `backend` as [`DEFAULT_BACKEND`] and
+    /// starts the service.
+    pub fn single(backend: impl Backend + Send + 'static) -> Executor {
+        Self::builder().register(DEFAULT_BACKEND, backend).start()
+    }
+
+    /// [`Executor::single`] for an already-boxed backend.
+    pub fn single_boxed(backend: Box<dyn Backend + Send>) -> Executor {
+        Self::builder()
+            .register_boxed(DEFAULT_BACKEND, backend)
+            .start()
+    }
+
+    /// Registers a new client and returns its submission handle.  Each client gets its
+    /// own FIFO; the scheduler serves clients round-robin at equal priority, so no
+    /// client can starve another.  Slots of fully dropped clients are reused, so a
+    /// long-lived executor can serve any number of short-lived clients without
+    /// accumulating state.
+    pub fn client(&self) -> ExecClient {
+        let mut q = self.shared.queue.lock().unwrap();
+        let id = match q.free_slots.pop() {
+            Some(id) => {
+                q.slots[id] = SlotState::Active;
+                id
+            }
+            None => {
+                q.queues.push(VecDeque::new());
+                q.slots.push(SlotState::Active);
+                q.queues.len() - 1
+            }
+        };
+        drop(q);
+        ExecClient {
+            shared: Arc::clone(&self.shared),
+            id,
+            slot: Arc::new(SlotGuard {
+                shared: Arc::downgrade(&self.shared),
+                id,
+            }),
+        }
+    }
+
+    /// Number of client queue slots currently allocated (diagnostic: stays bounded by
+    /// the peak number of *simultaneously live* clients, not by how many were ever
+    /// created, because dropped clients' slots are reused once their jobs drain).
+    pub fn client_slots(&self) -> usize {
+        self.shared.queue.lock().unwrap().queues.len()
+    }
+
+    /// Names of the registered backends, in registration order (index 0 is the default).
+    pub fn backend_names(&self) -> Vec<String> {
+        self.shared.meta.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// The capabilities a registered backend advertises.
+    pub fn capabilities(&self, backend: &str) -> Result<BackendCaps, ExecError> {
+        let idx = self.shared.backend_index(backend)?;
+        Ok(self.shared.meta[idx].caps)
+    }
+
+    /// The name of the first registered backend satisfying `require`, if any.
+    pub fn find_backend(&self, require: &BackendCaps) -> Option<String> {
+        self.shared
+            .meta
+            .iter()
+            .find(|m| m.caps.satisfies(require))
+            .map(|m| m.name.clone())
+    }
+
+    /// Total shots the named backend has charged, as of its most recently completed
+    /// job.  Consistent whenever the jobs the caller cares about have completed (e.g.
+    /// after waiting on their handles or [`Executor::wait_idle`]).
+    pub fn shots_used(&self, backend: &str) -> Result<u64, ExecError> {
+        let idx = self.shared.backend_index(backend)?;
+        Ok(self.shared.meta[idx].shots.load(Ordering::SeqCst))
+    }
+
+    /// Resets the named backend's shot ledger.  Blocks until the worker has applied the
+    /// reset; jobs already queued when this is called may execute before or after the
+    /// reset, so callers reusing a backend across experiment arms should
+    /// [`Executor::wait_idle`] first.
+    pub fn reset_shots(&self, backend: &str) -> Result<(), ExecError> {
+        let idx = self.shared.backend_index(backend)?;
+        let ack = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.shutdown {
+                return Err(ExecError::ShutDown);
+            }
+            q.controls.push_back(Control::ResetShots {
+                backend: idx,
+                ack: Arc::clone(&ack),
+            });
+        }
+        self.shared.work_cv.notify_all();
+        let (done, cv) = &*ack;
+        let mut done = done.lock().unwrap();
+        while !*done {
+            done = cv.wait(done).unwrap();
+        }
+        Ok(())
+    }
+
+    /// Pauses scheduling: queued and newly submitted jobs accumulate but do not
+    /// execute.  Jobs already picked into a slate finish.  Pausing lets a set of
+    /// clients assemble one fair-ordered slate (the TreeVQA controller does this every
+    /// round phase so all clusters' candidates land in a single batched submission).
+    ///
+    /// Pauses **nest**: each `pause` must be matched by one [`Executor::resume`], and
+    /// scheduling restarts only when every pause has been resumed — so independent
+    /// controllers sharing one executor cannot release each other's half-assembled
+    /// slates.
+    pub fn pause(&self) {
+        self.shared.pause();
+    }
+
+    /// Undoes one [`Executor::pause`]; scheduling resumes when the pause depth reaches
+    /// zero.  Unmatched resumes are ignored.
+    pub fn resume(&self) {
+        self.shared.resume();
+    }
+
+    /// [`Executor::pause`] as an RAII scope: the matching resume runs when the guard
+    /// drops, including on unwind — prefer this over manual pause/resume pairs wherever
+    /// a panic in between would otherwise leave a shared executor paused forever.
+    pub fn scoped_pause(&self) -> PauseGuard<'_> {
+        self.shared.pause_guard()
+    }
+
+    /// Blocks until no jobs are queued or executing.  On a paused executor this waits
+    /// for [`Executor::resume`] (queued jobs cannot drain while paused).
+    pub fn wait_idle(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        while q.pending > 0 || q.in_flight > 0 {
+            q = self.shared.idle_cv.wait(q).unwrap();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A client's submission handle.  Clones share the client's queue (and thus its
+/// fair-scheduling slot); when the last clone drops, the slot is retired and reused by
+/// a later [`Executor::client`] call once its queued jobs drain.
+#[derive(Clone)]
+pub struct ExecClient {
+    shared: Arc<Shared>,
+    id: usize,
+    /// Retires the queue slot when the last clone drops (held only for its `Drop`).
+    #[allow(dead_code)]
+    slot: Arc<SlotGuard>,
+}
+
+impl ExecClient {
+    /// Submits a job to the default backend at default priority.
+    pub fn submit(&self, job: EvalJob) -> Result<JobHandle, ExecError> {
+        self.submit_with(job, &SubmitOptions::default())
+    }
+
+    /// Submits a job with explicit backend selection, priority, and capability
+    /// requirements.  Validation (shapes, backend, capabilities) happens here, before
+    /// queueing — malformed input never reaches a driver.
+    pub fn submit_with(&self, job: EvalJob, opts: &SubmitOptions) -> Result<JobHandle, ExecError> {
+        self.enqueue(job, opts, JobKind::Evaluate)
+    }
+
+    /// Submits every job of an iterator (in order, to the default backend at default
+    /// priority) and returns their handles.
+    ///
+    /// The jobs are enqueued **atomically with respect to scheduling**: the executor is
+    /// paused while they are queued, so the worker cannot race ahead and split the
+    /// group across several slates — a phase's jobs always coalesce into one batched
+    /// driver submission (nesting makes this compose with an explicit
+    /// [`Executor::pause`]).  On a rejected job, exactly the already-queued jobs of
+    /// this call are cancelled before the error is returned, so a failed group
+    /// submission never leaves orphaned work consuming the backend's RNG stream —
+    /// jobs the client queued outside this call are untouched.
+    pub fn submit_all(
+        &self,
+        jobs: impl IntoIterator<Item = EvalJob>,
+    ) -> Result<Vec<JobHandle>, ExecError> {
+        let _pause = self.shared.pause_guard();
+        let mut handles = Vec::new();
+        for job in jobs {
+            match self.submit(job) {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // The pause guarantees none of this call's jobs started, so each
+                    // cancel succeeds and only this group is withdrawn.
+                    for handle in &handles {
+                        handle.cancel();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(handles)
+    }
+
+    /// Cancels every job still queued under this client (jobs already executing are
+    /// unaffected).  Their handles report [`ExecError::Cancelled`].
+    pub fn cancel_queued(&self) {
+        self.shared.cancel_client_queue(self.id);
+    }
+
+    /// Submits an uncharged probe: the job's charged observable is evaluated exactly on
+    /// the prepared state via the driver's `probe` path (zero shots, free observables
+    /// ignored).
+    pub fn submit_probe(&self, job: EvalJob) -> Result<JobHandle, ExecError> {
+        self.submit_probe_with(job, &SubmitOptions::default())
+    }
+
+    /// [`ExecClient::submit_probe`] with explicit options.
+    pub fn submit_probe_with(
+        &self,
+        job: EvalJob,
+        opts: &SubmitOptions,
+    ) -> Result<JobHandle, ExecError> {
+        self.enqueue(job, opts, JobKind::Probe)
+    }
+
+    fn enqueue(
+        &self,
+        job: EvalJob,
+        opts: &SubmitOptions,
+        kind: JobKind,
+    ) -> Result<JobHandle, ExecError> {
+        let backend = match &opts.backend {
+            Some(name) => self.shared.backend_index(name)?,
+            None => 0,
+        };
+        let meta = &self.shared.meta[backend];
+        if let Some(missing) = meta.caps.first_missing(&opts.require) {
+            return Err(ExecError::MissingCapability {
+                backend: meta.name.clone(),
+                missing,
+            });
+        }
+        job.validate()?;
+        let state = Arc::new(JobState::default());
+        let uid = self.shared.next_uid.fetch_add(1, Ordering::Relaxed);
+        let queued = QueuedJob {
+            uid,
+            priority: opts.priority,
+            kind,
+            backend,
+            job,
+            state: Arc::clone(&state),
+        };
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.shutdown {
+                return Err(ExecError::ShutDown);
+            }
+            q.queues[self.id].push_back(queued);
+            q.pending += 1;
+        }
+        self.shared.work_cv.notify_one();
+        Ok(JobHandle {
+            state,
+            shared: Arc::downgrade(&self.shared),
+            uid,
+        })
+    }
+}
+
+/// Drains the whole queue into one slate in scheduled order: strictly by descending
+/// priority; at equal priority, round-robin across clients starting at the cursor; FIFO
+/// within a client (a higher-priority job may overtake its client's earlier
+/// lower-priority jobs).
+fn build_slate(q: &mut QueueState) -> Vec<QueuedJob> {
+    let num_clients = q.queues.len();
+    let mut slate = Vec::with_capacity(q.pending);
+    while q.pending > 0 {
+        // Highest remaining priority, computed once per level: nothing is enqueued
+        // while the queue lock is held, so draining the whole level before recomputing
+        // picks jobs in exactly the same order as a per-pick global rescan — without
+        // the O(jobs) scan per pick.
+        let level = q
+            .queues
+            .iter()
+            .flat_map(|d| d.iter().map(|j| j.priority))
+            .max()
+            .expect("pending > 0 implies a queued job");
+        loop {
+            let mut served = None;
+            for offset in 0..num_clients {
+                let client = (q.rr_next + offset) % num_clients;
+                if let Some(pos) = q.queues[client].iter().position(|j| j.priority == level) {
+                    let job = q.queues[client]
+                        .remove(pos)
+                        .expect("position came from iter");
+                    slate.push(job);
+                    q.pending -= 1;
+                    q.rr_next = (client + 1) % num_clients;
+                    served = Some(client);
+                    break;
+                }
+            }
+            if served.is_none() {
+                break;
+            }
+        }
+    }
+    slate
+}
+
+/// Executes one slate: consecutive same-backend evaluation jobs become one
+/// `evaluate_batch` submission (probes run singly through `probe`), in slate order, so
+/// the realized execution is exactly the serial replay of the scheduled order.
+fn execute_slate(shared: &Shared, drivers: &mut [Box<dyn Backend + Send>], slate: &[QueuedJob]) {
+    let mut start = 0;
+    while start < slate.len() {
+        let backend = slate[start].backend;
+        let kind = slate[start].kind;
+        let mut end = start + 1;
+        while end < slate.len() && slate[end].backend == backend && slate[end].kind == kind {
+            end += 1;
+        }
+        let group = &slate[start..end];
+        match kind {
+            JobKind::Evaluate => {
+                let free_refs: Vec<Vec<&PauliOp>> = group
+                    .iter()
+                    .map(|g| g.job.free_ops.iter().map(|op| op.as_ref()).collect())
+                    .collect();
+                let requests: Vec<EvalRequest<'_>> = group
+                    .iter()
+                    .zip(&free_refs)
+                    .map(|(g, free)| EvalRequest {
+                        circuit: &g.job.circuit,
+                        params: &g.job.params,
+                        initial: &g.job.initial,
+                        charged_op: &g.job.charged_op,
+                        free_ops: free,
+                    })
+                    .collect();
+                let driver = &mut drivers[backend];
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    driver.evaluate_batch(&requests)
+                }));
+                shared.meta[backend]
+                    .shots
+                    .store(drivers[backend].shots_used(), Ordering::SeqCst);
+                match outcome {
+                    Ok(results) => {
+                        for (g, result) in group.iter().zip(results) {
+                            g.state.complete(Ok(result));
+                        }
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload);
+                        for g in group {
+                            g.state.complete(Err(ExecError::Execution(msg.clone())));
+                        }
+                    }
+                }
+            }
+            JobKind::Probe => {
+                for g in group {
+                    let driver = &mut drivers[backend];
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        driver.probe(
+                            &g.job.circuit,
+                            &g.job.params,
+                            &g.job.initial,
+                            &g.job.charged_op,
+                        )
+                    }));
+                    g.state.complete(match outcome {
+                        Ok(charged) => Ok(EvalResult {
+                            charged,
+                            free: Vec::new(),
+                            shots: 0,
+                        }),
+                        Err(payload) => Err(ExecError::Execution(panic_message(payload))),
+                    });
+                }
+            }
+        }
+        start = end;
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, mut drivers: Vec<Box<dyn Backend + Send>>) {
+    loop {
+        let slate = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                while let Some(control) = q.controls.pop_front() {
+                    match control {
+                        Control::ResetShots { backend, ack } => {
+                            drivers[backend].reset_shots();
+                            shared.meta[backend]
+                                .shots
+                                .store(drivers[backend].shots_used(), Ordering::SeqCst);
+                            let (done, cv) = &*ack;
+                            *done.lock().unwrap() = true;
+                            cv.notify_all();
+                        }
+                    }
+                }
+                if q.shutdown {
+                    // Fail whatever is still queued so no handle waits forever.
+                    for queue in &mut q.queues {
+                        while let Some(job) = queue.pop_front() {
+                            job.state.complete(Err(ExecError::ShutDown));
+                        }
+                    }
+                    q.pending = 0;
+                    shared.idle_cv.notify_all();
+                    return;
+                }
+                if q.pause_depth == 0 && q.pending > 0 {
+                    break;
+                }
+                q = shared.work_cv.wait(q).unwrap();
+            }
+            let slate = build_slate(&mut q);
+            // Draining emptied every queue, so retired client slots become reusable.
+            q.reclaim_retired();
+            q.in_flight = slate.len();
+            // Sequence numbers record the scheduled order, assigned before execution so
+            // even a panicking group leaves a complete replay record.
+            for job in &slate {
+                job.state
+                    .set_sequence(shared.next_seq.fetch_add(1, Ordering::SeqCst));
+            }
+            slate
+        };
+        execute_slate(shared, &mut drivers, &slate);
+        let mut q = shared.queue.lock().unwrap();
+        q.in_flight = 0;
+        if q.pending == 0 {
+            shared.idle_cv.notify_all();
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Owned jobs and completion handles.
+
+use crate::error::ExecError;
+use crate::executor::Shared;
+use qcircuit::Circuit;
+use qop::PauliOp;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use vqa::{BackendCaps, EvalResult, InitialState};
+
+/// Per-job scheduling priority: higher values execute first; equal priorities are served
+/// fairly round-robin across clients.  The default is 0.
+pub type Priority = i32;
+
+/// One owned evaluation of a parameterized ansatz against a charged observable (plus
+/// free tracking observables).
+///
+/// Unlike the borrowed `vqa::EvalRequest<'a>` that the low-level [`vqa::Backend`] driver
+/// interface consumes, an `EvalJob` owns (or `Arc`-shares) everything it references, so
+/// it can be queued, reprioritized, and moved across threads.  The heavyweight pieces —
+/// circuit and observables — are `Arc`s: submitting a thousand candidates of one ansatz
+/// shares a single circuit allocation, which also lets the batch engine's uniform-circuit
+/// detection short-circuit on pointer equality.
+#[derive(Clone, Debug)]
+pub struct EvalJob {
+    /// The ansatz circuit.
+    pub circuit: Arc<Circuit>,
+    /// The bound parameter vector for this evaluation.
+    pub params: Vec<f64>,
+    /// The initial state the ansatz is applied to.
+    pub initial: InitialState,
+    /// The observable whose estimation is charged shots (for probe jobs: the probed
+    /// observable, at zero shot cost).
+    pub charged_op: Arc<PauliOp>,
+    /// Observables evaluated exactly at zero shot cost on the same state.
+    pub free_ops: Vec<Arc<PauliOp>>,
+}
+
+impl EvalJob {
+    /// Creates a job with no free tracking observables.
+    pub fn new(
+        circuit: Arc<Circuit>,
+        params: Vec<f64>,
+        initial: InitialState,
+        charged_op: Arc<PauliOp>,
+    ) -> Self {
+        EvalJob {
+            circuit,
+            params,
+            initial,
+            charged_op,
+            free_ops: Vec::new(),
+        }
+    }
+
+    /// Adds free tracking observables (builder style).
+    pub fn with_free_ops(mut self, free_ops: Vec<Arc<PauliOp>>) -> Self {
+        self.free_ops = free_ops;
+        self
+    }
+
+    /// Validates the job's shapes, reporting the first problem as an [`ExecError`].
+    ///
+    /// This is the service boundary where malformed user input becomes a structured
+    /// error instead of a panic deep inside a simulator kernel.
+    pub fn validate(&self) -> Result<(), ExecError> {
+        let n = self.circuit.num_qubits();
+        if self.circuit.num_gates() == 0 {
+            return Err(ExecError::EmptyCircuit);
+        }
+        let expected = self.circuit.num_parameters();
+        if self.params.len() != expected {
+            return Err(ExecError::ParameterCountMismatch {
+                expected,
+                got: self.params.len(),
+            });
+        }
+        for op in std::iter::once(&self.charged_op).chain(self.free_ops.iter()) {
+            if op.num_qubits() != n {
+                return Err(ExecError::QubitCountMismatch {
+                    circuit: n,
+                    operator: op.num_qubits(),
+                });
+            }
+        }
+        if let InitialState::Basis(b) = self.initial {
+            if n < 64 && (b >> n) != 0 {
+                return Err(ExecError::BasisStateOutOfRange {
+                    basis: b,
+                    num_qubits: n,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How a job is executed against its backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum JobKind {
+    /// A charged evaluation through the backend's batched path.
+    Evaluate,
+    /// An uncharged probe (`Backend::probe`): exact expectation, zero shots, free
+    /// observables ignored.
+    Probe,
+}
+
+/// Options accepted by [`crate::ExecClient::submit_with`].
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// The target backend by registry name; `None` selects the executor's default
+    /// (first-registered) backend.
+    pub backend: Option<String>,
+    /// Scheduling priority (higher first; default 0).
+    pub priority: Priority,
+    /// Capabilities the backend must advertise; submission fails with
+    /// [`ExecError::MissingCapability`] if the selected backend lacks one.
+    pub require: BackendCaps,
+}
+
+/// Completion state shared between a handle and the scheduler.
+#[derive(Debug, Default)]
+pub(crate) struct JobState {
+    slot: Mutex<Option<Result<EvalResult, ExecError>>>,
+    cv: Condvar,
+    seq: OnceLock<u64>,
+}
+
+impl JobState {
+    pub(crate) fn complete(&self, result: Result<EvalResult, ExecError>) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn set_sequence(&self, seq: u64) {
+        let _ = self.seq.set(seq);
+    }
+}
+
+/// A handle to a submitted job: wait for completion, poll, cancel, and observe the
+/// execution sequence number the fair scheduler assigned.
+#[derive(Debug)]
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+    pub(crate) shared: Weak<Shared>,
+    pub(crate) uid: u64,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes (or is cancelled / the executor shuts down) and
+    /// returns its result.
+    ///
+    /// Waiting on a job queued behind a paused executor blocks until the executor is
+    /// resumed.
+    pub fn wait(&self) -> Result<EvalResult, ExecError> {
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+        slot.as_ref().unwrap().clone()
+    }
+
+    /// The job's result if it has already completed (non-blocking).
+    pub fn try_result(&self) -> Option<Result<EvalResult, ExecError>> {
+        self.state.slot.lock().unwrap().clone()
+    }
+
+    /// Whether the job has completed (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        self.state.slot.lock().unwrap().is_some()
+    }
+
+    /// Attempts to cancel the job.  Returns `true` if the job was still queued (it is
+    /// removed, and [`JobHandle::wait`] reports [`ExecError::Cancelled`]); returns
+    /// `false` if it already started executing or completed — started work is never
+    /// aborted mid-flight, preserving the serial-replay contract for every job that
+    /// does execute.
+    pub fn cancel(&self) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            return false;
+        };
+        shared.cancel_queued(self.uid)
+    }
+
+    /// The global execution sequence number the scheduler assigned to this job, or
+    /// `None` if it has not been scheduled (yet, or ever — cancelled jobs have none).
+    ///
+    /// Replaying all executed jobs *serially, in sequence order,* through an identically
+    /// configured backend reproduces every result bit-for-bit (see the crate docs).
+    pub fn sequence(&self) -> Option<u64> {
+        self.state.seq.get().copied()
+    }
+}
+
+/// Waits on a slice of handles in order and collects their results, failing fast on the
+/// first error.
+pub fn wait_all(handles: &[JobHandle]) -> Result<Vec<EvalResult>, ExecError> {
+    handles.iter().map(JobHandle::wait).collect()
+}

@@ -1,0 +1,496 @@
+//! # qexec — the job-based execution service
+//!
+//! Every layer above the simulators used to thread a `&mut dyn Backend` by hand and call
+//! `evaluate_batch` with borrowed request slices: fully synchronous, single-client, and
+//! panicking on malformed input.  This crate redesigns that boundary into a service:
+//!
+//! * an [`Executor`] **owns** a registry of named backends (capability-negotiated via
+//!   [`vqa::BackendCaps`]: batch, shots, noise, trajectories) behind a scheduler thread;
+//! * any number of [`ExecClient`]s submit **owned** [`EvalJob`]s — `Arc`-shared circuit
+//!   and observables, owned parameters — so work can be queued, prioritized, cancelled,
+//!   and moved across threads;
+//! * every submission returns a [`JobHandle`] with blocking/polling completion,
+//!   cancellation, and the scheduler-assigned execution [`JobHandle::sequence`] number;
+//! * malformed input (parameter-count or qubit-count mismatches, out-of-range basis
+//!   states, empty circuits) is a structured [`ExecError`] at the submission boundary —
+//!   and any residual driver panic surfaces as [`ExecError::Execution`] through the
+//!   handle instead of crashing the service.
+//!
+//! The [`vqa::Backend`] trait survives beneath this API as the low-level driver
+//! interface that execution substrates implement; only the executor calls it.
+//!
+//! # Scheduling
+//!
+//! Jobs are scheduled strictly by descending [`Priority`]; at equal priority, clients
+//! are served **fair round-robin** (one job per client per turn, cursor advancing past
+//! the served client), FIFO within a client.  The scheduler drains the queue into a
+//! *slate*, then executes consecutive same-backend jobs as one `evaluate_batch`
+//! submission — so concurrent clients' work coalesces into the big batches the compiled
+//! scratch-pool engine is built for, while no client can starve another.
+//! [`Executor::pause`] / [`Executor::resume`] let cooperating clients assemble one
+//! fair-ordered slate deterministically (the TreeVQA controller does this every round
+//! phase).
+//!
+//! # The serial-replay equivalence contract
+//!
+//! **Executor results are bit-identical to the serial replay of the scheduled order**:
+//! replaying all executed jobs one at a time, in [`JobHandle::sequence`] order, through
+//! an identically configured backend reproduces every result bit-for-bit — including
+//! sampled and trajectory-noise backends, whose RNG streams are consumed in exactly the
+//! scheduled order.  This holds for any worker count: the scheduler serializes driver
+//! access (one slate at a time, grouped `evaluate_batch` calls in slate order), and the
+//! drivers' own batched paths are proven bit-identical to their serial loops at any
+//! `RAYON_NUM_THREADS` (see `tests/tests/executor.rs`, run under worker counts
+//! {1, 2, 4} in CI).  Concurrency therefore never changes *what* is computed, only how
+//! it is overlapped — the same observable-equivalence discipline the batch engine
+//! established per-backend, now exposed as the service contract.
+//!
+//! ```
+//! use qexec::{EvalJob, Executor};
+//! use std::sync::Arc;
+//! use vqa::{InitialState, StatevectorBackend};
+//!
+//! let executor = Executor::single(StatevectorBackend::with_shots(100));
+//! let client = executor.client();
+//!
+//! let circuit = Arc::new(
+//!     qcircuit::HardwareEfficientAnsatz::new(3, 1, qcircuit::Entanglement::Linear).build(),
+//! );
+//! let hamiltonian = Arc::new(qop::PauliOp::from_labels(3, &[("ZZI", -1.0), ("IXI", 0.3)]));
+//! let params = vec![0.1; circuit.num_parameters()];
+//!
+//! let handle = client
+//!     .submit(EvalJob::new(circuit, params, InitialState::Basis(0), hamiltonian))
+//!     .expect("a well-formed job");
+//! let result = handle.wait().expect("executed");
+//! assert!(result.charged.is_finite());
+//! assert_eq!(executor.shots_used("default").unwrap(), result.shots);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod executor;
+mod job;
+mod runner;
+
+pub use error::ExecError;
+pub use executor::{ExecClient, Executor, ExecutorBuilder, PauseGuard, DEFAULT_BACKEND};
+pub use job::{wait_all, EvalJob, JobHandle, Priority, SubmitOptions};
+pub use runner::{drive_optimizer_iteration, run_baseline, run_single_vqa};
+
+// Re-exported so executor callers can name capabilities and run records without a direct
+// `vqa` dependency.
+pub use vqa::{BackendCaps, EvalResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{Circuit, Entanglement, HardwareEfficientAnsatz};
+    use qop::PauliOp;
+    use std::sync::Arc;
+    use vqa::{Backend, InitialState, SampledBackend, StatevectorBackend, VqaRunConfig, VqaTask};
+
+    fn demo_setup() -> (Arc<Circuit>, Vec<f64>, Arc<PauliOp>, Arc<PauliOp>) {
+        let circuit = Arc::new(HardwareEfficientAnsatz::new(3, 1, Entanglement::Linear).build());
+        let params: Vec<f64> = (0..circuit.num_parameters())
+            .map(|i| 0.1 * i as f64)
+            .collect();
+        let h1 = Arc::new(PauliOp::from_labels(3, &[("ZZI", -1.0), ("IXI", 0.3)]));
+        let h2 = Arc::new(PauliOp::from_labels(3, &[("ZZI", -0.8), ("IIX", 0.2)]));
+        (circuit, params, h1, h2)
+    }
+
+    #[test]
+    fn submit_wait_matches_direct_backend_evaluation() {
+        let (circuit, params, h1, h2) = demo_setup();
+        let executor = Executor::single(StatevectorBackend::with_shots(1000));
+        let client = executor.client();
+        let handle = client
+            .submit(
+                EvalJob::new(
+                    Arc::clone(&circuit),
+                    params.clone(),
+                    InitialState::Basis(0),
+                    Arc::clone(&h1),
+                )
+                .with_free_ops(vec![Arc::clone(&h2)]),
+            )
+            .unwrap();
+        let result = handle.wait().unwrap();
+
+        let mut direct = StatevectorBackend::with_shots(1000);
+        let (charged, free) = direct.evaluate(
+            &circuit,
+            &params,
+            &InitialState::Basis(0),
+            &h1,
+            &[h2.as_ref()],
+        );
+        assert_eq!(result.charged.to_bits(), charged.to_bits());
+        assert_eq!(result.free[0].to_bits(), free[0].to_bits());
+        assert_eq!(result.shots, 1000 * h1.num_terms() as u64);
+        assert_eq!(executor.shots_used(DEFAULT_BACKEND).unwrap(), result.shots);
+        assert_eq!(handle.sequence(), Some(0));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_jobs_with_structured_errors() {
+        let (circuit, params, h1, _) = demo_setup();
+        let executor = Executor::single(StatevectorBackend::new());
+        let client = executor.client();
+
+        let wrong_params = EvalJob::new(
+            Arc::clone(&circuit),
+            vec![0.0; 3],
+            InitialState::Basis(0),
+            Arc::clone(&h1),
+        );
+        assert_eq!(
+            client.submit(wrong_params).unwrap_err(),
+            ExecError::ParameterCountMismatch {
+                expected: circuit.num_parameters(),
+                got: 3
+            }
+        );
+
+        let wrong_op = EvalJob::new(
+            Arc::clone(&circuit),
+            params.clone(),
+            InitialState::Basis(0),
+            Arc::new(PauliOp::from_labels(2, &[("ZZ", 1.0)])),
+        );
+        assert_eq!(
+            client.submit(wrong_op).unwrap_err(),
+            ExecError::QubitCountMismatch {
+                circuit: 3,
+                operator: 2
+            }
+        );
+
+        let empty = EvalJob::new(
+            Arc::new(Circuit::new(3)),
+            vec![],
+            InitialState::Basis(0),
+            Arc::clone(&h1),
+        );
+        assert_eq!(client.submit(empty).unwrap_err(), ExecError::EmptyCircuit);
+
+        let bad_basis = EvalJob::new(
+            Arc::clone(&circuit),
+            params.clone(),
+            InitialState::Basis(8),
+            Arc::clone(&h1),
+        );
+        assert_eq!(
+            client.submit(bad_basis).unwrap_err(),
+            ExecError::BasisStateOutOfRange {
+                basis: 8,
+                num_qubits: 3
+            }
+        );
+
+        let unknown = client.submit_with(
+            EvalJob::new(circuit, params, InitialState::Basis(0), h1),
+            &SubmitOptions {
+                backend: Some("nope".into()),
+                ..SubmitOptions::default()
+            },
+        );
+        assert_eq!(
+            unknown.unwrap_err(),
+            ExecError::UnknownBackend("nope".into())
+        );
+    }
+
+    #[test]
+    fn capability_negotiation_selects_and_rejects() {
+        let executor = Executor::builder()
+            .register("exact", StatevectorBackend::new())
+            .register("sampled", SampledBackend::new(128, 7))
+            .start();
+        let shots_cap = BackendCaps {
+            shots: true,
+            ..BackendCaps::default()
+        };
+        assert_eq!(executor.find_backend(&shots_cap), Some("sampled".into()));
+        assert!(executor.capabilities("exact").unwrap().batch);
+
+        let (circuit, params, h1, _) = demo_setup();
+        let client = executor.client();
+        let err = client
+            .submit_with(
+                EvalJob::new(circuit, params, InitialState::Basis(0), h1),
+                &SubmitOptions {
+                    backend: Some("exact".into()),
+                    require: shots_cap,
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::MissingCapability {
+                backend: "exact".into(),
+                missing: "shots"
+            }
+        );
+    }
+
+    #[test]
+    fn cancellation_only_succeeds_before_execution() {
+        let (circuit, params, h1, _) = demo_setup();
+        let executor = Executor::builder()
+            .register(DEFAULT_BACKEND, StatevectorBackend::new())
+            .paused()
+            .start();
+        let client = executor.client();
+        let job = EvalJob::new(circuit, params, InitialState::Basis(0), h1);
+        let keep = client.submit(job.clone()).unwrap();
+        let cancel = client.submit(job).unwrap();
+        assert!(cancel.cancel(), "a queued job must be cancellable");
+        assert_eq!(cancel.wait().unwrap_err(), ExecError::Cancelled);
+        executor.resume();
+        let result = keep.wait().unwrap();
+        assert!(result.charged.is_finite());
+        assert!(!keep.cancel(), "a completed job must not be cancellable");
+        assert_eq!(keep.sequence(), Some(0), "cancelled jobs consume no slot");
+        assert_eq!(cancel.sequence(), None);
+    }
+
+    #[test]
+    fn priority_overrides_submission_order() {
+        let (circuit, params, h1, _) = demo_setup();
+        let executor = Executor::builder()
+            .register(DEFAULT_BACKEND, StatevectorBackend::new())
+            .paused()
+            .start();
+        let client = executor.client();
+        let job = EvalJob::new(circuit, params, InitialState::Basis(0), h1);
+        let low = client.submit(job.clone()).unwrap();
+        let high = client
+            .submit_with(
+                job,
+                &SubmitOptions {
+                    priority: 5,
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        executor.resume();
+        let _ = (low.wait().unwrap(), high.wait().unwrap());
+        assert_eq!(high.sequence(), Some(0));
+        assert_eq!(low.sequence(), Some(1));
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs_instead_of_hanging() {
+        let (circuit, params, h1, _) = demo_setup();
+        let executor = Executor::builder()
+            .register(DEFAULT_BACKEND, StatevectorBackend::new())
+            .paused()
+            .start();
+        let client = executor.client();
+        let handle = client
+            .submit(EvalJob::new(circuit, params, InitialState::Basis(0), h1))
+            .unwrap();
+        drop(executor);
+        assert_eq!(handle.wait().unwrap_err(), ExecError::ShutDown);
+    }
+
+    #[test]
+    fn reset_shots_clears_the_ledger_mirror() {
+        let (circuit, params, h1, _) = demo_setup();
+        let executor = Executor::single(StatevectorBackend::with_shots(64));
+        let client = executor.client();
+        client
+            .submit(EvalJob::new(circuit, params, InitialState::Basis(0), h1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(executor.shots_used(DEFAULT_BACKEND).unwrap() > 0);
+        executor.wait_idle();
+        executor.reset_shots(DEFAULT_BACKEND).unwrap();
+        assert_eq!(executor.shots_used(DEFAULT_BACKEND).unwrap(), 0);
+    }
+
+    #[test]
+    fn runner_improves_energy_and_reports_shots() {
+        let ham = qchem::transverse_field_ising(3, 1.0, 0.5);
+        let task = VqaTask::with_computed_reference("TFIM h=0.5", 0.5, ham);
+        let ansatz = HardwareEfficientAnsatz::new(3, 2, Entanglement::Circular).build();
+        let executor = Executor::single(StatevectorBackend::with_shots(128));
+        let client = executor.client();
+        let zeros = vec![0.0; ansatz.num_parameters()];
+        let config = VqaRunConfig {
+            max_iterations: 150,
+            optimizer: qopt::OptimizerSpec::Spsa(qopt::SpsaConfig {
+                a: 0.25,
+                ..Default::default()
+            }),
+            seed: 5,
+            record_every: 1,
+        };
+        let result = run_single_vqa(
+            &task,
+            &ansatz,
+            &InitialState::Basis(0),
+            &zeros,
+            &client,
+            &config,
+        )
+        .unwrap();
+        let initial_energy = result.history.first().unwrap().exact_energy;
+        assert!(result.best_energy < initial_energy, "no improvement");
+        assert!(result.shots_used > 0);
+        assert_eq!(result.history.len(), 150);
+        assert_eq!(
+            executor.shots_used(DEFAULT_BACKEND).unwrap(),
+            result.shots_used
+        );
+        let fid = task.fidelity(result.best_energy).unwrap();
+        assert!(fid > 0.8, "fidelity {fid}");
+    }
+
+    #[test]
+    fn record_every_thins_history() {
+        let ham = qchem::transverse_field_ising(3, 1.0, 0.4);
+        let task = VqaTask::with_computed_reference("TFIM h=0.4", 0.4, ham);
+        let ansatz = HardwareEfficientAnsatz::new(3, 2, Entanglement::Circular).build();
+        let executor = Executor::single(StatevectorBackend::with_shots(16));
+        let client = executor.client();
+        let zeros = vec![0.0; ansatz.num_parameters()];
+        let config = VqaRunConfig {
+            max_iterations: 50,
+            optimizer: qopt::OptimizerSpec::Spsa(qopt::SpsaConfig {
+                a: 0.25,
+                ..Default::default()
+            }),
+            seed: 5,
+            record_every: 10,
+        };
+        let result = run_single_vqa(
+            &task,
+            &ansatz,
+            &InitialState::Basis(0),
+            &zeros,
+            &client,
+            &config,
+        )
+        .unwrap();
+        assert!(result.history.len() <= 7);
+        assert!(result
+            .history
+            .windows(2)
+            .all(|w| w[1].cumulative_shots >= w[0].cumulative_shots));
+    }
+
+    #[test]
+    fn baseline_runs_every_task_and_sums_shots() {
+        let tasks: Vec<VqaTask> = [0.4, 0.5]
+            .iter()
+            .map(|&h| {
+                VqaTask::with_computed_reference(
+                    format!("TFIM h={h}"),
+                    h,
+                    qchem::transverse_field_ising(3, 1.0, h),
+                )
+            })
+            .collect();
+        let ansatz = HardwareEfficientAnsatz::new(3, 2, Entanglement::Circular).build();
+        let app = vqa::VqaApplication::new("tfim-demo", tasks, ansatz, InitialState::Basis(0));
+        let zeros = vec![0.0; app.num_parameters()];
+        let config = VqaRunConfig {
+            max_iterations: 60,
+            optimizer: qopt::OptimizerSpec::Spsa(qopt::SpsaConfig {
+                a: 0.25,
+                ..Default::default()
+            }),
+            seed: 5,
+            record_every: 1,
+        };
+        let result = run_baseline(&app, &zeros, &config, &mut |i| {
+            Box::new(StatevectorBackend::with_shots(64 + i as u64))
+        })
+        .unwrap();
+        assert_eq!(result.per_task.len(), 2);
+        let sum: u64 = result.per_task.iter().map(|r| r.shots_used).sum();
+        assert_eq!(result.total_shots, sum);
+        assert_eq!(result.best_energies().len(), 2);
+        // Different tasks get decorrelated optimizer seeds (results differ).
+        assert_ne!(
+            result.per_task[0].final_params, result.per_task[1].final_params,
+            "per-task runs should not be identical"
+        );
+    }
+
+    #[test]
+    fn nested_pauses_require_matching_resumes() {
+        let (circuit, params, h1, _) = demo_setup();
+        let executor = Executor::single(StatevectorBackend::new());
+        let client = executor.client();
+        executor.pause();
+        executor.pause();
+        let handle = client
+            .submit(EvalJob::new(circuit, params, InitialState::Basis(0), h1))
+            .unwrap();
+        executor.resume();
+        // Still paused (depth 1): the job must not have run.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished(), "one resume must not undo two pauses");
+        executor.resume();
+        assert!(handle.wait().unwrap().charged.is_finite());
+    }
+
+    #[test]
+    fn client_slots_are_reclaimed_after_drop() {
+        let (circuit, params, h1, _) = demo_setup();
+        let executor = Executor::single(StatevectorBackend::new());
+        for _ in 0..100 {
+            let client = executor.client();
+            client
+                .submit(EvalJob::new(
+                    Arc::clone(&circuit),
+                    params.clone(),
+                    InitialState::Basis(0),
+                    Arc::clone(&h1),
+                ))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        // All 100 short-lived clients reused a handful of slots instead of growing the
+        // executor's state per client ever created.
+        executor.wait_idle();
+        assert!(
+            executor.client_slots() <= 4,
+            "slots must be reused, got {}",
+            executor.client_slots()
+        );
+        let probe = executor.client();
+        let handle = probe
+            .submit(EvalJob::new(circuit, params, InitialState::Basis(0), h1))
+            .unwrap();
+        assert!(handle.wait().unwrap().charged.is_finite());
+    }
+
+    #[test]
+    fn runner_rejects_mismatched_initial_parameters() {
+        let ham = qchem::transverse_field_ising(3, 1.0, 0.5);
+        let task = VqaTask::new("t", 0.5, ham);
+        let ansatz = HardwareEfficientAnsatz::new(3, 1, Entanglement::Linear).build();
+        let executor = Executor::single(StatevectorBackend::new());
+        let client = executor.client();
+        let err = run_single_vqa(
+            &task,
+            &ansatz,
+            &InitialState::Basis(0),
+            &[0.0; 3],
+            &client,
+            &VqaRunConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::ParameterCountMismatch { .. }));
+    }
+}

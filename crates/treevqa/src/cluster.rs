@@ -7,18 +7,23 @@
 //! harmed by the joint trajectory.
 //!
 //! Clusters expose the optimizer's propose/observe phases directly
-//! ([`VqaCluster::propose`] / [`VqaCluster::observe`]): the controller gathers every
-//! active cluster's candidate parameter vectors, submits them as **one** backend batch
-//! per round phase, and hands each cluster back its slice of the results.
-//! [`VqaCluster::step`] drives the same phase protocol against a single backend for
-//! callers (and tests) that do not orchestrate batching themselves.
+//! ([`VqaCluster::propose`] / [`VqaCluster::observe`]): the controller submits every
+//! active cluster's candidate parameter vectors as jobs through the cluster's own
+//! execution-service client (one coalesced slate per round phase) and hands each
+//! cluster back its results.  A test-only `step` helper drives the same phase protocol
+//! against a bare `vqa::Backend` so the monitor/split logic stays unit-testable without
+//! an executor.
 
 use crate::config::SplitPolicy;
 use crate::monitor::SlopeMonitor;
+#[cfg(test)]
 use qcircuit::Circuit;
 use qop::PauliOp;
 use qopt::Optimizer;
-use vqa::{Backend, EvalRequest, EvalResult, InitialState};
+use std::sync::Arc;
+use vqa::EvalResult;
+#[cfg(test)]
+use vqa::{Backend, EvalRequest, InitialState};
 
 /// Outcome of one cluster optimization step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,8 +42,8 @@ pub struct VqaCluster {
     pub level: usize,
     /// Indices (into the application's task list) of the member tasks.
     pub task_indices: Vec<usize>,
-    member_hamiltonians: Vec<PauliOp>,
-    mixed_hamiltonian: PauliOp,
+    member_hamiltonians: Vec<Arc<PauliOp>>,
+    mixed_hamiltonian: Arc<PauliOp>,
     params: Vec<f64>,
     optimizer: Box<dyn Optimizer + Send>,
     mixed_monitor: SlopeMonitor,
@@ -76,7 +81,7 @@ impl VqaCluster {
         node_id: usize,
         level: usize,
         task_indices: Vec<usize>,
-        member_hamiltonians: Vec<PauliOp>,
+        member_hamiltonians: Vec<Arc<PauliOp>>,
         initial_params: Vec<f64>,
         optimizer: Box<dyn Optimizer + Send>,
         window_size: usize,
@@ -87,8 +92,8 @@ impl VqaCluster {
             member_hamiltonians.len(),
             "task indices and Hamiltonians must correspond"
         );
-        let refs: Vec<&PauliOp> = member_hamiltonians.iter().collect();
-        let mixed_hamiltonian = PauliOp::mixed(&refs);
+        let refs: Vec<&PauliOp> = member_hamiltonians.iter().map(|h| h.as_ref()).collect();
+        let mixed_hamiltonian = Arc::new(PauliOp::mixed(&refs));
         let num_members = member_hamiltonians.len();
         VqaCluster {
             node_id,
@@ -126,8 +131,15 @@ impl VqaCluster {
         &self.mixed_hamiltonian
     }
 
-    /// The member Hamiltonians, in `task_indices` order.
-    pub fn member_hamiltonians(&self) -> &[PauliOp] {
+    /// The mixed Hamiltonian's shared allocation (jobs submitted to the execution
+    /// service `Arc`-share it instead of cloning the operator per candidate).
+    pub fn mixed_hamiltonian_arc(&self) -> &Arc<PauliOp> {
+        &self.mixed_hamiltonian
+    }
+
+    /// The member Hamiltonians, in `task_indices` order (shared allocations, ready to
+    /// attach to jobs as free tracking observables).
+    pub fn member_hamiltonians(&self) -> &[Arc<PauliOp>] {
         &self.member_hamiltonians
     }
 
@@ -205,9 +217,16 @@ impl VqaCluster {
     }
 
     /// Performs one optimizer iteration (Algorithm 2 lines 5–10) and evaluates the split
-    /// condition (line 11), driving the propose/observe phases against `backend` with one
-    /// batched submission per phase.
-    pub fn step(
+    /// condition (line 11), driving the propose/observe phases against a bare driver
+    /// with one batched submission per phase.
+    ///
+    /// Test-only: production cluster stepping goes through the execution service (the
+    /// controller submits each phase's candidates as jobs via the cluster's
+    /// `qexec::ExecClient`), and only `qexec` consumes the `Backend` driver interface.
+    /// This in-process drive exists so the cluster's monitor/split logic is unit-testable
+    /// without standing up an executor.
+    #[cfg(test)]
+    pub(crate) fn step(
         &mut self,
         ansatz: &Circuit,
         initial: &InitialState,
@@ -218,14 +237,18 @@ impl VqaCluster {
     ) -> StepOutcome {
         loop {
             let candidates = self.propose();
-            let members: Vec<&PauliOp> = self.member_hamiltonians.iter().collect();
+            let members: Vec<&PauliOp> = self
+                .member_hamiltonians
+                .iter()
+                .map(|h| h.as_ref())
+                .collect();
             let requests: Vec<EvalRequest<'_>> = candidates
                 .iter()
                 .map(|candidate| EvalRequest {
                     circuit: ansatz,
                     params: candidate,
                     initial,
-                    charged_op: &self.mixed_hamiltonian,
+                    charged_op: self.mixed_hamiltonian.as_ref(),
                     free_ops: &members,
                 })
                 .collect();
@@ -325,7 +348,7 @@ impl VqaCluster {
                 positions.iter().map(|&p| self.task_indices[p]).collect(),
                 positions
                     .iter()
-                    .map(|&p| self.member_hamiltonians[p].clone())
+                    .map(|&p| Arc::clone(&self.member_hamiltonians[p]))
                     .collect(),
                 self.params.clone(),
                 optimizer,
@@ -358,6 +381,7 @@ mod tests {
         let ansatz = HardwareEfficientAnsatz::new(n, 1, Entanglement::Linear).build();
         let params = vec![0.0; ansatz.num_parameters()];
         let task_indices = (0..hams.len()).collect();
+        let hams: Vec<Arc<PauliOp>> = hams.into_iter().map(Arc::new).collect();
         let optimizer = OptimizerSpec::Spsa(SpsaConfig {
             a: 0.3,
             ..Default::default()

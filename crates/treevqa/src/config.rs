@@ -83,20 +83,28 @@ impl TreeVqaConfig {
     /// Panics if `min_split_size < 2`, `record_every == 0`, `max_cluster_iterations == 0`,
     /// or a forced split fraction is outside `(0, 1]`.
     pub fn validate(&self) {
-        assert!(
-            self.min_split_size >= 2,
-            "min_split_size must be at least 2"
-        );
-        assert!(self.record_every > 0, "record_every must be positive");
-        assert!(
-            self.max_cluster_iterations > 0,
-            "max_cluster_iterations must be positive"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Validates internal consistency, reporting the first violated constraint as a
+    /// [`ConfigError`] (the fallible form of [`TreeVqaConfig::validate`] used by
+    /// [`crate::TreeVqa::try_new`]).
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.min_split_size < 2 {
+            return Err(ConfigError("min_split_size must be at least 2"));
+        }
+        if self.record_every == 0 {
+            return Err(ConfigError("record_every must be positive"));
+        }
+        if self.max_cluster_iterations == 0 {
+            return Err(ConfigError("max_cluster_iterations must be positive"));
+        }
         if let SplitPolicy::ForcedSingle { at_fraction } = self.split_policy {
-            assert!(
-                at_fraction > 0.0 && at_fraction <= 1.0,
-                "forced split fraction must lie in (0, 1]"
-            );
+            if !(at_fraction > 0.0 && at_fraction <= 1.0) {
+                return Err(ConfigError("forced split fraction must lie in (0, 1]"));
+            }
         }
         if let SplitPolicy::Adaptive {
             window_size,
@@ -104,14 +112,28 @@ impl TreeVqaConfig {
             ..
         } = self.split_policy
         {
-            assert!(window_size >= 2, "window_size must be at least 2");
-            assert!(
-                warmup_iterations >= window_size,
-                "warmup must cover at least one full window"
-            );
+            if window_size < 2 {
+                return Err(ConfigError("window_size must be at least 2"));
+            }
+            if warmup_iterations < window_size {
+                return Err(ConfigError("warmup must cover at least one full window"));
+            }
         }
+        Ok(())
     }
 }
+
+/// A [`TreeVqaConfig`] constraint violation (the message names the constraint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub &'static str);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid TreeVQA configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {

@@ -10,9 +10,12 @@ use crate::cluster::{StepOutcome, VqaCluster};
 use crate::config::{SplitPolicy, TreeVqaConfig};
 use crate::tree::ExecutionTree;
 use cluster::{spectral_bipartition, SimilarityMatrix};
+use qexec::{wait_all, EvalJob, ExecClient, ExecError, Executor, JobHandle};
+use qop::PauliOp;
 use qopt::Optimizer;
 use serde::{Deserialize, Serialize};
-use vqa::{Backend, VqaApplication};
+use std::sync::Arc;
+use vqa::VqaApplication;
 
 /// Per-task outcome of a TreeVQA run (after post-processing).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -97,13 +100,17 @@ impl TreeVqaResult {
     }
 }
 
-/// The TreeVQA wrapper: construct it around a [`VqaApplication`], then [`TreeVqa::run`] it
-/// on any [`Backend`].
+/// The TreeVQA wrapper: construct it around a [`VqaApplication`], then [`TreeVqa::run`]
+/// it against a [`qexec::Executor`] — every active cluster becomes its own executor
+/// client, so each controller round's candidates flow through the service's fair
+/// round-robin scheduler and coalesce into the batched submissions the compiled
+/// scratch-pool engine is built for.
 ///
 /// # Examples
 ///
 /// ```
 /// use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+/// use qexec::Executor;
 /// use qopt::{OptimizerSpec, SpsaConfig};
 /// use treevqa::{TreeVqa, TreeVqaConfig};
 /// use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
@@ -128,8 +135,8 @@ impl TreeVqaResult {
 ///     ..Default::default()
 /// };
 /// let tree_vqa = TreeVqa::new(app, config);
-/// let mut backend = StatevectorBackend::with_shots(128);
-/// let result = tree_vqa.run(&mut backend);
+/// let executor = Executor::single(StatevectorBackend::with_shots(128));
+/// let result = tree_vqa.run(&executor).expect("well-formed application");
 /// assert_eq!(result.per_task.len(), 2);
 /// assert!(result.total_shots > 0);
 /// ```
@@ -147,10 +154,23 @@ impl TreeVqa {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (see [`TreeVqaConfig::validate`]).
-    #[allow(clippy::needless_range_loop)]
+    /// Panics if the configuration is invalid (see [`TreeVqaConfig::validate`]); use
+    /// [`TreeVqa::try_new`] to handle that as a [`crate::ConfigError`] instead.
     pub fn new(application: VqaApplication, config: TreeVqaConfig) -> Self {
-        config.validate();
+        match Self::try_new(application, config) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Wraps an application with a TreeVQA controller, validating the configuration
+    /// (the fallible form of [`TreeVqa::new`]).
+    #[allow(clippy::needless_range_loop)]
+    pub fn try_new(
+        application: VqaApplication,
+        config: TreeVqaConfig,
+    ) -> Result<Self, crate::ConfigError> {
+        config.try_validate()?;
         let n = application.tasks.len();
         let mut distances = vec![vec![0.0f64; n]; n];
         for i in 0..n {
@@ -162,11 +182,11 @@ impl TreeVqa {
                 distances[j][i] = d;
             }
         }
-        TreeVqa {
+        Ok(TreeVqa {
             application,
             config,
             distances,
-        }
+        })
     }
 
     /// The wrapped application.
@@ -189,32 +209,51 @@ impl TreeVqa {
         SimilarityMatrix::from_distances(&self.distances)
     }
 
-    /// Runs TreeVQA starting from all-zero ansatz parameters.
-    pub fn run(&self, backend: &mut dyn Backend) -> TreeVqaResult {
+    /// Runs TreeVQA starting from all-zero ansatz parameters, submitting every
+    /// evaluation as jobs to `executor`'s default backend.
+    pub fn run(&self, executor: &Executor) -> Result<TreeVqaResult, ExecError> {
         let zeros = vec![0.0; self.application.num_parameters()];
-        self.run_with_initial(backend, &zeros)
+        self.run_with_initial(executor, &zeros)
     }
 
     /// Runs TreeVQA starting from the given ansatz parameters (e.g. a CAFQA or Red-QAOA
     /// warm start).
     ///
-    /// # Panics
+    /// Every cluster owns its own [`ExecClient`]: each controller round phase, all
+    /// active clusters submit their candidates while the executor is paused, and one
+    /// resume releases the whole round as a fair round-robin slate — the service
+    /// coalesces it into batched driver submissions exactly as the old hand-assembled
+    /// mega-batches did, but clusters no longer need to know about each other (and
+    /// other executor clients can interleave fairly with the controller).
     ///
-    /// Panics if `initial_params` does not match the ansatz parameter count.
+    /// Returns an error if `initial_params` does not match the ansatz parameter count,
+    /// or if any submission is rejected (malformed application shapes surface here as
+    /// structured [`ExecError`]s instead of panics deep in a simulator kernel).
     pub fn run_with_initial(
         &self,
-        backend: &mut dyn Backend,
+        executor: &Executor,
         initial_params: &[f64],
-    ) -> TreeVqaResult {
-        assert_eq!(
-            initial_params.len(),
-            self.application.num_parameters(),
-            "initial parameter vector does not match the ansatz"
-        );
+    ) -> Result<TreeVqaResult, ExecError> {
+        if initial_params.len() != self.application.num_parameters() {
+            return Err(ExecError::ParameterCountMismatch {
+                expected: self.application.num_parameters(),
+                got: initial_params.len(),
+            });
+        }
         let app = &self.application;
         let cfg = &self.config;
         let num_tasks = app.tasks.len();
-        let shots_at_start = backend.shots_used();
+        // One shared allocation per run for the ansatz and each task Hamiltonian; every
+        // job Arc-shares them, which also keeps batches pointer-uniform in the circuit.
+        let ansatz = Arc::new(app.ansatz.clone());
+        let task_hams: Vec<Arc<PauliOp>> = app
+            .tasks
+            .iter()
+            .map(|t| Arc::new(t.hamiltonian.clone()))
+            .collect();
+        // The controller's own client for uncharged probes (history records and
+        // post-processing); clusters get one client each.
+        let probe_client = executor.client();
 
         let mut tree = ExecutionTree::new();
         let root_id = tree.add_node(None, (0..num_tasks).collect());
@@ -225,20 +264,24 @@ impl TreeVqa {
             root_id,
             1,
             (0..num_tasks).collect(),
-            app.tasks.iter().map(|t| t.hamiltonian.clone()).collect(),
+            task_hams.clone(),
             initial_params.to_vec(),
             make_optimizer(cfg.seed, root_id, &cfg.optimizer),
             self.window_size(),
         );
         let mut clusters: Vec<VqaCluster> = vec![root];
+        let mut clients: Vec<ExecClient> = vec![executor.client()];
 
         let mut per_task_best = vec![f64::INFINITY; num_tasks];
         let mut history: Vec<TreeVqaRecord> = Vec::new();
         let mut round = 0usize;
+        // Shots charged by this run's jobs, accumulated from per-job results so several
+        // controllers (or other clients) can share one executor without conflating
+        // budgets.
+        let mut total_shots = 0u64;
 
         loop {
             round += 1;
-            let total_shots = backend.shots_used() - shots_at_start;
             if total_shots >= cfg.shot_budget {
                 break;
             }
@@ -249,13 +292,14 @@ impl TreeVqa {
                 break;
             }
 
-            // Step every active cluster once (Algorithm 1 lines 5–8).  Instead of
-            // evaluating clusters one at a time, gather every active cluster's proposed
-            // candidate parameter vectors and submit them as ONE backend batch per round
-            // phase — the dense backends then share one compiled ansatz across the whole
-            // round and data-parallelize across the candidate states.  With SPSA every
-            // cluster completes in a single phase (batch = 2 × active clusters); the
-            // simplex optimizers may keep a subset of clusters active for further phases.
+            // Step every active cluster once (Algorithm 1 lines 5–8).  Each cluster
+            // submits its proposed candidates through its own client while the executor
+            // is paused; the resume releases the whole phase as one fair-ordered slate,
+            // which the service executes as one batched driver submission — one
+            // compiled ansatz shared across the round, states prepared concurrently.
+            // With SPSA every cluster completes in a single phase (2 jobs per cluster);
+            // the simplex optimizers may keep a subset of clusters active for further
+            // phases.
             let mut split_requests: Vec<usize> = Vec::new();
             let mut active: Vec<usize> = clusters
                 .iter()
@@ -264,52 +308,60 @@ impl TreeVqa {
                 .map(|(idx, _)| idx)
                 .collect();
             while !active.is_empty() {
-                let proposals: Vec<(usize, Vec<Vec<f64>>)> = active
+                // RAII pause: released at the end of the block even if a propose()
+                // panics, so a shared executor can never be left paused by this run.
+                let pause = executor.scoped_pause();
+                let submitted: Result<Vec<(usize, Vec<JobHandle>)>, ExecError> = active
                     .iter()
-                    .map(|&idx| (idx, clusters[idx].propose()))
+                    .map(|&idx| {
+                        let candidates = clusters[idx].propose();
+                        let mixed = Arc::clone(clusters[idx].mixed_hamiltonian_arc());
+                        let members = clusters[idx].member_hamiltonians().to_vec();
+                        let handles =
+                            clients[idx].submit_all(candidates.iter().map(|candidate| {
+                                EvalJob::new(
+                                    Arc::clone(&ansatz),
+                                    candidate.clone(),
+                                    app.initial_state,
+                                    Arc::clone(&mixed),
+                                )
+                                .with_free_ops(members.clone())
+                            }))?;
+                        Ok((idx, handles))
+                    })
                     .collect();
-                let member_refs: Vec<Vec<&qop::PauliOp>> = proposals
-                    .iter()
-                    .map(|(idx, _)| clusters[*idx].member_hamiltonians().iter().collect())
-                    .collect();
-                let mut requests = Vec::new();
-                for ((idx, candidates), members) in proposals.iter().zip(&member_refs) {
-                    let mixed = clusters[*idx].mixed_hamiltonian();
-                    for candidate in candidates {
-                        requests.push(vqa::EvalRequest {
-                            circuit: &app.ansatz,
-                            params: candidate,
-                            initial: &app.initial_state,
-                            charged_op: mixed,
-                            free_ops: members,
-                        });
+                if submitted.is_err() {
+                    // A rejected submission aborts the run: cancel every active
+                    // cluster's already-queued jobs while the phase pause still
+                    // guarantees none started, so no orphaned work executes (and
+                    // consumes a shared backend's RNG stream) after we return.
+                    for &idx in &active {
+                        clients[idx].cancel_queued();
                     }
                 }
-                let results = backend.evaluate_batch(&requests);
-                drop(requests);
+                // Release the phase pause before waiting (and before error
+                // propagation): the slate is fully assembled.
+                drop(pause);
+                let submitted = submitted?;
 
-                // Hand each cluster its slice of the results, cluster-major in proposal
-                // order.  For single-phase optimizers (SPSA, the paper's default) this
-                // is exactly the order the old serial per-cluster loop evaluated, so
-                // trajectories are unchanged on every backend.  Multi-phase optimizers
-                // (COBYLA/Nelder–Mead) interleave clusters' phases round-robin instead
-                // of draining one cluster at a time; on deterministic backends the
-                // trajectories are still identical, while on stochastic backends the
-                // noise stream maps to evaluations in a different (equally valid)
-                // order.
-                let mut offset = 0usize;
+                // Hand each cluster its phase results.  The scheduler interleaves the
+                // clusters' jobs round-robin; on deterministic backends per-candidate
+                // results are order-independent so trajectories match the historical
+                // cluster-major loop exactly, while on stochastic backends the noise
+                // stream maps to evaluations in the scheduled (equally valid) order —
+                // still bit-reproducible via the serial-replay contract.
                 let mut still_active = Vec::new();
-                for (idx, candidates) in &proposals {
-                    let slice = &results[offset..offset + candidates.len()];
-                    offset += candidates.len();
-                    match clusters[*idx].observe(
-                        slice,
+                for (idx, handles) in submitted {
+                    let results = wait_all(&handles)?;
+                    total_shots += results.iter().map(|r| r.shots).sum::<u64>();
+                    match clusters[idx].observe(
+                        &results,
                         &cfg.split_policy,
                         cfg.max_cluster_iterations,
                         cfg.min_split_size,
                     ) {
-                        None => still_active.push(*idx),
-                        Some(StepOutcome::SplitRequested) => split_requests.push(*idx),
+                        None => still_active.push(idx),
+                        Some(StepOutcome::SplitRequested) => split_requests.push(idx),
                         Some(StepOutcome::Continue) => {}
                     }
                 }
@@ -321,6 +373,7 @@ impl TreeVqa {
             split_requests.sort_unstable();
             for &idx in split_requests.iter().rev() {
                 let parent = clusters.remove(idx);
+                clients.remove(idx);
                 let labels = self.partition_labels(&parent);
                 tree.finalize_node(
                     parent.node_id,
@@ -340,37 +393,41 @@ impl TreeVqa {
                     self.window_size(),
                 );
                 // Now that the children exist we know their task lists; refresh the tree
-                // nodes with them.
+                // nodes with them.  Each child registers as a fresh executor client.
                 Self::set_node_tasks(&mut tree, left_id, left.task_indices.clone());
                 Self::set_node_tasks(&mut tree, right_id, right.task_indices.clone());
                 clusters.push(left);
+                clients.push(executor.client());
                 clusters.push(right);
+                clients.push(executor.client());
             }
 
             // Periodic history recording with uncharged probes (metrics only).
             if round % cfg.record_every == 0 {
-                let shots_so_far = backend.shots_used() - shots_at_start;
                 self.record_round(
-                    backend,
+                    &probe_client,
+                    &ansatz,
+                    &task_hams,
                     &clusters,
                     &mut per_task_best,
                     &mut history,
                     round,
-                    shots_so_far,
-                );
+                    total_shots,
+                )?;
             }
         }
 
         // Final record (captures the state at termination).
-        let final_shots = backend.shots_used() - shots_at_start;
         self.record_round(
-            backend,
+            &probe_client,
+            &ansatz,
+            &task_hams,
             &clusters,
             &mut per_task_best,
             &mut history,
             round,
-            final_shots,
-        );
+            total_shots,
+        )?;
 
         for cluster in &clusters {
             tree.finalize_node(
@@ -382,18 +439,24 @@ impl TreeVqa {
         }
 
         // Post-processing (Algorithm 1 lines 12–17): evaluate every task Hamiltonian on
-        // every surviving cluster state and keep the best.  No shots are charged.
+        // every surviving cluster state and keep the best.  Probe jobs charge no shots.
         let mut per_task = Vec::with_capacity(num_tasks);
         for (task_idx, task) in app.tasks.iter().enumerate() {
+            let handles: Vec<JobHandle> = clusters
+                .iter()
+                .map(|cluster| {
+                    probe_client.submit_probe(EvalJob::new(
+                        Arc::clone(&ansatz),
+                        cluster.params().to_vec(),
+                        app.initial_state,
+                        Arc::clone(&task_hams[task_idx]),
+                    ))
+                })
+                .collect::<Result<_, _>>()?;
             let mut best_energy = f64::INFINITY;
             let mut best_node = clusters.first().map(|c| c.node_id).unwrap_or(0);
-            for cluster in &clusters {
-                let energy = backend.probe(
-                    &app.ansatz,
-                    cluster.params(),
-                    &app.initial_state,
-                    &task.hamiltonian,
-                );
+            for (cluster, handle) in clusters.iter().zip(&handles) {
+                let energy = handle.wait()?.charged;
                 if energy < best_energy {
                     best_energy = energy;
                     best_node = cluster.node_id;
@@ -411,12 +474,12 @@ impl TreeVqa {
             });
         }
 
-        TreeVqaResult {
+        Ok(TreeVqaResult {
             per_task,
-            total_shots: final_shots,
+            total_shots,
             history,
             tree,
-        }
+        })
     }
 
     fn window_size(&self) -> usize {
@@ -444,25 +507,34 @@ impl TreeVqa {
     #[allow(clippy::too_many_arguments)]
     fn record_round(
         &self,
-        backend: &mut dyn Backend,
+        probe_client: &ExecClient,
+        ansatz: &Arc<qcircuit::Circuit>,
+        task_hams: &[Arc<PauliOp>],
         clusters: &[VqaCluster],
         per_task_best: &mut [f64],
         history: &mut Vec<TreeVqaRecord>,
         round: usize,
         cumulative_shots: u64,
-    ) {
+    ) -> Result<(), ExecError> {
         let app = &self.application;
+        // Submit every cluster-member probe first, then wait: the whole record becomes
+        // one scheduler slate instead of one round trip per member.
+        let mut probes: Vec<(usize, JobHandle)> = Vec::new();
         for cluster in clusters {
             for &task_idx in &cluster.task_indices {
-                let energy = backend.probe(
-                    &app.ansatz,
-                    cluster.params(),
-                    &app.initial_state,
-                    &app.tasks[task_idx].hamiltonian,
-                );
-                if energy < per_task_best[task_idx] {
-                    per_task_best[task_idx] = energy;
-                }
+                let handle = probe_client.submit_probe(EvalJob::new(
+                    Arc::clone(ansatz),
+                    cluster.params().to_vec(),
+                    app.initial_state,
+                    Arc::clone(&task_hams[task_idx]),
+                ))?;
+                probes.push((task_idx, handle));
+            }
+        }
+        for (task_idx, handle) in probes {
+            let energy = handle.wait()?.charged;
+            if energy < per_task_best[task_idx] {
+                per_task_best[task_idx] = energy;
             }
         }
         let min_fidelity = if per_task_best.iter().all(|e| e.is_finite()) {
@@ -477,5 +549,6 @@ impl TreeVqa {
             per_task_best_energy: per_task_best.to_vec(),
             min_fidelity,
         });
+        Ok(())
     }
 }

@@ -27,7 +27,7 @@ mod monitor;
 mod tree;
 
 pub use cluster::{StepOutcome, VqaCluster};
-pub use config::{SplitPolicy, TreeVqaConfig};
+pub use config::{ConfigError, SplitPolicy, TreeVqaConfig};
 pub use controller::{TreeVqa, TreeVqaRecord, TreeVqaResult, TreeVqaTaskOutcome};
 pub use monitor::SlopeMonitor;
 pub use tree::{ExecutionTree, TreeNode};

@@ -70,6 +70,46 @@ pub struct EvalResult {
     pub shots: u64,
 }
 
+/// What an execution substrate can do, advertised to the `qexec` execution service for
+/// capability negotiation: a client can require a backend that natively batches, models
+/// shot sampling, models device noise, or simulates stochastic trajectories, and the
+/// executor matches (or rejects) the requirement at submission time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Has a native batched fast path (compiled-circuit cache + scratch-state pool), so
+    /// multi-request submissions amortize compilation and parallelize across states.
+    pub batch: bool,
+    /// Models finite-shot sampling noise on the charged observable.
+    pub shots: bool,
+    /// Models device noise (analytic attenuation or simulated error channels).
+    pub noise: bool,
+    /// Simulates noise by stochastic Pauli-trajectory rollouts (implies per-evaluation
+    /// RNG streams that the executor's serial-replay contract preserves).
+    pub trajectories: bool,
+}
+
+impl BackendCaps {
+    /// Whether this capability set satisfies every capability required by `req`.
+    pub fn satisfies(&self, req: &BackendCaps) -> bool {
+        self.first_missing(req).is_none()
+    }
+
+    /// The first required capability missing from `self`, if any (for error reporting).
+    pub fn first_missing(&self, req: &BackendCaps) -> Option<&'static str> {
+        if req.batch && !self.batch {
+            Some("batch")
+        } else if req.shots && !self.shots {
+            Some("shots")
+        } else if req.noise && !self.noise {
+            Some("noise")
+        } else if req.trajectories && !self.trajectories {
+            Some("trajectories")
+        } else {
+            None
+        }
+    }
+}
+
 /// A quantum-execution substrate.
 pub trait Backend {
     /// Prepares `|ψ(θ)⟩ = U(θ)|init⟩` once, charges shots for estimating `charged_op`, and
@@ -122,6 +162,12 @@ pub trait Backend {
 
     /// Human-readable backend name.
     fn name(&self) -> &'static str;
+
+    /// The capabilities this backend advertises to the execution service (default: none
+    /// beyond plain evaluation — conservative for third-party implementations).
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps::default()
+    }
 }
 
 /// Maximum number of scratch statevectors live at once in a batched evaluation; larger
@@ -155,13 +201,32 @@ pub(crate) struct CircuitCache<V> {
     capacity: usize,
 }
 
-/// Cache depth of the dense backends: enough for every folding of a ZNE ladder up to
-/// seven scales plus the unfolded probe circuit.  A mitigation wrapper rotating through
-/// more than `CIRCUIT_CACHE_CAPACITY − 1` circuits per logical evaluation would turn
+/// Default cache depth of the dense backends: enough for every folding of a ZNE ladder
+/// up to seven scales plus the unfolded probe circuit.  A mitigation wrapper rotating
+/// through more circuits per logical evaluation than the capacity minus one would turn
 /// every access into a miss (recompiling per scale), so `ZneBackend::with_scales`
 /// documents this coupling; longer ladders still compute correctly, just without the
 /// amortization.
-pub(crate) const CIRCUIT_CACHE_CAPACITY: usize = 8;
+pub(crate) const DEFAULT_CIRCUIT_CACHE_CAPACITY: usize = 8;
+
+/// Capacity of the dense backends' compiled-circuit (and noise-plan) LRU caches.
+///
+/// Tune with the `VQA_COMPILED_CACHE` environment variable (read once per process,
+/// minimum 1, default [`struct@std::sync::OnceLock`]-cached 8): raise it when a workload
+/// rotates through many distinct circuits per logical evaluation (long ZNE folding
+/// ladders, mixed-ansatz job streams through one executor backend), lower it to bound
+/// memory when circuits are huge.  Capacity only affects amortization, never results.
+pub fn circuit_cache_capacity() -> usize {
+    use std::sync::OnceLock;
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("VQA_COMPILED_CACHE")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CIRCUIT_CACHE_CAPACITY)
+    })
+}
 
 impl<V> CircuitCache<V> {
     pub(crate) fn new(capacity: usize) -> Self {
@@ -199,7 +264,7 @@ struct CompiledCache {
 impl Default for CompiledCache {
     fn default() -> Self {
         CompiledCache {
-            inner: CircuitCache::new(CIRCUIT_CACHE_CAPACITY),
+            inner: CircuitCache::new(circuit_cache_capacity()),
         }
     }
 }
@@ -475,6 +540,13 @@ impl Backend for StatevectorBackend {
     fn name(&self) -> &'static str {
         "statevector"
     }
+
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            batch: true,
+            ..BackendCaps::default()
+        }
+    }
 }
 
 /// The one serial batch loop: the [`Backend::evaluate_batch`] trait default delegates
@@ -615,6 +687,14 @@ impl Backend for SampledBackend {
     fn name(&self) -> &'static str {
         "sampled"
     }
+
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            batch: true,
+            shots: true,
+            ..BackendCaps::default()
+        }
+    }
 }
 
 /// Noisy backend: the analytic device-noise attenuation of `qsim::noise` is applied to the
@@ -727,6 +807,16 @@ impl Backend for NoisyBackend {
 
     fn name(&self) -> &'static str {
         "noisy"
+    }
+
+    fn capabilities(&self) -> BackendCaps {
+        // No batched fast path: the analytic noisy backend runs the trait's default
+        // serial batch loop.
+        BackendCaps {
+            shots: true,
+            noise: true,
+            ..BackendCaps::default()
+        }
     }
 }
 

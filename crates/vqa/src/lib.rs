@@ -11,7 +11,11 @@
 //! * [`NoisyStatevectorBackend`] — stochastic Pauli-trajectory noise simulation
 //!   (`qnoise` channels replayed through the compiled batch engine) and [`ZneBackend`],
 //!   the zero-noise-extrapolation mitigation wrapper any backend can opt into.
-//! * [`run_single_vqa`] / [`run_baseline`] — conventional VQA, the paper's baseline.
+//! * [`VqaRunConfig`] / [`VqaRunResult`] / [`BaselineRunResult`] — plain-data run
+//!   configuration and result records.  The drivers that produce them live in the
+//!   `qexec` execution service (`qexec::run_single_vqa` / `qexec::run_baseline`), which
+//!   owns backends behind an executor and accepts owned jobs — the `Backend` trait here
+//!   is the low-level driver interface those backends implement.
 //! * [`cafqa_initialize`] / [`red_qaoa_initial_point`] — classical warm starts.
 //! * [`metrics`] — fidelity-vs-shots analysis shared by all experiments.
 
@@ -27,13 +31,11 @@ mod runner;
 mod task;
 
 pub use backend::{
-    batch_chunk, Backend, EvalRequest, EvalResult, NoisyBackend, PauliPropagationBackend,
-    SampledBackend, StatevectorBackend,
+    batch_chunk, circuit_cache_capacity, Backend, BackendCaps, EvalRequest, EvalResult,
+    NoisyBackend, PauliPropagationBackend, SampledBackend, StatevectorBackend,
 };
 pub use init::{cafqa_initialize, red_qaoa_initial_point, CafqaResult};
-pub use mitigation::ZneBackend;
+pub use mitigation::{MitigationError, ZneBackend};
 pub use noisy::NoisyStatevectorBackend;
-pub use runner::{
-    run_baseline, run_single_vqa, BaselineRunResult, IterationRecord, VqaRunConfig, VqaRunResult,
-};
+pub use runner::{BaselineRunResult, IterationRecord, VqaRunConfig, VqaRunResult};
 pub use task::{InitialState, VqaApplication, VqaTask};

@@ -46,30 +46,40 @@ impl<B: Backend> ZneBackend<B> {
         Self::with_scales(inner, DEFAULT_ZNE_SCALES.to_vec())
     }
 
-    /// Wraps `inner` with explicit (odd, strictly increasing) folding scales.
+    /// Wraps `inner` with explicit folding scales, validating them.
     ///
-    /// Ladders of up to seven scales stay fully amortized by the dense backends'
-    /// compiled-circuit cache; longer ladders still compute correctly but recompile
-    /// per scale (the cache holds eight circuits).
+    /// Ladders that fit the compiled-circuit cache capacity minus one (see
+    /// [`crate::circuit_cache_capacity`], default 8 → seven scales) stay fully
+    /// amortized by the dense backends; longer ladders still compute correctly but
+    /// recompile per scale unless the `VQA_COMPILED_CACHE` knob is raised.
+    pub fn try_with_scales(inner: B, scales: Vec<usize>) -> Result<Self, MitigationError> {
+        if scales.is_empty() {
+            return Err(MitigationError("ZNE needs at least one scale"));
+        }
+        if !scales.iter().all(|s| s % 2 == 1) {
+            return Err(MitigationError("gate-folding scales must be odd"));
+        }
+        if !scales.windows(2).all(|w| w[0] < w[1]) {
+            return Err(MitigationError("scales must be strictly increasing"));
+        }
+        Ok(ZneBackend {
+            inner,
+            scales,
+            folded: CircuitCache::new(2),
+        })
+    }
+
+    /// Wraps `inner` with explicit (odd, strictly increasing) folding scales.
     ///
     /// # Panics
     ///
     /// Panics if `scales` is empty, contains an even factor, or is not strictly
-    /// increasing.
+    /// increasing; use [`ZneBackend::try_with_scales`] to handle that as a
+    /// [`MitigationError`] instead.
     pub fn with_scales(inner: B, scales: Vec<usize>) -> Self {
-        assert!(!scales.is_empty(), "ZNE needs at least one scale");
-        assert!(
-            scales.iter().all(|s| s % 2 == 1),
-            "gate-folding scales must be odd: {scales:?}"
-        );
-        assert!(
-            scales.windows(2).all(|w| w[0] < w[1]),
-            "scales must be strictly increasing: {scales:?}"
-        );
-        ZneBackend {
-            inner,
-            scales,
-            folded: CircuitCache::new(2),
+        match Self::try_with_scales(inner, scales) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -208,7 +218,25 @@ impl<B: Backend> Backend for ZneBackend<B> {
     fn name(&self) -> &'static str {
         "zne"
     }
+
+    fn capabilities(&self) -> crate::BackendCaps {
+        // Mitigation is transparent: the wrapper batches iff the inner backend batches,
+        // and inherits its noise/shot/trajectory character.
+        self.inner.capabilities()
+    }
 }
+
+/// An invalid mitigation configuration (the message names the violated constraint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MitigationError(pub &'static str);
+
+impl std::fmt::Display for MitigationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid mitigation configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for MitigationError {}
 
 #[cfg(test)]
 mod tests {

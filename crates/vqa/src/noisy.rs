@@ -31,8 +31,8 @@
 //! RNG in request order, mirroring [`crate::SampledBackend`].
 
 use crate::backend::{
-    batch_chunk, default_serial_batch, run_indexed_chunk, uniform_circuit, Backend, CircuitCache,
-    EvalRequest, EvalResult, ScratchPool, CIRCUIT_CACHE_CAPACITY,
+    batch_chunk, circuit_cache_capacity, default_serial_batch, run_indexed_chunk, uniform_circuit,
+    Backend, BackendCaps, CircuitCache, EvalRequest, EvalResult, ScratchPool,
 };
 use crate::task::InitialState;
 use qcircuit::Circuit;
@@ -88,7 +88,7 @@ impl NoisyStatevectorBackend {
             sample_shots: false,
             rng: StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
             ledger: ShotLedger::new(),
-            cache: CircuitCache::new(CIRCUIT_CACHE_CAPACITY),
+            cache: CircuitCache::new(circuit_cache_capacity()),
             pool: ScratchPool::default(),
         }
     }
@@ -325,6 +325,15 @@ impl Backend for NoisyStatevectorBackend {
 
     fn name(&self) -> &'static str {
         "noisy-trajectory"
+    }
+
+    fn capabilities(&self) -> BackendCaps {
+        BackendCaps {
+            batch: true,
+            shots: self.sample_shots,
+            noise: true,
+            trajectories: true,
+        }
     }
 }
 

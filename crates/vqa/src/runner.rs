@@ -1,13 +1,12 @@
-//! Single-task VQA execution and the conventional (baseline) multi-task runner.
+//! Run configuration and result types for single-task VQA and the conventional
+//! (baseline) multi-task runner.
 //!
-//! The baseline of every experiment in the paper is "conventional VQA": each task of the
-//! application is optimized independently with an equal allocation of shots
-//! (Section 7.3).  [`run_single_vqa`] drives one task; [`run_baseline`] drives the whole
-//! application and aggregates shot usage.
+//! The *drivers* that produce these records moved to the `qexec` execution service
+//! (`qexec::run_single_vqa` / `qexec::run_baseline`): optimizer candidates are submitted
+//! as owned jobs to an executor client instead of threading a `&mut dyn Backend` by
+//! hand.  This module keeps the plain-data configuration and result types, which belong
+//! with the task/application vocabulary (and feed [`crate::metrics`]).
 
-use crate::backend::{Backend, EvalRequest};
-use crate::task::{InitialState, VqaApplication, VqaTask};
-use qcircuit::Circuit;
 use qopt::OptimizerSpec;
 use serde::{Deserialize, Serialize};
 
@@ -69,80 +68,6 @@ pub struct VqaRunResult {
     pub history: Vec<IterationRecord>,
 }
 
-/// Runs conventional VQA on a single task.
-///
-/// `initial_params` seeds the ansatz parameters (e.g. zeros for Hartree–Fock, a CAFQA
-/// point, or parameters inherited from a parent TreeVQA cluster).
-pub fn run_single_vqa(
-    task: &VqaTask,
-    ansatz: &Circuit,
-    initial: &InitialState,
-    initial_params: &[f64],
-    backend: &mut dyn Backend,
-    config: &VqaRunConfig,
-) -> VqaRunResult {
-    assert_eq!(
-        initial_params.len(),
-        ansatz.num_parameters(),
-        "initial parameter vector does not match the ansatz"
-    );
-    let mut optimizer = config.optimizer.build(config.seed);
-    let mut params = initial_params.to_vec();
-    let shots_at_start = backend.shots_used();
-    let mut history = Vec::new();
-    let mut best_energy = f64::INFINITY;
-    let record_every = config.record_every.max(1);
-
-    for iteration in 0..config.max_iterations {
-        // Drive the optimizer's propose/observe phases, submitting each phase's
-        // candidates (SPSA's ± pair, a simplex build, …) as one backend batch so the
-        // dense backends can prepare the states concurrently.  The phase protocol visits
-        // the same candidates in the same order as the serial closure API, so
-        // trajectories and shot accounting are unchanged.
-        let stats = loop {
-            let candidates = optimizer.propose(&params);
-            let requests: Vec<EvalRequest<'_>> = candidates
-                .iter()
-                .map(|candidate| EvalRequest {
-                    circuit: ansatz,
-                    params: candidate,
-                    initial,
-                    charged_op: &task.hamiltonian,
-                    free_ops: &[],
-                })
-                .collect();
-            let results = backend.evaluate_batch(&requests);
-            let values: Vec<f64> = results.iter().map(|r| r.charged).collect();
-            if let Some(stats) = optimizer.observe(&mut params, &values) {
-                break stats;
-            }
-        };
-
-        if iteration % record_every == 0 || iteration + 1 == config.max_iterations {
-            let exact_energy = backend.probe(ansatz, &params, initial, &task.hamiltonian);
-            best_energy = best_energy.min(exact_energy);
-            history.push(IterationRecord {
-                iteration,
-                cumulative_shots: backend.shots_used() - shots_at_start,
-                loss: stats.loss,
-                exact_energy,
-                best_energy,
-            });
-        }
-    }
-
-    let final_energy = backend.probe(ansatz, &params, initial, &task.hamiltonian);
-    best_energy = best_energy.min(final_energy);
-    VqaRunResult {
-        task_label: task.label.clone(),
-        final_params: params,
-        final_energy,
-        best_energy,
-        shots_used: backend.shots_used() - shots_at_start,
-        history,
-    }
-}
-
 /// Result of the conventional baseline over a whole application.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BaselineRunResult {
@@ -156,159 +81,5 @@ impl BaselineRunResult {
     /// Best exact energy per task, in task order.
     pub fn best_energies(&self) -> Vec<f64> {
         self.per_task.iter().map(|r| r.best_energy).collect()
-    }
-}
-
-/// Runs the conventional baseline: every task is optimized independently with an equal
-/// iteration (and therefore shot) allocation.
-///
-/// `make_backend` is called once per task so that shot usage can be attributed per task;
-/// typically it returns a freshly seeded backend of the same kind.
-pub fn run_baseline(
-    application: &VqaApplication,
-    initial_params: &[f64],
-    config: &VqaRunConfig,
-    make_backend: &mut dyn FnMut(usize) -> Box<dyn Backend>,
-) -> BaselineRunResult {
-    let mut per_task = Vec::with_capacity(application.tasks.len());
-    let mut total_shots = 0u64;
-    for (index, task) in application.tasks.iter().enumerate() {
-        let mut backend = make_backend(index);
-        let mut task_config = config.clone();
-        // Decorrelate optimizer randomness across tasks while staying deterministic.
-        task_config.seed = config.seed.wrapping_add(index as u64).wrapping_mul(0x9E37);
-        let result = run_single_vqa(
-            task,
-            &application.ansatz,
-            &application.initial_state,
-            initial_params,
-            backend.as_mut(),
-            &task_config,
-        );
-        total_shots += result.shots_used;
-        per_task.push(result);
-    }
-    BaselineRunResult {
-        per_task,
-        total_shots,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::backend::StatevectorBackend;
-    use qcircuit::{Entanglement, HardwareEfficientAnsatz};
-    use qopt::SpsaConfig;
-
-    fn tfim_task(h: f64) -> VqaTask {
-        let ham = qchem::transverse_field_ising(3, 1.0, h);
-        VqaTask::with_computed_reference(format!("TFIM h={h}"), h, ham)
-    }
-
-    fn demo_app() -> VqaApplication {
-        let ansatz = HardwareEfficientAnsatz::new(3, 2, Entanglement::Circular).build();
-        VqaApplication::new(
-            "tfim-demo",
-            vec![tfim_task(0.4), tfim_task(0.5)],
-            ansatz,
-            InitialState::Basis(0),
-        )
-    }
-
-    fn fast_config(iters: usize) -> VqaRunConfig {
-        VqaRunConfig {
-            max_iterations: iters,
-            optimizer: qopt::OptimizerSpec::Spsa(SpsaConfig {
-                a: 0.25,
-                ..Default::default()
-            }),
-            seed: 5,
-            record_every: 1,
-        }
-    }
-
-    #[test]
-    fn single_vqa_improves_energy_and_charges_shots() {
-        let app = demo_app();
-        let task = &app.tasks[0];
-        let mut backend = StatevectorBackend::with_shots(128);
-        let zeros = vec![0.0; app.num_parameters()];
-        let result = run_single_vqa(
-            task,
-            &app.ansatz,
-            &app.initial_state,
-            &zeros,
-            &mut backend,
-            &fast_config(150),
-        );
-        let initial_energy = result.history.first().unwrap().exact_energy;
-        assert!(result.best_energy < initial_energy, "no improvement");
-        assert!(result.shots_used > 0);
-        // Fidelity against the exact ground state should be decent for this easy problem.
-        let fid = task.fidelity(result.best_energy).unwrap();
-        assert!(fid > 0.8, "fidelity {fid}");
-        // History bookkeeping.
-        assert_eq!(result.history.len(), 150);
-        assert!(result
-            .history
-            .windows(2)
-            .all(|w| w[1].cumulative_shots >= w[0].cumulative_shots));
-        assert!(result
-            .history
-            .windows(2)
-            .all(|w| w[1].best_energy <= w[0].best_energy + 1e-12));
-    }
-
-    #[test]
-    fn record_every_thins_history() {
-        let app = demo_app();
-        let mut backend = StatevectorBackend::with_shots(16);
-        let zeros = vec![0.0; app.num_parameters()];
-        let mut cfg = fast_config(50);
-        cfg.record_every = 10;
-        let result = run_single_vqa(
-            &app.tasks[0],
-            &app.ansatz,
-            &app.initial_state,
-            &zeros,
-            &mut backend,
-            &cfg,
-        );
-        assert!(result.history.len() <= 7);
-    }
-
-    #[test]
-    fn baseline_runs_every_task_and_sums_shots() {
-        let app = demo_app();
-        let zeros = vec![0.0; app.num_parameters()];
-        let config = fast_config(60);
-        let result = run_baseline(&app, &zeros, &config, &mut |i| {
-            Box::new(StatevectorBackend::with_shots(64 + i as u64))
-        });
-        assert_eq!(result.per_task.len(), 2);
-        let sum: u64 = result.per_task.iter().map(|r| r.shots_used).sum();
-        assert_eq!(result.total_shots, sum);
-        assert_eq!(result.best_energies().len(), 2);
-        // Different tasks should have been given different optimizer seeds (results differ).
-        assert_ne!(
-            result.per_task[0].final_params, result.per_task[1].final_params,
-            "per-task runs should not be identical"
-        );
-    }
-
-    #[test]
-    #[should_panic]
-    fn mismatched_initial_parameters_panic() {
-        let app = demo_app();
-        let mut backend = StatevectorBackend::new();
-        let _ = run_single_vqa(
-            &app.tasks[0],
-            &app.ansatz,
-            &app.initial_state,
-            &[0.0; 3],
-            &mut backend,
-            &fast_config(5),
-        );
     }
 }

@@ -12,12 +12,13 @@
 //! ```
 
 use qcircuit::{QaoaAnsatz, QaoaStyle};
+use qexec::{run_baseline, Executor};
 use qgraph::{maxcut_cost_hamiltonian, Ieee14Family};
 use qopt::{OptimizerSpec, SpsaConfig};
 use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{
-    metrics, red_qaoa_initial_point, run_baseline, InitialState, StatevectorBackend,
-    VqaApplication, VqaRunConfig, VqaTask,
+    metrics, red_qaoa_initial_point, InitialState, StatevectorBackend, VqaApplication,
+    VqaRunConfig, VqaTask,
 };
 
 fn main() {
@@ -68,8 +69,9 @@ fn main() {
         record_every: 10,
     };
     let baseline = run_baseline(&application, &initial_point, &baseline_config, &mut |_| {
-        Box::new(StatevectorBackend::new()) as Box<dyn vqa::Backend>
-    });
+        Box::new(StatevectorBackend::new()) as Box<dyn vqa::Backend + Send>
+    })
+    .expect("well-formed application");
 
     // TreeVQA: one run for the whole family.
     let config = TreeVqaConfig {
@@ -80,8 +82,10 @@ fn main() {
         ..Default::default()
     };
     let tree_vqa = TreeVqa::new(application.clone(), config);
-    let mut backend = StatevectorBackend::new();
-    let result = tree_vqa.run_with_initial(&mut backend, &initial_point);
+    let executor = Executor::single(StatevectorBackend::new());
+    let result = tree_vqa
+        .run_with_initial(&executor, &initial_point)
+        .expect("well-formed application");
 
     println!("\n  load   max-cut(exact)   TreeVQA cut   approx. ratio");
     for (outcome, graph) in result.per_task.iter().zip(&graphs) {

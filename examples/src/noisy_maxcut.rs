@@ -14,13 +14,15 @@
 //! ```
 
 use qcircuit::{QaoaAnsatz, QaoaStyle};
+use qexec::{run_single_vqa, EvalJob, Executor, SubmitOptions};
 use qgraph::{maxcut_cost_hamiltonian, Ieee14Family};
 use qnoise::PauliNoiseModel;
 use qopt::{OptimizerSpec, SpsaConfig};
+use std::sync::Arc;
 use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{
-    red_qaoa_initial_point, run_single_vqa, Backend, InitialState, NoisyStatevectorBackend,
-    StatevectorBackend, VqaApplication, VqaRunConfig, VqaTask, ZneBackend,
+    red_qaoa_initial_point, BackendCaps, InitialState, NoisyStatevectorBackend, StatevectorBackend,
+    VqaApplication, VqaRunConfig, VqaTask, ZneBackend,
 };
 
 /// A mid-tier superconducting-flavoured noise model: depolarizing per gate, twirled
@@ -72,18 +74,24 @@ fn main() {
         ..Default::default()
     };
 
-    // Arm 1: TreeVQA on the ideal backend.
+    // Arm 1: TreeVQA as a client of an ideal execution service.
     let tree_vqa = TreeVqa::new(application.clone(), config.clone());
-    let mut ideal_backend = StatevectorBackend::new();
-    let ideal = tree_vqa.run_with_initial(&mut ideal_backend, &initial_point);
+    let ideal_exec = Executor::single(StatevectorBackend::new());
+    let ideal = tree_vqa
+        .run_with_initial(&ideal_exec, &initial_point)
+        .expect("well-formed application");
 
-    // Arm 2: the same controller on the noisy trajectory backend.  TreeVQA submits every
-    // round as one batch, so the K-trajectory rollouts ride the scratch-pool engine.
+    // Arm 2: the same controller against a noisy-trajectory service.  Each round's jobs
+    // coalesce into one batched submission, so the K-trajectory rollouts ride the
+    // scratch-pool engine.
     let tree_vqa = TreeVqa::new(application.clone(), config);
-    let mut noisy_backend =
+    let noisy_exec = Executor::single(
         NoisyStatevectorBackend::new(model.clone(), qsim::DEFAULT_SHOTS_PER_PAULI, 5)
-            .with_trajectories(trajectories);
-    let noisy = tree_vqa.run_with_initial(&mut noisy_backend, &initial_point);
+            .with_trajectories(trajectories),
+    );
+    let noisy = tree_vqa
+        .run_with_initial(&noisy_exec, &initial_point)
+        .expect("well-formed application");
 
     println!("\n  load   max-cut   ideal-ratio   noisy-ratio");
     for ((ideal_task, noisy_task), graph) in ideal.per_task.iter().zip(&noisy.per_task).zip(&graphs)
@@ -112,49 +120,70 @@ fn main() {
         seed: 11,
         record_every: 20,
     };
-    let mut noisy_backend =
-        NoisyStatevectorBackend::new(model.clone(), 0, 7).with_trajectories(trajectories);
+    // One execution service owning all three estimation substrates, negotiated by
+    // capability: the optimizer targets the trajectory backend, and the three one-off
+    // estimates of the optimized point each name (or discover) their backend.
+    let study_exec = Executor::builder()
+        .register("ideal", StatevectorBackend::with_shots(0))
+        .register(
+            "noisy",
+            NoisyStatevectorBackend::new(model.clone(), 0, 13).with_trajectories(4 * trajectories),
+        )
+        .register(
+            "zne",
+            ZneBackend::new(
+                NoisyStatevectorBackend::new(model, 0, 13).with_trajectories(4 * trajectories),
+            ),
+        )
+        .start();
+    let client = study_exec.client();
+
+    let opt_exec = Executor::single(
+        NoisyStatevectorBackend::new(device_model(), 0, 7).with_trajectories(trajectories),
+    );
     let noisy_run = run_single_vqa(
         &application.tasks[idx],
         &application.ansatz,
         &application.initial_state,
         &initial_point,
-        &mut noisy_backend,
+        &opt_exec.client(),
         &run_config,
-    );
-    let theta = &noisy_run.final_params;
-    let ham = &application.tasks[idx].hamiltonian;
+    )
+    .expect("well-formed application");
+    let theta = Arc::new(noisy_run.final_params.clone());
+    let ansatz = Arc::new(application.ansatz.clone());
+    let ham = Arc::new(application.tasks[idx].hamiltonian.clone());
 
-    let ideal_e = StatevectorBackend::with_shots(0)
-        .evaluate(
-            &application.ansatz,
-            theta,
-            &InitialState::Basis(0),
-            ham,
-            &[],
-        )
-        .0;
-    let noisy_e = NoisyStatevectorBackend::new(model.clone(), 0, 13)
-        .with_trajectories(4 * trajectories)
-        .evaluate(
-            &application.ansatz,
-            theta,
-            &InitialState::Basis(0),
-            ham,
-            &[],
-        )
-        .0;
-    let zne_e = ZneBackend::new(
-        NoisyStatevectorBackend::new(model, 0, 13).with_trajectories(4 * trajectories),
-    )
-    .evaluate(
-        &application.ansatz,
-        theta,
-        &InitialState::Basis(0),
-        ham,
-        &[],
-    )
-    .0;
+    let estimate = |backend: &str| -> f64 {
+        let job = EvalJob::new(
+            Arc::clone(&ansatz),
+            theta.to_vec(),
+            InitialState::Basis(0),
+            Arc::clone(&ham),
+        );
+        client
+            .submit_with(
+                job,
+                &SubmitOptions {
+                    backend: Some(backend.to_string()),
+                    ..SubmitOptions::default()
+                },
+            )
+            .expect("well-formed job")
+            .wait()
+            .expect("executed")
+            .charged
+    };
+    let trajectory_backend = study_exec
+        .find_backend(&BackendCaps {
+            trajectories: true,
+            ..BackendCaps::default()
+        })
+        .expect("a trajectory-capable backend is registered");
+    assert_eq!(trajectory_backend, "noisy");
+    let ideal_e = estimate("ideal");
+    let noisy_e = estimate(&trajectory_backend);
+    let zne_e = estimate("zne");
 
     let (max_cut, _) = graphs[idx].max_cut_brute_force();
     println!(

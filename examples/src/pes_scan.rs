@@ -14,6 +14,7 @@
 
 use qchem::MoleculeSpec;
 use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qexec::Executor;
 use qopt::{OptimizerSpec, SpsaConfig};
 use treevqa::{SplitPolicy, TreeVqa, TreeVqaConfig};
 use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
@@ -57,8 +58,8 @@ fn main() {
     };
 
     let tree_vqa = TreeVqa::new(application, config);
-    let mut backend = StatevectorBackend::new();
-    let result = tree_vqa.run(&mut backend);
+    let executor = Executor::single(StatevectorBackend::new());
+    let result = tree_vqa.run(&executor).expect("well-formed application");
 
     println!("\n  bond (Å)   E_TreeVQA      E_exact        fidelity");
     for (outcome, task) in result.per_task.iter().zip(&tree_vqa.application().tasks) {

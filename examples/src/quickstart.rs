@@ -13,11 +13,10 @@
 
 use qchem::MoleculeSpec;
 use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qexec::{run_baseline, Executor};
 use qopt::{OptimizerSpec, SpsaConfig};
 use treevqa::{TreeVqa, TreeVqaConfig};
-use vqa::{
-    metrics, run_baseline, InitialState, StatevectorBackend, VqaApplication, VqaRunConfig, VqaTask,
-};
+use vqa::{metrics, InitialState, StatevectorBackend, VqaApplication, VqaRunConfig, VqaTask};
 
 fn main() {
     let molecule = MoleculeSpec::h2();
@@ -77,8 +76,9 @@ fn main() {
     };
     let zeros = vec![0.0; application.num_parameters()];
     let baseline = run_baseline(&application, &zeros, &baseline_config, &mut |_task| {
-        Box::new(StatevectorBackend::new()) as Box<dyn vqa::Backend>
-    });
+        Box::new(StatevectorBackend::new()) as Box<dyn vqa::Backend + Send>
+    })
+    .expect("well-formed application");
 
     // 3. TreeVQA: shared execution with adaptive branching.
     let tree_config = TreeVqaConfig {
@@ -88,9 +88,11 @@ fn main() {
         record_every: 5,
         ..Default::default()
     };
+    // TreeVQA runs as a client of the execution service: the controller submits every
+    // round's candidates as owned jobs and the executor batches them onto the backend.
     let tree_vqa = TreeVqa::new(application.clone(), tree_config);
-    let mut tree_backend = StatevectorBackend::new();
-    let tree_result = tree_vqa.run(&mut tree_backend);
+    let executor = Executor::single(StatevectorBackend::new());
+    let tree_result = tree_vqa.run(&executor).expect("well-formed application");
 
     // 4. Report.
     let baseline_fid = metrics::mean_fidelity(&application.tasks, &baseline.best_energies());

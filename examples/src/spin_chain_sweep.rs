@@ -14,12 +14,13 @@
 
 use qchem::SpinChainFamily;
 use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qexec::{run_baseline, Executor};
 use qopt::{OptimizerSpec, SpsaConfig};
 use qsim::NoiseModel;
 use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{
-    metrics, run_baseline, Backend, InitialState, NoisyBackend, StatevectorBackend, VqaApplication,
-    VqaRunConfig, VqaTask,
+    metrics, Backend, InitialState, NoisyBackend, StatevectorBackend, VqaApplication, VqaRunConfig,
+    VqaTask,
 };
 
 fn build_application(num_tasks: usize) -> VqaApplication {
@@ -36,7 +37,7 @@ fn build_application(num_tasks: usize) -> VqaApplication {
 fn compare(
     label: &str,
     application: &VqaApplication,
-    mut make_backend: impl FnMut() -> Box<dyn Backend>,
+    mut make_backend: impl FnMut() -> Box<dyn Backend + Send>,
 ) {
     let optimizer = OptimizerSpec::Spsa(SpsaConfig {
         a: 0.25,
@@ -53,7 +54,8 @@ fn compare(
     let zeros = vec![0.0; application.num_parameters()];
     let baseline = run_baseline(application, &zeros, &baseline_config, &mut |_| {
         make_backend()
-    });
+    })
+    .expect("well-formed application");
 
     let config = TreeVqaConfig {
         max_cluster_iterations: iterations,
@@ -63,8 +65,8 @@ fn compare(
         ..Default::default()
     };
     let tree_vqa = TreeVqa::new(application.clone(), config);
-    let mut backend = make_backend();
-    let result = tree_vqa.run(backend.as_mut());
+    let executor = Executor::single_boxed(make_backend());
+    let result = tree_vqa.run(&executor).expect("well-formed application");
 
     let base_fid = metrics::mean_fidelity(&application.tasks, &baseline.best_energies());
     let tree_fid = metrics::mean_fidelity(&application.tasks, &result.energies());
@@ -87,7 +89,7 @@ fn main() {
     );
 
     compare("noiseless", &application, || {
-        Box::new(StatevectorBackend::new()) as Box<dyn Backend>
+        Box::new(StatevectorBackend::new()) as Box<dyn Backend + Send>
     });
 
     let model = NoiseModel::by_name("cairo").expect("synthetic backend exists");
@@ -97,6 +99,6 @@ fn main() {
             2,
             qsim::DEFAULT_SHOTS_PER_PAULI,
             23,
-        )) as Box<dyn Backend>
+        )) as Box<dyn Backend + Send>
     });
 }

@@ -4,12 +4,13 @@
 
 use qchem::{MoleculeSpec, SpinChainFamily};
 use qcircuit::{Entanglement, HardwareEfficientAnsatz};
+use qexec::{run_baseline, Executor};
 use qopt::OptimizerSpec;
 use qsim::PauliPropagatorConfig;
 use treevqa::{SplitPolicy, TreeVqa, TreeVqaConfig};
 use vqa::{
-    metrics, run_baseline, Backend, InitialState, PauliPropagationBackend, StatevectorBackend,
-    VqaApplication, VqaRunConfig, VqaTask,
+    metrics, Backend, InitialState, PauliPropagationBackend, StatevectorBackend, VqaApplication,
+    VqaRunConfig, VqaTask,
 };
 
 fn tfim_application(num_tasks: usize) -> VqaApplication {
@@ -39,8 +40,9 @@ fn treevqa_matches_or_beats_baseline_fidelity_under_equal_budget() {
     };
     let zeros = vec![0.0; app.num_parameters()];
     let baseline = run_baseline(&app, &zeros, &baseline_config, &mut |_| {
-        Box::new(StatevectorBackend::new()) as Box<dyn Backend>
-    });
+        Box::new(StatevectorBackend::new()) as Box<dyn Backend + Send>
+    })
+    .expect("well-formed application");
 
     let tree_config = TreeVqaConfig {
         max_cluster_iterations: iterations,
@@ -49,8 +51,8 @@ fn treevqa_matches_or_beats_baseline_fidelity_under_equal_budget() {
         ..Default::default()
     };
     let tree = TreeVqa::new(app.clone(), tree_config);
-    let mut backend = StatevectorBackend::new();
-    let result = tree.run(&mut backend);
+    let executor = Executor::single(StatevectorBackend::new());
+    let result = tree.run(&executor).expect("well-formed application");
 
     // Under the baseline's own total budget, TreeVQA's minimum fidelity must be at least
     // comparable (the paper's Figure 7 behaviour).  Allow a small tolerance for noise.
@@ -120,8 +122,9 @@ fn treevqa_saves_shots_at_a_common_fidelity_threshold_for_similar_tasks() {
                 seed,
                 record_every: 2,
             },
-            &mut |_| Box::new(StatevectorBackend::new()) as Box<dyn Backend>,
-        );
+            &mut |_| Box::new(StatevectorBackend::new()) as Box<dyn Backend + Send>,
+        )
+        .expect("well-formed application");
         let tree = TreeVqa::new(
             app.clone(),
             TreeVqaConfig {
@@ -131,8 +134,8 @@ fn treevqa_saves_shots_at_a_common_fidelity_threshold_for_similar_tasks() {
                 ..Default::default()
             },
         );
-        let mut backend = StatevectorBackend::new();
-        let result = tree.run(&mut backend);
+        let executor = Executor::single(StatevectorBackend::new());
+        let result = tree.run(&executor).expect("well-formed application");
 
         // Compare shots at the highest threshold both methods reach on this stream.
         for threshold in [0.95, 0.9, 0.85, 0.8, 0.75, 0.7] {
@@ -176,8 +179,8 @@ fn forced_single_split_produces_exactly_two_leaves() {
         ..Default::default()
     };
     let tree = TreeVqa::new(app, config);
-    let mut backend = StatevectorBackend::new();
-    let result = tree.run(&mut backend);
+    let executor = Executor::single(StatevectorBackend::new());
+    let result = tree.run(&executor).expect("well-formed application");
     assert_eq!(result.tree.num_splits(), 1);
     assert_eq!(result.tree.leaves().len(), 2);
     assert_eq!(result.tree.critical_depth(), 2);
@@ -193,8 +196,8 @@ fn never_split_policy_keeps_a_single_cluster() {
         ..Default::default()
     };
     let tree = TreeVqa::new(app, config);
-    let mut backend = StatevectorBackend::new();
-    let result = tree.run(&mut backend);
+    let executor = Executor::single(StatevectorBackend::new());
+    let result = tree.run(&executor).expect("well-formed application");
     assert_eq!(result.tree.num_nodes(), 1);
     assert_eq!(result.tree.num_splits(), 0);
     assert_eq!(result.tree.critical_depth(), 1);
@@ -211,8 +214,8 @@ fn shot_budget_terminates_the_run_early() {
         ..Default::default()
     };
     let tree = TreeVqa::new(app, config);
-    let mut backend = StatevectorBackend::new();
-    let result = tree.run(&mut backend);
+    let executor = Executor::single(StatevectorBackend::new());
+    let result = tree.run(&executor).expect("well-formed application");
     // The run must stop shortly after exceeding the budget (within one round's worth of
     // evaluations), not run to the enormous iteration cap.
     assert!(result.total_shots >= 20 * per_eval);
@@ -261,8 +264,8 @@ fn post_processing_never_worsens_a_task_relative_to_its_own_cluster() {
         ..Default::default()
     };
     let tree = TreeVqa::new(app.clone(), config);
-    let mut backend = StatevectorBackend::new();
-    let result = tree.run(&mut backend);
+    let executor = Executor::single(StatevectorBackend::new());
+    let result = tree.run(&executor).expect("well-formed application");
     // Post-processed energies are the best over all final states and the recorded
     // trajectory, so they can never exceed the last recorded per-task best.
     let last = result.history.last().unwrap();
