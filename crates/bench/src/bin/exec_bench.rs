@@ -16,7 +16,9 @@ use treevqa_bench::quick::{measure_fairness, record_to_json, run_quick_suite, Qu
 fn main() {
     let records: Vec<QuickRecord> = run_quick_suite()
         .into_iter()
-        .filter(|r| r.id.starts_with("exec/"))
+        // The overload/admission-control workloads baseline separately in
+        // BENCH_exec_overload.json (see the exec_overload binary).
+        .filter(|r| r.id.starts_with("exec/") && !r.id.starts_with("exec/overload/"))
         .collect();
     assert!(
         !records.is_empty(),

@@ -7,14 +7,14 @@
 //!
 //! `cargo run --release -p treevqa_bench --bin perf_gate` then compares that file
 //! against the checked-in `BENCH_kernels.json` / `BENCH_batch.json` / `BENCH_noise.json`
-//! baselines.  The tolerance is deliberately generous — CI hosts differ from the
+//! / `BENCH_exec.json` / `BENCH_exec_overload.json` baselines.  The tolerance is deliberately generous — CI hosts differ from the
 //! baseline-recording host — so the gate only fails on a throughput regression larger
 //! than [`DEFAULT_TOLERANCE`] (override with the `PERF_GATE_TOLERANCE` environment
 //! variable, a fraction in `(0, 1)`).  The workflow uploads the quick JSON as an
 //! artifact on every run, so the perf trajectory accumulates even when the gate passes.
 
 use crate::workloads;
-use qexec::{EvalJob, Executor};
+use qexec::{AdmissionPolicy, EvalJob, Executor, SubmitOptions};
 use std::sync::Arc;
 use std::time::Instant;
 use vqa::{Backend, EvalRequest, InitialState, NoisyStatevectorBackend, StatevectorBackend};
@@ -228,6 +228,77 @@ pub fn run_quick_suite() -> Vec<QuickRecord> {
                 .collect();
             executor.resume();
             std::hint::black_box(qexec::wait_all(&handles).unwrap());
+        }));
+    }
+    {
+        // Admission-control overhead (BENCH_exec_overload.json): a paused executor
+        // whose 1-deep queue is already full, so every timed submission exercises the
+        // bounded-queue Reject fast path end to end — validate, admission scan,
+        // structured refusal — without any execution noise.
+        let tiny = {
+            let mut c = qcircuit::Circuit::new(2);
+            c.push(qcircuit::Gate::H(0));
+            c.push(qcircuit::Gate::Cx(0, 1));
+            Arc::new(c)
+        };
+        let op = Arc::new(qop::PauliOp::from_labels(2, &[("ZZ", 1.0)]));
+        let executor = Executor::builder()
+            .register(qexec::DEFAULT_BACKEND, StatevectorBackend::with_shots(0))
+            .queue_capacity(1)
+            .paused()
+            .start();
+        let client = executor.client();
+        let _plug = client
+            .submit(EvalJob::new(
+                Arc::clone(&tiny),
+                Vec::new(),
+                InitialState::Basis(0),
+                Arc::clone(&op),
+            ))
+            .unwrap();
+        records.push(time_workload("exec/overload/reject/1cap", 2000, || {
+            let job = EvalJob::new(
+                Arc::clone(&tiny),
+                Vec::new(),
+                InitialState::Basis(0),
+                Arc::clone(&op),
+            );
+            std::hint::black_box(client.submit(job).unwrap_err());
+        }));
+    }
+    {
+        // Load-shedding steady state (BENCH_exec_overload.json): an 8-deep queue under
+        // `ShedLowestPriority` with strictly escalating priorities, so once warm every
+        // timed submission admits the newcomer and evicts the current lowest-priority
+        // job — the record times the victim scan plus the evicted handle's completion.
+        let tiny = {
+            let mut c = qcircuit::Circuit::new(2);
+            c.push(qcircuit::Gate::H(0));
+            c.push(qcircuit::Gate::Cx(0, 1));
+            Arc::new(c)
+        };
+        let op = Arc::new(qop::PauliOp::from_labels(2, &[("ZZ", 1.0)]));
+        let executor = Executor::builder()
+            .register(qexec::DEFAULT_BACKEND, StatevectorBackend::with_shots(0))
+            .queue_capacity(8)
+            .admission(AdmissionPolicy::ShedLowestPriority)
+            .paused()
+            .start();
+        let client = executor.client();
+        let mut priority: i32 = 0;
+        records.push(time_workload("exec/overload/shed/8cap", 2000, || {
+            priority += 1;
+            let job = EvalJob::new(
+                Arc::clone(&tiny),
+                Vec::new(),
+                InitialState::Basis(0),
+                Arc::clone(&op),
+            );
+            let opts = SubmitOptions {
+                priority,
+                ..SubmitOptions::default()
+            };
+            std::hint::black_box(client.submit_with(job, &opts).unwrap());
         }));
     }
 

@@ -48,6 +48,21 @@ pub enum ExecError {
     Cancelled,
     /// The executor shut down before the job executed.
     ShutDown,
+    /// The job's deadline passed before it was scheduled: the scheduler drops expired
+    /// jobs ahead of slate assembly so a backlog never wastes backend time on work
+    /// nobody is still waiting for.
+    DeadlineExceeded,
+    /// Admission control refused (or load-shedding evicted) the job: a bounded client
+    /// or global queue was at capacity under the executor's
+    /// [`crate::AdmissionPolicy`].
+    Overloaded,
+    /// The job targeted a quarantined backend (a driver panic tripped supervision), no
+    /// failover was permitted or possible, and the supervisor has not yet readmitted
+    /// the backend via a canary probe.
+    BackendQuarantined {
+        /// The quarantined backend's registry name.
+        backend: String,
+    },
     /// The backend driver panicked while executing the job (the payload is the panic
     /// message).  Validation makes this unreachable for well-formed jobs; it is the
     /// safety net that turns any residual driver panic into a per-job error instead of
@@ -80,6 +95,17 @@ impl fmt::Display for ExecError {
             ),
             ExecError::Cancelled => write!(f, "the job was cancelled before execution"),
             ExecError::ShutDown => write!(f, "the executor shut down before the job executed"),
+            ExecError::DeadlineExceeded => {
+                write!(f, "the job's deadline passed before it was scheduled")
+            }
+            ExecError::Overloaded => write!(
+                f,
+                "the executor is overloaded: a bounded queue rejected or shed the job"
+            ),
+            ExecError::BackendQuarantined { backend } => write!(
+                f,
+                "backend {backend:?} is quarantined after a driver panic and no failover applied"
+            ),
             ExecError::Execution(msg) => write!(f, "the backend driver panicked: {msg}"),
         }
     }

@@ -1,16 +1,68 @@
-//! The executor: backend registry, fair scheduler, and worker.
+//! The executor: backend registry, fair scheduler, admission control, supervision,
+//! and the worker.
 
 use crate::error::ExecError;
+use crate::fault::TransientFault;
 use crate::job::{EvalJob, JobHandle, JobKind, JobState, SubmitOptions};
+use crate::supervisor::{self, BackendHealth, Health};
 use qop::PauliOp;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use vqa::{Backend, BackendCaps, EvalRequest, EvalResult};
 
 /// Name under which [`Executor::single`] registers its only backend.
 pub const DEFAULT_BACKEND: &str = "default";
+
+/// Default cap on [`SubmitOptions::retries`] (override with
+/// [`ExecutorBuilder::retry_limit`]).
+pub const DEFAULT_RETRY_LIMIT: u32 = 3;
+
+/// What a bounded queue does with a submission that would overflow it (see
+/// [`ExecutorBuilder::queue_capacity`] / [`ExecutorBuilder::per_client_capacity`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Fail the submission immediately with [`ExecError::Overloaded`] (the default:
+    /// callers see backpressure as a structured error and decide themselves).
+    #[default]
+    Reject,
+    /// Block the submitting thread until queue space frees up (jobs draining,
+    /// cancellation, or deadline expiry).  Submitting against a full queue on a
+    /// *paused* executor blocks until someone resumes it — callers holding a pause
+    /// (e.g. inside [`ExecClient::submit_all`]) must size capacity for their largest
+    /// group, or the group deadlocks against its own pause.
+    Block,
+    /// Evict the queued job that matters least — lowest priority first, then the one
+    /// expiring soonest, then the newest — completing it with
+    /// [`ExecError::Overloaded`], and admit the newcomer in its place.  If the
+    /// newcomer itself matters least, it is rejected instead.  Under sustained
+    /// overload this keeps the queue holding the highest-value work.
+    ShedLowestPriority,
+}
+
+/// Lifetime counters of the service's robustness machinery (see [`Executor::stats`]).
+/// Monotonic; consistent whenever the jobs a caller cares about have resolved.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Submissions refused with [`ExecError::Overloaded`] (both
+    /// [`AdmissionPolicy::Reject`] refusals and newcomers that lost the shedding
+    /// comparison).
+    pub rejected: u64,
+    /// Queued jobs evicted by [`AdmissionPolicy::ShedLowestPriority`].
+    pub shed: u64,
+    /// Jobs dropped with [`ExecError::DeadlineExceeded`] before execution.
+    pub expired: u64,
+    /// Failed executions re-queued for retry.
+    pub retries: u64,
+    /// Jobs executed on a standby backend because their target was quarantined.
+    pub failovers: u64,
+    /// Hard driver panics (each one quarantines its backend).
+    pub panics: u64,
+    /// Quarantined backends readmitted after a successful canary probe.
+    pub readmissions: u64,
+}
 
 /// Immutable per-backend registry metadata (the boxed driver itself lives on the worker
 /// thread; this is the submission-side view).
@@ -22,14 +74,56 @@ struct BackendMeta {
     shots: AtomicU64,
 }
 
-/// A job sitting in a client queue.
+/// A job sitting in a client queue (or the executor's retry queue).
 struct QueuedJob {
     uid: u64,
     priority: i32,
     kind: JobKind,
     backend: usize,
+    /// The submission's capability requirements, kept for failover selection.
+    require: BackendCaps,
+    /// Remaining retry budget (decremented each time the job is re-queued).
+    retries_left: u32,
+    /// Whether a quarantined target may be substituted by a compatible standby.
+    failover: bool,
     job: EvalJob,
     state: Arc<JobState>,
+}
+
+impl QueuedJob {
+    /// A re-queued copy for one retry attempt (shares the completion state, keeps the
+    /// first scheduling's sequence number).
+    fn retry_clone(&self) -> QueuedJob {
+        QueuedJob {
+            uid: self.uid,
+            priority: self.priority,
+            kind: self.kind,
+            backend: self.backend,
+            require: self.require,
+            retries_left: self.retries_left - 1,
+            failover: self.failover,
+            job: self.job.clone(),
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// Whether shedding evicts `a` in preference to `b`: lower priority first; at equal
+/// priority the job expiring soonest (no deadline sorts last — it can still wait); then
+/// the newest.  With a full queue of equals, the newest *is* the incoming job, so
+/// sustained equal-priority overload degenerates to rejecting arrivals — FIFO order of
+/// accepted work is preserved.
+fn sheds_before(a: &QueuedJob, b: &QueuedJob) -> bool {
+    match a.priority.cmp(&b.priority) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => match (a.job.deadline, b.job.deadline) {
+            (Some(x), Some(y)) if x != y => x < y,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            _ => a.uid > b.uid,
+        },
+    }
 }
 
 enum Control {
@@ -62,10 +156,20 @@ struct QueueState {
     free_slots: Vec<usize>,
     /// Round-robin cursor: the client index served next at equal priority.
     rr_next: usize,
-    /// Jobs queued across all clients.
+    /// Jobs queued across all clients (excludes the retry queue).
     pending: usize,
     /// Jobs picked into the current slate but not yet completed.
     in_flight: usize,
+    /// Failed executions awaiting their retry: drained ahead of the client queues into
+    /// the *next* slate, so a retry replays exactly one slate after its failure — a
+    /// deterministic backoff measured in slates, not wall time.
+    retries: VecDeque<QueuedJob>,
+    /// Scheduler rounds completed; the clock the canary backoff counts in.
+    round: u64,
+    /// Per-backend health, parallel to the registry (the queue lock is the health
+    /// lock).
+    health: Vec<Health>,
+    stats: ExecStats,
     /// Nesting depth of [`Executor::pause`]; scheduling runs only at 0.
     pause_depth: usize,
     shutdown: bool,
@@ -82,6 +186,22 @@ impl QueueState {
                 self.free_slots.push(id);
             }
         }
+    }
+
+    /// No work queued, retrying, or executing.
+    fn is_idle(&self) -> bool {
+        self.pending == 0 && self.in_flight == 0 && self.retries.is_empty()
+    }
+
+    /// The soonest deadline among queued and retrying jobs — bounds the worker's idle
+    /// and paused waits so deadlines fire even when nothing else wakes it.
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.queues
+            .iter()
+            .flatten()
+            .chain(self.retries.iter())
+            .filter_map(|j| j.job.deadline)
+            .min()
     }
 }
 
@@ -112,7 +232,17 @@ pub(crate) struct Shared {
     work_cv: Condvar,
     /// Wakes `wait_idle` callers.
     idle_cv: Condvar,
+    /// Wakes [`AdmissionPolicy::Block`] submitters when queue space frees up.
+    space_cv: Condvar,
     meta: Vec<BackendMeta>,
+    policy: AdmissionPolicy,
+    /// Cap on jobs queued across all clients (admission bound; `usize::MAX` =
+    /// unbounded).
+    global_cap: usize,
+    /// Cap on jobs queued under one client slot.
+    per_client_cap: usize,
+    /// Cap applied to every submission's [`SubmitOptions::retries`].
+    retry_limit: u32,
     /// Global execution sequence counter (assigned in scheduled order).
     next_seq: AtomicU64,
     next_uid: AtomicU64,
@@ -156,36 +286,49 @@ impl Shared {
         let jobs: Vec<QueuedJob> = q.queues[client].drain(..).collect();
         q.pending -= jobs.len();
         q.reclaim_retired();
-        let idle = q.pending == 0 && q.in_flight == 0;
+        let idle = q.is_idle();
         drop(q);
         for job in jobs {
             job.state.complete(Err(ExecError::Cancelled));
         }
+        self.space_cv.notify_all();
         if idle {
             self.idle_cv.notify_all();
         }
     }
 
-    /// Removes a still-queued job and completes it as cancelled.  Returns whether the
-    /// job was found in a queue.
+    /// Removes a still-queued (or retry-queued) job and completes it as cancelled.
+    /// Returns whether the job was found.
     pub(crate) fn cancel_queued(&self, uid: u64) -> bool {
         let mut q = self.queue.lock().unwrap();
+        let mut found = None;
         for queue in &mut q.queues {
             if let Some(pos) = queue.iter().position(|j| j.uid == uid) {
-                let job = queue.remove(pos).expect("position came from iter");
-                q.pending -= 1;
-                // Cancellation may have emptied a retired client's queue.
-                q.reclaim_retired();
-                let idle = q.pending == 0 && q.in_flight == 0;
-                drop(q);
-                job.state.complete(Err(ExecError::Cancelled));
-                if idle {
-                    self.idle_cv.notify_all();
-                }
-                return true;
+                found = Some(queue.remove(pos).expect("position came from iter"));
+                break;
             }
         }
-        false
+        match found {
+            Some(_) => q.pending -= 1,
+            None => {
+                if let Some(pos) = q.retries.iter().position(|j| j.uid == uid) {
+                    found = Some(q.retries.remove(pos).expect("position came from iter"));
+                }
+            }
+        }
+        let Some(job) = found else {
+            return false;
+        };
+        // Cancellation may have emptied a retired client's queue.
+        q.reclaim_retired();
+        let idle = q.is_idle();
+        drop(q);
+        job.state.complete(Err(ExecError::Cancelled));
+        self.space_cv.notify_all();
+        if idle {
+            self.idle_cv.notify_all();
+        }
+        true
     }
 }
 
@@ -202,10 +345,26 @@ impl Drop for PauseGuard<'_> {
 }
 
 /// Builds an [`Executor`] over a registry of named backends.
-#[derive(Default)]
 pub struct ExecutorBuilder {
     backends: Vec<(String, Box<dyn Backend + Send>, BackendCaps)>,
     paused: bool,
+    policy: AdmissionPolicy,
+    global_cap: Option<usize>,
+    per_client_cap: Option<usize>,
+    retry_limit: u32,
+}
+
+impl Default for ExecutorBuilder {
+    fn default() -> Self {
+        ExecutorBuilder {
+            backends: Vec::new(),
+            paused: false,
+            policy: AdmissionPolicy::default(),
+            global_cap: None,
+            per_client_cap: None,
+            retry_limit: DEFAULT_RETRY_LIMIT,
+        }
+    }
 }
 
 impl ExecutorBuilder {
@@ -235,6 +394,36 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Bounds the jobs queued across **all** clients.  Defaults to the
+    /// `QEXEC_QUEUE_CAP` environment variable, or unbounded when unset.  What happens
+    /// at the bound is the [`ExecutorBuilder::admission`] policy's call.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.global_cap = Some(cap);
+        self
+    }
+
+    /// Bounds the jobs queued under **one** client slot (defaults to the global
+    /// capacity): one runaway client hits its own bound before it can crowd out the
+    /// rest.
+    pub fn per_client_capacity(mut self, cap: usize) -> Self {
+        self.per_client_cap = Some(cap);
+        self
+    }
+
+    /// Sets the overflow policy for bounded queues (default
+    /// [`AdmissionPolicy::Reject`]).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps every submission's [`SubmitOptions::retries`] (default
+    /// [`DEFAULT_RETRY_LIMIT`]; 0 disables retries service-wide).
+    pub fn retry_limit(mut self, limit: u32) -> Self {
+        self.retry_limit = limit;
+        self
+    }
+
     /// Spawns the worker thread and returns the running executor.
     ///
     /// # Panics
@@ -252,6 +441,16 @@ impl ExecutorBuilder {
             names.windows(2).all(|w| w[0] != w[1]),
             "backend names must be unique"
         );
+        let global_cap = self
+            .global_cap
+            .or_else(|| {
+                std::env::var("QEXEC_QUEUE_CAP")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+            })
+            .unwrap_or(usize::MAX)
+            .max(1);
+        let per_client_cap = self.per_client_cap.unwrap_or(global_cap).max(1);
         let mut drivers = Vec::with_capacity(self.backends.len());
         let mut meta = Vec::with_capacity(self.backends.len());
         for (name, backend, caps) in self.backends {
@@ -265,11 +464,17 @@ impl ExecutorBuilder {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 pause_depth: usize::from(self.paused),
+                health: vec![Health::Healthy; meta.len()],
                 ..QueueState::default()
             }),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
+            space_cv: Condvar::new(),
             meta,
+            policy: self.policy,
+            global_cap,
+            per_client_cap,
+            retry_limit: self.retry_limit,
             next_seq: AtomicU64::new(0),
             next_uid: AtomicU64::new(0),
         });
@@ -289,7 +494,8 @@ impl ExecutorBuilder {
 /// accepts owned [`EvalJob`]s from any number of [`ExecClient`]s, and schedules them
 /// with per-job priority and fair round-robin across clients.
 ///
-/// See the crate docs for the serial-replay equivalence contract.
+/// See the crate docs for the serial-replay equivalence contract and the robustness
+/// contract (deadlines, admission control, supervision, retries).
 pub struct Executor {
     shared: Arc<Shared>,
     worker: Option<JoinHandle<()>>,
@@ -370,6 +576,19 @@ impl Executor {
             .map(|m| m.name.clone())
     }
 
+    /// The named backend's current supervision state.  A backend quarantined by a
+    /// driver panic rejoins service automatically once a canary probe passes
+    /// ([`crate::supervisor`] docs describe the lifecycle).
+    pub fn backend_health(&self, backend: &str) -> Result<BackendHealth, ExecError> {
+        let idx = self.shared.backend_index(backend)?;
+        Ok(self.shared.queue.lock().unwrap().health[idx].into())
+    }
+
+    /// A snapshot of the service's robustness counters.
+    pub fn stats(&self) -> ExecStats {
+        self.shared.queue.lock().unwrap().stats.clone()
+    }
+
     /// Total shots the named backend has charged, as of its most recently completed
     /// job.  Consistent whenever the jobs the caller cares about have completed (e.g.
     /// after waiting on their handles or [`Executor::wait_idle`]).
@@ -413,6 +632,9 @@ impl Executor {
     /// scheduling restarts only when every pause has been resumed — so independent
     /// controllers sharing one executor cannot release each other's half-assembled
     /// slates.
+    ///
+    /// Deadlines keep firing while paused: an expired job is dropped with
+    /// [`ExecError::DeadlineExceeded`] even though nothing is scheduled.
     pub fn pause(&self) {
         self.shared.pause();
     }
@@ -430,11 +652,11 @@ impl Executor {
         self.shared.pause_guard()
     }
 
-    /// Blocks until no jobs are queued or executing.  On a paused executor this waits
-    /// for [`Executor::resume`] (queued jobs cannot drain while paused).
+    /// Blocks until no jobs are queued, retrying, or executing.  On a paused executor
+    /// this waits for [`Executor::resume`] (queued jobs cannot drain while paused).
     pub fn wait_idle(&self) {
         let mut q = self.shared.queue.lock().unwrap();
-        while q.pending > 0 || q.in_flight > 0 {
+        while !q.is_idle() {
             q = self.shared.idle_cv.wait(q).unwrap();
         }
     }
@@ -447,6 +669,7 @@ impl Drop for Executor {
             q.shutdown = true;
         }
         self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
@@ -471,9 +694,10 @@ impl ExecClient {
         self.submit_with(job, &SubmitOptions::default())
     }
 
-    /// Submits a job with explicit backend selection, priority, and capability
-    /// requirements.  Validation (shapes, backend, capabilities) happens here, before
-    /// queueing — malformed input never reaches a driver.
+    /// Submits a job with explicit backend selection, priority, capability
+    /// requirements, retry budget, and failover opt-in.  Validation (shapes, backend,
+    /// capabilities, already-expired deadlines) happens here, before queueing —
+    /// malformed input never reaches a driver.
     pub fn submit_with(&self, job: EvalJob, opts: &SubmitOptions) -> Result<JobHandle, ExecError> {
         self.enqueue(job, opts, JobKind::Evaluate)
     }
@@ -489,6 +713,9 @@ impl ExecClient {
     /// this call are cancelled before the error is returned, so a failed group
     /// submission never leaves orphaned work consuming the backend's RNG stream —
     /// jobs the client queued outside this call are untouched.
+    ///
+    /// Under [`AdmissionPolicy::Block`], queue capacity must fit the whole group: the
+    /// pause this call holds prevents the drain a blocked submission would wait for.
     pub fn submit_all(
         &self,
         jobs: impl IntoIterator<Item = EvalJob>,
@@ -550,7 +777,19 @@ impl ExecClient {
                 missing,
             });
         }
+        // Retrying is only observationally invisible on an idempotent backend: a
+        // stream-stateful stochastic driver re-executing a request would shift every
+        // later job's draws, breaking the serial-replay contract for *other* jobs.
+        if opts.retries > 0 && !meta.caps.retry_safe {
+            return Err(ExecError::MissingCapability {
+                backend: meta.name.clone(),
+                missing: "retry_safe",
+            });
+        }
         job.validate()?;
+        if job.deadline.is_some_and(|d| d <= Instant::now()) {
+            return Err(ExecError::DeadlineExceeded);
+        }
         let state = Arc::new(JobState::default());
         let uid = self.shared.next_uid.fetch_add(1, Ordering::Relaxed);
         let queued = QueuedJob {
@@ -558,17 +797,77 @@ impl ExecClient {
             priority: opts.priority,
             kind,
             backend,
+            require: opts.require,
+            retries_left: opts.retries.min(self.shared.retry_limit),
+            failover: opts.failover,
             job,
             state: Arc::clone(&state),
         };
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            if q.shutdown {
-                return Err(ExecError::ShutDown);
-            }
-            q.queues[self.id].push_back(queued);
-            q.pending += 1;
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.shutdown {
+            return Err(ExecError::ShutDown);
         }
+        // Admission control: both bounds must hold before the job enters its queue.
+        loop {
+            let client_full = q.queues[self.id].len() >= self.shared.per_client_cap;
+            let global_full = q.pending >= self.shared.global_cap;
+            if !client_full && !global_full {
+                break;
+            }
+            match self.shared.policy {
+                AdmissionPolicy::Reject => {
+                    q.stats.rejected += 1;
+                    return Err(ExecError::Overloaded);
+                }
+                AdmissionPolicy::Block => {
+                    q = self.shared.space_cv.wait(q).unwrap();
+                    if q.shutdown {
+                        return Err(ExecError::ShutDown);
+                    }
+                }
+                AdmissionPolicy::ShedLowestPriority => {
+                    // Victim scope is the saturated bound: this client's queue if it is
+                    // the one at capacity, any queue when the global bound is.
+                    let scope: Vec<usize> = if client_full {
+                        vec![self.id]
+                    } else {
+                        (0..q.queues.len()).collect()
+                    };
+                    let mut victim: Option<(usize, usize)> = None;
+                    for ci in scope {
+                        for pos in 0..q.queues[ci].len() {
+                            let better = match victim {
+                                None => true,
+                                Some((vci, vpos)) => {
+                                    sheds_before(&q.queues[ci][pos], &q.queues[vci][vpos])
+                                }
+                            };
+                            if better {
+                                victim = Some((ci, pos));
+                            }
+                        }
+                    }
+                    match victim {
+                        Some((vci, vpos)) if sheds_before(&q.queues[vci][vpos], &queued) => {
+                            let shed = q.queues[vci].remove(vpos).expect("index in range");
+                            q.pending -= 1;
+                            q.stats.shed += 1;
+                            q.reclaim_retired();
+                            shed.state.complete(Err(ExecError::Overloaded));
+                        }
+                        _ => {
+                            // The newcomer matters least; shedding a queued job for it
+                            // would be strictly worse.
+                            q.stats.rejected += 1;
+                            return Err(ExecError::Overloaded);
+                        }
+                    }
+                }
+            }
+        }
+        q.queues[self.id].push_back(queued);
+        q.pending += 1;
+        drop(q);
         self.shared.work_cv.notify_one();
         Ok(JobHandle {
             state,
@@ -578,13 +877,15 @@ impl ExecClient {
     }
 }
 
-/// Drains the whole queue into one slate in scheduled order: strictly by descending
-/// priority; at equal priority, round-robin across clients starting at the cursor; FIFO
-/// within a client (a higher-priority job may overtake its client's earlier
-/// lower-priority jobs).
+/// Drains the retry queue and then the whole client queue into one slate in scheduled
+/// order: retries first (their backoff has elapsed and they already hold sequence
+/// numbers); then strictly by descending priority; at equal priority, round-robin
+/// across clients starting at the cursor; FIFO within a client (a higher-priority job
+/// may overtake its client's earlier lower-priority jobs).
 fn build_slate(q: &mut QueueState) -> Vec<QueuedJob> {
+    let mut slate: Vec<QueuedJob> = q.retries.drain(..).collect();
+    slate.reserve(q.pending);
     let num_clients = q.queues.len();
-    let mut slate = Vec::with_capacity(q.pending);
     while q.pending > 0 {
         // Highest remaining priority, computed once per level: nothing is enqueued
         // while the queue lock is held, so draining the whole level before recomputing
@@ -619,10 +920,198 @@ fn build_slate(q: &mut QueueState) -> Vec<QueuedJob> {
     slate
 }
 
+/// Completes the job as failed, or re-queues it for one more attempt if it has retry
+/// budget left.  Retried jobs share their completion state and sequence number — a
+/// successful retry is indistinguishable from a slow first attempt.
+fn fail_or_retry(g: &QueuedJob, err: ExecError, retry_out: &mut Vec<QueuedJob>) {
+    if g.retries_left > 0 {
+        retry_out.push(g.retry_clone());
+    } else {
+        g.state.complete(Err(err));
+    }
+}
+
+/// Routes a caught driver unwind: a [`TransientFault`] payload fails (or retries) the
+/// affected jobs without quarantining; any other payload is a corrupted driver — the
+/// backend is quarantined and its jobs fail or retry.
+fn handle_panic(
+    shared: &Shared,
+    payload: Box<dyn std::any::Any + Send>,
+    backend: usize,
+    group: &[QueuedJob],
+    retry_out: &mut Vec<QueuedJob>,
+) {
+    match payload.downcast::<TransientFault>() {
+        Ok(transient) => {
+            let msg = format!("transient fault: {}", transient.0);
+            for g in group {
+                fail_or_retry(g, ExecError::Execution(msg.clone()), retry_out);
+            }
+        }
+        Err(payload) => {
+            let msg = panic_message(payload);
+            {
+                let mut q = shared.queue.lock().unwrap();
+                q.stats.panics += 1;
+                let round = q.round;
+                q.health[backend] = Health::Quarantined {
+                    failures: 1,
+                    next_canary_round: round + 1,
+                };
+            }
+            for g in group {
+                fail_or_retry(g, ExecError::Execution(msg.clone()), retry_out);
+            }
+        }
+    }
+}
+
+/// Gate for dispatching to `backend`: healthy backends pass; a quarantined backend
+/// whose canary backoff has elapsed gets one recovery + canary attempt (readmitted on
+/// success, pushed out with doubled backoff on failure); otherwise the group must be
+/// disposed of without touching the driver.
+fn ensure_healthy(
+    shared: &Shared,
+    drivers: &mut [Box<dyn Backend + Send>],
+    backend: usize,
+) -> bool {
+    let due_failures = {
+        let q = shared.queue.lock().unwrap();
+        match q.health[backend] {
+            Health::Healthy => return true,
+            Health::Quarantined {
+                failures,
+                next_canary_round,
+            } => {
+                if q.round >= next_canary_round {
+                    Some(failures)
+                } else {
+                    None
+                }
+            }
+        }
+    };
+    let Some(failures) = due_failures else {
+        return false;
+    };
+    let passed = supervisor::canary(drivers[backend].as_mut());
+    let mut q = shared.queue.lock().unwrap();
+    if passed {
+        q.health[backend] = Health::Healthy;
+        q.stats.readmissions += 1;
+        true
+    } else {
+        let failures = failures + 1;
+        let next = q.round + supervisor::backoff_rounds(failures - 1);
+        q.health[backend] = Health::Quarantined {
+            failures,
+            next_canary_round: next,
+        };
+        false
+    }
+}
+
+fn currently_healthy(shared: &Shared, backend: usize) -> bool {
+    matches!(
+        shared.queue.lock().unwrap().health[backend],
+        Health::Healthy
+    )
+}
+
+/// Executes one job on an explicit (possibly failover) backend, with full panic
+/// supervision on that backend.
+fn run_single(
+    shared: &Shared,
+    drivers: &mut [Box<dyn Backend + Send>],
+    backend: usize,
+    g: &QueuedJob,
+    retry_out: &mut Vec<QueuedJob>,
+) {
+    match g.kind {
+        JobKind::Evaluate => {
+            let free_refs: Vec<&PauliOp> = g.job.free_ops.iter().map(|op| op.as_ref()).collect();
+            let request = EvalRequest {
+                circuit: &g.job.circuit,
+                params: &g.job.params,
+                initial: &g.job.initial,
+                charged_op: &g.job.charged_op,
+                free_ops: &free_refs,
+            };
+            let driver = &mut drivers[backend];
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                driver.evaluate_batch(std::slice::from_ref(&request))
+            }));
+            shared.meta[backend]
+                .shots
+                .store(drivers[backend].shots_used(), Ordering::SeqCst);
+            match outcome {
+                Ok(mut results) => g.state.complete(Ok(results.remove(0))),
+                Err(payload) => {
+                    handle_panic(shared, payload, backend, std::slice::from_ref(g), retry_out);
+                }
+            }
+        }
+        JobKind::Probe => {
+            let driver = &mut drivers[backend];
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                driver.probe(
+                    &g.job.circuit,
+                    &g.job.params,
+                    &g.job.initial,
+                    &g.job.charged_op,
+                )
+            }));
+            match outcome {
+                Ok(charged) => g.state.complete(Ok(EvalResult {
+                    charged,
+                    free: Vec::new(),
+                    shots: 0,
+                })),
+                Err(payload) => {
+                    handle_panic(shared, payload, backend, std::slice::from_ref(g), retry_out);
+                }
+            }
+        }
+    }
+}
+
+/// Disposes of one job whose target backend is quarantined: execute it on a healthy
+/// capability-compatible standby if the submission opted into failover, otherwise fail
+/// fast with [`ExecError::BackendQuarantined`] (no retry — retrying against the same
+/// quarantined target would just spin).
+fn dispose_quarantined(
+    shared: &Shared,
+    drivers: &mut [Box<dyn Backend + Send>],
+    g: &QueuedJob,
+    retry_out: &mut Vec<QueuedJob>,
+) {
+    if g.failover {
+        let standby = {
+            let q = shared.queue.lock().unwrap();
+            let caps: Vec<BackendCaps> = shared.meta.iter().map(|m| m.caps).collect();
+            supervisor::select_failover(&caps, &q.health, g.backend, &g.require)
+        };
+        if let Some(idx) = standby {
+            shared.queue.lock().unwrap().stats.failovers += 1;
+            run_single(shared, drivers, idx, g, retry_out);
+            return;
+        }
+    }
+    g.state.complete(Err(ExecError::BackendQuarantined {
+        backend: shared.meta[g.backend].name.clone(),
+    }));
+}
+
 /// Executes one slate: consecutive same-backend evaluation jobs become one
 /// `evaluate_batch` submission (probes run singly through `probe`), in slate order, so
 /// the realized execution is exactly the serial replay of the scheduled order.
-fn execute_slate(shared: &Shared, drivers: &mut [Box<dyn Backend + Send>], slate: &[QueuedJob]) {
+/// Returns the jobs that earned a retry (re-queued by the worker for the next slate).
+fn execute_slate(
+    shared: &Shared,
+    drivers: &mut [Box<dyn Backend + Send>],
+    slate: &[QueuedJob],
+) -> Vec<QueuedJob> {
+    let mut retry_out = Vec::new();
     let mut start = 0;
     while start < slate.len() {
         let backend = slate[start].backend;
@@ -632,6 +1121,13 @@ fn execute_slate(shared: &Shared, drivers: &mut [Box<dyn Backend + Send>], slate
             end += 1;
         }
         let group = &slate[start..end];
+        if !ensure_healthy(shared, drivers, backend) {
+            for g in group {
+                dispose_quarantined(shared, drivers, g, &mut retry_out);
+            }
+            start = end;
+            continue;
+        }
         match kind {
             JobKind::Evaluate => {
                 let free_refs: Vec<Vec<&PauliOp>> = group
@@ -662,38 +1158,25 @@ fn execute_slate(shared: &Shared, drivers: &mut [Box<dyn Backend + Send>], slate
                             g.state.complete(Ok(result));
                         }
                     }
-                    Err(payload) => {
-                        let msg = panic_message(payload);
-                        for g in group {
-                            g.state.complete(Err(ExecError::Execution(msg.clone())));
-                        }
-                    }
+                    Err(payload) => handle_panic(shared, payload, backend, group, &mut retry_out),
                 }
             }
             JobKind::Probe => {
                 for g in group {
-                    let driver = &mut drivers[backend];
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        driver.probe(
-                            &g.job.circuit,
-                            &g.job.params,
-                            &g.job.initial,
-                            &g.job.charged_op,
-                        )
-                    }));
-                    g.state.complete(match outcome {
-                        Ok(charged) => Ok(EvalResult {
-                            charged,
-                            free: Vec::new(),
-                            shots: 0,
-                        }),
-                        Err(payload) => Err(ExecError::Execution(panic_message(payload))),
-                    });
+                    // A panic earlier in this probe group may have quarantined the
+                    // backend mid-group; the rest of the group must not touch the
+                    // corrupted driver.
+                    if !currently_healthy(shared, backend) {
+                        dispose_quarantined(shared, drivers, g, &mut retry_out);
+                        continue;
+                    }
+                    run_single(shared, drivers, backend, g, &mut retry_out);
                 }
             }
         }
         start = end;
     }
+    retry_out
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -701,8 +1184,49 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(t) = payload.downcast_ref::<TransientFault>() {
+        t.0.clone()
     } else {
         "unknown panic payload".to_string()
+    }
+}
+
+/// Drops every queued/retrying job whose deadline has passed, completing it with
+/// [`ExecError::DeadlineExceeded`].  Runs before every slate *and* on every timed
+/// wait wake-up, so deadlines fire even while the executor is paused or idle.
+fn sweep_expired(shared: &Shared, q: &mut QueueState) {
+    let now = Instant::now();
+    let mut expired: Vec<QueuedJob> = Vec::new();
+    for qi in 0..q.queues.len() {
+        let mut i = 0;
+        while i < q.queues[qi].len() {
+            if q.queues[qi][i].job.deadline.is_some_and(|d| d <= now) {
+                expired.push(q.queues[qi].remove(i).expect("index in range"));
+                q.pending -= 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    let mut i = 0;
+    while i < q.retries.len() {
+        if q.retries[i].job.deadline.is_some_and(|d| d <= now) {
+            expired.push(q.retries.remove(i).expect("index in range"));
+        } else {
+            i += 1;
+        }
+    }
+    if expired.is_empty() {
+        return;
+    }
+    q.stats.expired += expired.len() as u64;
+    q.reclaim_retired();
+    for job in expired {
+        job.state.complete(Err(ExecError::DeadlineExceeded));
+    }
+    shared.space_cv.notify_all();
+    if q.is_idle() {
+        shared.idle_cv.notify_all();
     }
 }
 
@@ -731,31 +1255,58 @@ fn worker_loop(shared: &Arc<Shared>, mut drivers: Vec<Box<dyn Backend + Send>>) 
                             job.state.complete(Err(ExecError::ShutDown));
                         }
                     }
+                    while let Some(job) = q.retries.pop_front() {
+                        job.state.complete(Err(ExecError::ShutDown));
+                    }
                     q.pending = 0;
                     shared.idle_cv.notify_all();
+                    shared.space_cv.notify_all();
                     return;
                 }
-                if q.pause_depth == 0 && q.pending > 0 {
+                sweep_expired(shared, &mut q);
+                if q.pause_depth == 0 && (q.pending > 0 || !q.retries.is_empty()) {
                     break;
                 }
-                q = shared.work_cv.wait(q).unwrap();
+                // Bound the wait by the soonest queued deadline so expiry fires even
+                // while paused or otherwise unrunnable.
+                match q.earliest_deadline() {
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if deadline <= now {
+                            continue;
+                        }
+                        let (guard, _) = shared.work_cv.wait_timeout(q, deadline - now).unwrap();
+                        q = guard;
+                    }
+                    None => q = shared.work_cv.wait(q).unwrap(),
+                }
             }
+            q.round += 1;
             let slate = build_slate(&mut q);
             // Draining emptied every queue, so retired client slots become reusable.
             q.reclaim_retired();
             q.in_flight = slate.len();
             // Sequence numbers record the scheduled order, assigned before execution so
-            // even a panicking group leaves a complete replay record.
+            // even a panicking group leaves a complete replay record.  A retried job
+            // keeps the number from its first scheduling: the retry re-executes the
+            // same position in the replay, it does not occupy a new one.
             for job in &slate {
-                job.state
-                    .set_sequence(shared.next_seq.fetch_add(1, Ordering::SeqCst));
+                if !job.state.has_sequence() {
+                    job.state
+                        .set_sequence(shared.next_seq.fetch_add(1, Ordering::SeqCst));
+                }
             }
+            drop(q);
+            // The drained queues freed admission space.
+            shared.space_cv.notify_all();
             slate
         };
-        execute_slate(shared, &mut drivers, &slate);
+        let retry_jobs = execute_slate(shared, &mut drivers, &slate);
         let mut q = shared.queue.lock().unwrap();
+        q.stats.retries += retry_jobs.len() as u64;
+        q.retries.extend(retry_jobs);
         q.in_flight = 0;
-        if q.pending == 0 {
+        if q.is_idle() {
             shared.idle_cv.notify_all();
         }
     }

@@ -5,6 +5,7 @@ use crate::executor::Shared;
 use qcircuit::Circuit;
 use qop::PauliOp;
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
 use vqa::{BackendCaps, EvalResult, InitialState};
 
 /// Per-job scheduling priority: higher values execute first; equal priorities are served
@@ -33,6 +34,12 @@ pub struct EvalJob {
     pub charged_op: Arc<PauliOp>,
     /// Observables evaluated exactly at zero shot cost on the same state.
     pub free_ops: Vec<Arc<PauliOp>>,
+    /// Optional completion deadline.  A job whose deadline has passed before it is
+    /// scheduled is dropped by the scheduler with [`ExecError::DeadlineExceeded`]
+    /// instead of wasting backend time on work nobody is still waiting for.  Work that
+    /// has already started executing is never aborted mid-flight (the serial-replay
+    /// contract), so a deadline bounds *queueing* latency, not execution time.
+    pub deadline: Option<Instant>,
 }
 
 impl EvalJob {
@@ -49,6 +56,7 @@ impl EvalJob {
             initial,
             charged_op,
             free_ops: Vec::new(),
+            deadline: None,
         }
     }
 
@@ -56,6 +64,17 @@ impl EvalJob {
     pub fn with_free_ops(mut self, free_ops: Vec<Arc<PauliOp>>) -> Self {
         self.free_ops = free_ops;
         self
+    }
+
+    /// Sets an absolute completion deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now (builder style).
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
     }
 
     /// Validates the job's shapes, reporting the first problem as an [`ExecError`].
@@ -115,6 +134,19 @@ pub struct SubmitOptions {
     /// Capabilities the backend must advertise; submission fails with
     /// [`ExecError::MissingCapability`] if the selected backend lacks one.
     pub require: BackendCaps,
+    /// How many times a failed execution may be retried (default 0).  Retries require
+    /// the target backend to advertise [`vqa::BackendCaps::retry_safe`] — re-executing
+    /// an idempotent job is observationally invisible to every other job, so retried
+    /// runs stay bit-identical to a fault-free serial replay.  Submission fails with
+    /// [`ExecError::MissingCapability`] (`"retry_safe"`) when retries are requested on
+    /// a backend that cannot honor that contract.  The executor additionally clamps
+    /// this to its configured retry limit.
+    pub retries: u32,
+    /// Whether the job may fail over to another registered backend that satisfies
+    /// [`SubmitOptions::require`] when its target backend is quarantined after a driver
+    /// panic (default `false`: quarantine fails the job fast with
+    /// [`ExecError::BackendQuarantined`]).
+    pub failover: bool,
 }
 
 /// Completion state shared between a handle and the scheduler.
@@ -137,6 +169,12 @@ impl JobState {
 
     pub(crate) fn set_sequence(&self, seq: u64) {
         let _ = self.seq.set(seq);
+    }
+
+    /// Whether a sequence number was already assigned (true for retried jobs, which
+    /// keep the number from their first scheduling).
+    pub(crate) fn has_sequence(&self) -> bool {
+        self.seq.get().is_some()
     }
 }
 
@@ -161,6 +199,23 @@ impl JobHandle {
             slot = self.state.cv.wait(slot).unwrap();
         }
         slot.as_ref().unwrap().clone()
+    }
+
+    /// Blocks until the job completes or `timeout` elapses, returning `None` on
+    /// timeout.  A timed-out wait does **not** cancel the job — it stays queued (pair
+    /// with a job deadline to bound how long it can linger) and can be waited on again.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<EvalResult, ExecError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.state.cv.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+        }
+        Some(slot.as_ref().unwrap().clone())
     }
 
     /// The job's result if it has already completed (non-blocking).

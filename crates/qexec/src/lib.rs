@@ -31,6 +31,33 @@
 //! fair-ordered slate deterministically (the TreeVQA controller does this every round
 //! phase).
 //!
+//! # The robustness contract
+//!
+//! The service degrades structurally, never silently, under five cooperating
+//! mechanisms:
+//!
+//! * **Deadlines** — [`EvalJob::with_deadline`] / [`EvalJob::with_timeout`] bound a
+//!   job's *queueing* latency: the scheduler drops expired jobs before slate assembly
+//!   (even while paused) with [`ExecError::DeadlineExceeded`], and
+//!   [`JobHandle::wait_timeout`] bounds the client's wait.
+//! * **Admission control** — [`ExecutorBuilder::queue_capacity`] /
+//!   [`ExecutorBuilder::per_client_capacity`] (or the `QEXEC_QUEUE_CAP` environment
+//!   variable) bound the queues; the [`AdmissionPolicy`] decides whether overflow
+//!   rejects with [`ExecError::Overloaded`], blocks the submitter, or sheds the
+//!   queued job that matters least.
+//! * **Supervision** — a hard driver panic quarantines its backend; queued jobs
+//!   targeting it fail fast with [`ExecError::BackendQuarantined`] or fail over to a
+//!   capability-compatible standby ([`SubmitOptions::failover`]); the supervisor
+//!   rebuilds the driver's caches ([`vqa::Backend::recover`]) and readmits it once a
+//!   canary probe passes (see [`supervisor`]).
+//! * **Retries** — [`SubmitOptions::retries`] re-queues failed executions of
+//!   idempotent jobs (the backend must advertise [`vqa::BackendCaps::retry_safe`]),
+//!   one slate after the failure; a successful retry is bit-identical to a fault-free
+//!   first attempt, so retries never violate serial-replay equivalence.
+//! * **Fault injection** — the [`fault`] module wraps any backend in a seeded,
+//!   counter-deterministic [`fault::FaultyBackend`] so every path above is exercised
+//!   reproducibly in CI.
+//!
 //! # The serial-replay equivalence contract
 //!
 //! **Executor results are bit-identical to the serial replay of the scheduled order**:
@@ -72,13 +99,21 @@
 
 mod error;
 mod executor;
+pub mod fault;
 mod job;
 mod runner;
+pub mod supervisor;
 
 pub use error::ExecError;
-pub use executor::{ExecClient, Executor, ExecutorBuilder, PauseGuard, DEFAULT_BACKEND};
+pub use executor::{
+    AdmissionPolicy, ExecClient, ExecStats, Executor, ExecutorBuilder, PauseGuard, DEFAULT_BACKEND,
+    DEFAULT_RETRY_LIMIT,
+};
 pub use job::{wait_all, EvalJob, JobHandle, Priority, SubmitOptions};
-pub use runner::{drive_optimizer_iteration, run_baseline, run_single_vqa};
+pub use runner::{
+    drive_optimizer_iteration, drive_optimizer_iteration_with, run_baseline, run_single_vqa,
+};
+pub use supervisor::BackendHealth;
 
 // Re-exported so executor callers can name capabilities and run records without a direct
 // `vqa` dependency.

@@ -156,17 +156,42 @@ pub fn drive_optimizer_iteration(
     charged_op: &Arc<PauliOp>,
     free_ops: &[Arc<PauliOp>],
 ) -> Result<(qopt::IterationStats, u64), ExecError> {
+    drive_optimizer_iteration_with(
+        client, optimizer, params, ansatz, initial, charged_op, free_ops, None,
+    )
+}
+
+/// [`drive_optimizer_iteration`] with a per-phase timeout: every job of a phase
+/// carries a deadline `phase_timeout` from its submission, so a phase queued behind a
+/// congested (or stalled) executor fails with [`ExecError::DeadlineExceeded`] instead
+/// of wedging the optimization loop.  `None` submits without deadlines.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_optimizer_iteration_with(
+    client: &ExecClient,
+    optimizer: &mut dyn qopt::Optimizer,
+    params: &mut Vec<f64>,
+    ansatz: &Arc<Circuit>,
+    initial: &InitialState,
+    charged_op: &Arc<PauliOp>,
+    free_ops: &[Arc<PauliOp>],
+    phase_timeout: Option<std::time::Duration>,
+) -> Result<(qopt::IterationStats, u64), ExecError> {
     let mut shots = 0u64;
     loop {
         let candidates = optimizer.propose(params);
+        let deadline = phase_timeout.map(|t| std::time::Instant::now() + t);
         let handles = client.submit_all(candidates.iter().map(|candidate| {
-            EvalJob::new(
+            let mut job = EvalJob::new(
                 Arc::clone(ansatz),
                 candidate.clone(),
                 *initial,
                 Arc::clone(charged_op),
             )
-            .with_free_ops(free_ops.to_vec())
+            .with_free_ops(free_ops.to_vec());
+            if let Some(d) = deadline {
+                job = job.with_deadline(d);
+            }
+            job
         }))?;
         let mut values = Vec::with_capacity(handles.len());
         for handle in &handles {

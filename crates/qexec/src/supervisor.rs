@@ -1,0 +1,127 @@
+//! Backend supervision: quarantine after a driver panic, canary readmission, and
+//! failover selection.
+//!
+//! The worker thread owns the boxed drivers, so supervision is not a separate thread —
+//! it is a health table consulted at dispatch time.  A hard driver panic quarantines
+//! the backend; while quarantined, jobs targeting it fail fast with
+//! [`crate::ExecError::BackendQuarantined`] or fail over to a capability-compatible
+//! standby ([`crate::SubmitOptions::failover`]).  Before readmission the supervisor
+//! calls [`vqa::Backend::recover`] (rebuilding the driver's scratch buffers and
+//! compiled-circuit caches from scratch, since a panic may have left them
+//! half-written) and probes the driver with a canary job; canary failures push the
+//! next attempt out with exponential backoff measured in scheduler rounds, keeping the
+//! whole lifecycle deterministic under the fault-injection harness.
+
+use qcircuit::{Circuit, Gate};
+use qop::PauliOp;
+use vqa::{Backend, BackendCaps, InitialState};
+
+/// Internal health state of one registered backend (lives in the queue-lock-protected
+/// scheduler state; the queue lock is the health lock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Health {
+    /// Serving jobs normally.
+    Healthy,
+    /// A driver panic tripped supervision; jobs fail fast or fail over until a canary
+    /// probe succeeds.
+    Quarantined {
+        /// Consecutive failures (the initial panic plus failed canaries) — drives the
+        /// readmission backoff.
+        failures: u32,
+        /// First scheduler round at which the next canary may run.
+        next_canary_round: u64,
+    },
+}
+
+/// A backend's health as observed through [`crate::Executor::backend_health`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendHealth {
+    /// The backend is serving jobs.
+    Healthy,
+    /// The backend is quarantined after a driver panic and awaiting canary readmission.
+    Quarantined {
+        /// Consecutive failures so far (the initial panic plus any failed canaries).
+        failures: u32,
+    },
+}
+
+impl From<Health> for BackendHealth {
+    fn from(h: Health) -> Self {
+        match h {
+            Health::Healthy => BackendHealth::Healthy,
+            Health::Quarantined { failures, .. } => BackendHealth::Quarantined { failures },
+        }
+    }
+}
+
+/// Scheduler rounds to wait before canary attempt `failures + 1`: exponential backoff
+/// capped at 64 rounds.  Rounds, not wall time, so the lifecycle replays exactly under
+/// the seeded fault harness.
+pub(crate) fn backoff_rounds(failures: u32) -> u64 {
+    1u64 << failures.min(6)
+}
+
+/// Probes a recovering driver with a minimal known-good job (H on one qubit, ⟨Z⟩ = 0):
+/// rebuilds its caches via [`Backend::recover`], then checks the probe neither panics
+/// nor returns a non-finite value.  The canary is uncharged and parameter-free, so a
+/// readmitted stochastic backend's RNG stream is untouched.
+pub(crate) fn canary(driver: &mut (dyn Backend + Send)) -> bool {
+    driver.recover();
+    let mut circuit = Circuit::new(1);
+    circuit.push(Gate::H(0));
+    let op = PauliOp::from_labels(1, &[("Z", 1.0)]);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        driver.probe(&circuit, &[], &InitialState::Basis(0), &op)
+    }));
+    matches!(outcome, Ok(v) if v.is_finite())
+}
+
+/// First healthy registration-order backend other than `exclude` that satisfies
+/// `require` — the standby a [`crate::SubmitOptions::failover`] job executes on while
+/// its target is quarantined.
+pub(crate) fn select_failover(
+    caps: &[BackendCaps],
+    health: &[Health],
+    exclude: usize,
+    require: &BackendCaps,
+) -> Option<usize> {
+    (0..caps.len()).find(|&i| {
+        i != exclude && health[i] == Health::Healthy && caps[i].first_missing(require).is_none()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqa::StatevectorBackend;
+
+    #[test]
+    fn canary_passes_on_a_healthy_backend() {
+        let mut driver = StatevectorBackend::with_shots(0);
+        assert!(canary(&mut driver));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        assert_eq!(backoff_rounds(0), 1);
+        assert_eq!(backoff_rounds(1), 2);
+        assert_eq!(backoff_rounds(3), 8);
+        assert_eq!(backoff_rounds(6), 64);
+        assert_eq!(backoff_rounds(40), 64);
+    }
+
+    #[test]
+    fn failover_skips_the_excluded_and_quarantined() {
+        let caps = [BackendCaps::default(), BackendCaps::default()];
+        let health = [
+            Health::Quarantined {
+                failures: 1,
+                next_canary_round: 5,
+            },
+            Health::Healthy,
+        ];
+        let require = BackendCaps::default();
+        assert_eq!(select_failover(&caps, &health, 0, &require), Some(1));
+        assert_eq!(select_failover(&caps, &health, 1, &require), None);
+    }
+}

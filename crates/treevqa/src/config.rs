@@ -56,6 +56,12 @@ pub struct TreeVqaConfig {
     pub min_split_size: usize,
     /// Record an application-level history row every this many controller rounds.
     pub record_every: usize,
+    /// Optional per-phase timeout in milliseconds: every round-phase job carries a
+    /// deadline this far from its submission, so a phase stuck behind a congested or
+    /// stalled executor surfaces `DeadlineExceeded` instead of wedging the controller.
+    /// `None` (the default) submits without deadlines.
+    #[serde(default)]
+    pub phase_timeout_ms: Option<u64>,
     /// Base RNG seed (optimizers and spectral-clustering k-means derive their seeds from
     /// it deterministically).
     pub seed: u64,
@@ -70,6 +76,7 @@ impl Default for TreeVqaConfig {
             split_policy: SplitPolicy::default_adaptive(),
             min_split_size: 2,
             record_every: 5,
+            phase_timeout_ms: None,
             seed: 7,
         }
     }
@@ -100,6 +107,9 @@ impl TreeVqaConfig {
         }
         if self.max_cluster_iterations == 0 {
             return Err(ConfigError("max_cluster_iterations must be positive"));
+        }
+        if self.phase_timeout_ms == Some(0) {
+            return Err(ConfigError("phase_timeout_ms must be positive when set"));
         }
         if let SplitPolicy::ForcedSingle { at_fraction } = self.split_policy {
             if !(at_fraction > 0.0 && at_fraction <= 1.0) {

@@ -311,6 +311,13 @@ impl TreeVqa {
                 // RAII pause: released at the end of the block even if a propose()
                 // panics, so a shared executor can never be left paused by this run.
                 let pause = executor.scoped_pause();
+                // One deadline for the whole phase when configured: every cluster's
+                // jobs expire together, so a stalled phase fails as a unit with
+                // `DeadlineExceeded` instead of wedging the controller.
+                let phase_deadline = self
+                    .config
+                    .phase_timeout_ms
+                    .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
                 let submitted: Result<Vec<(usize, Vec<JobHandle>)>, ExecError> = active
                     .iter()
                     .map(|&idx| {
@@ -319,13 +326,17 @@ impl TreeVqa {
                         let members = clusters[idx].member_hamiltonians().to_vec();
                         let handles =
                             clients[idx].submit_all(candidates.iter().map(|candidate| {
-                                EvalJob::new(
+                                let mut job = EvalJob::new(
                                     Arc::clone(&ansatz),
                                     candidate.clone(),
                                     app.initial_state,
                                     Arc::clone(&mixed),
                                 )
-                                .with_free_ops(members.clone())
+                                .with_free_ops(members.clone());
+                                if let Some(deadline) = phase_deadline {
+                                    job = job.with_deadline(deadline);
+                                }
+                                job
                             }))?;
                         Ok((idx, handles))
                     })

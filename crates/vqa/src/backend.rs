@@ -86,6 +86,12 @@ pub struct BackendCaps {
     /// Simulates noise by stochastic Pauli-trajectory rollouts (implies per-evaluation
     /// RNG streams that the executor's serial-replay contract preserves).
     pub trajectories: bool,
+    /// Evaluations are **idempotent**: re-executing a request consumes no cross-request
+    /// mutable state (no shared RNG stream, no evaluation counter), so the execution
+    /// service may retry a failed job — or execute a half-failed batch twice — without
+    /// changing any *other* job's result.  True for the exact backends; false for
+    /// stream-stateful stochastic backends, whose retry would shift every later draw.
+    pub retry_safe: bool,
 }
 
 impl BackendCaps {
@@ -104,6 +110,8 @@ impl BackendCaps {
             Some("noise")
         } else if req.trajectories && !self.trajectories {
             Some("trajectories")
+        } else if req.retry_safe && !self.retry_safe {
+            Some("retry_safe")
         } else {
             None
         }
@@ -168,6 +176,16 @@ pub trait Backend {
     fn capabilities(&self) -> BackendCaps {
         BackendCaps::default()
     }
+
+    /// Discards every rebuildable internal structure (compiled-circuit caches, scratch
+    /// statevector pools) so the next evaluation rebuilds them from scratch.
+    ///
+    /// The execution service calls this on a backend it has **quarantined** after a
+    /// driver panic, before probing it with a canary job: a panic may have unwound
+    /// mid-kernel and left scratch state partially written, so recovery must not trust
+    /// anything derived.  Results are unaffected — caches and pools only amortize work.
+    /// The default is a no-op for backends that hold no rebuildable state.
+    fn recover(&mut self) {}
 }
 
 /// Maximum number of scratch statevectors live at once in a batched evaluation; larger
@@ -253,6 +271,11 @@ impl<V> CircuitCache<V> {
         }
         &self.entries[0].1
     }
+
+    /// Drops every entry (quarantine recovery rebuilds derived data from scratch).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 /// The dense backends' compiled-circuit cache.
@@ -273,6 +296,11 @@ impl CompiledCache {
     fn get(&mut self, circuit: &Circuit) -> &CompiledCircuit {
         self.inner
             .get_or_insert_with(circuit, CompiledCircuit::compile)
+    }
+
+    /// Drops every cached compilation (quarantine recovery; see [`Backend::recover`]).
+    fn clear(&mut self) {
+        self.inner.clear();
     }
 }
 
@@ -295,6 +323,12 @@ impl ScratchPool {
     pub(crate) fn state(&mut self, num_qubits: usize) -> &mut Statevector {
         self.ensure(1, num_qubits);
         &mut self.states[0]
+    }
+
+    /// Frees every pooled state (quarantine recovery: a mid-kernel unwind may have left
+    /// a scratch state partially written; the pool regrows on demand).
+    pub(crate) fn clear(&mut self) {
+        self.states.clear();
     }
 }
 
@@ -544,8 +578,15 @@ impl Backend for StatevectorBackend {
     fn capabilities(&self) -> BackendCaps {
         BackendCaps {
             batch: true,
+            // Exact evaluation holds no cross-request state: retries are bit-identical.
+            retry_safe: true,
             ..BackendCaps::default()
         }
+    }
+
+    fn recover(&mut self) {
+        self.cache.clear();
+        self.pool.clear();
     }
 }
 
@@ -689,11 +730,18 @@ impl Backend for SampledBackend {
     }
 
     fn capabilities(&self) -> BackendCaps {
+        // `retry_safe` stays false: the sampler draws from one sequential RNG stream,
+        // so re-executing a request would shift every later request's draw.
         BackendCaps {
             batch: true,
             shots: true,
             ..BackendCaps::default()
         }
+    }
+
+    fn recover(&mut self) {
+        self.cache.clear();
+        self.pool.clear();
     }
 }
 
@@ -811,12 +859,17 @@ impl Backend for NoisyBackend {
 
     fn capabilities(&self) -> BackendCaps {
         // No batched fast path: the analytic noisy backend runs the trait's default
-        // serial batch loop.
+        // serial batch loop.  Not retry-safe: shot noise draws from a sequential RNG.
         BackendCaps {
             shots: true,
             noise: true,
             ..BackendCaps::default()
         }
+    }
+
+    fn recover(&mut self) {
+        self.cache.clear();
+        self.pool.clear();
     }
 }
 
@@ -921,6 +974,17 @@ impl Backend for PauliPropagationBackend {
 
     fn name(&self) -> &'static str {
         "pauli-propagation"
+    }
+
+    fn capabilities(&self) -> BackendCaps {
+        // Heisenberg-picture propagation is a pure function of the request: no RNG, no
+        // cross-request state, so retries (and half-failed batch re-executions) cannot
+        // perturb any other job.
+        BackendCaps {
+            noise: self.noise.is_some(),
+            retry_safe: true,
+            ..BackendCaps::default()
+        }
     }
 }
 

@@ -221,8 +221,13 @@ impl<B: Backend> Backend for ZneBackend<B> {
 
     fn capabilities(&self) -> crate::BackendCaps {
         // Mitigation is transparent: the wrapper batches iff the inner backend batches,
-        // and inherits its noise/shot/trajectory character.
+        // and inherits its noise/shot/trajectory/retry character.
         self.inner.capabilities()
+    }
+
+    fn recover(&mut self) {
+        self.folded.clear();
+        self.inner.recover();
     }
 }
 

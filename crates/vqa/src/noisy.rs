@@ -328,12 +328,21 @@ impl Backend for NoisyStatevectorBackend {
     }
 
     fn capabilities(&self) -> BackendCaps {
+        // Not retry-safe: the per-evaluation noise stream is indexed by `evals_issued`
+        // (and shot sampling by a sequential RNG), so a re-execution would advance the
+        // counter and shift every later evaluation's trajectory stream.
         BackendCaps {
             batch: true,
             shots: self.sample_shots,
             noise: true,
             trajectories: true,
+            retry_safe: false,
         }
+    }
+
+    fn recover(&mut self) {
+        self.cache.clear();
+        self.pool.clear();
     }
 }
 

@@ -22,6 +22,13 @@ use vqa::{
 };
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let family = Ieee14Family::new(0.9, 1.1, 6);
     let graphs = family.graphs();
     println!(
@@ -33,8 +40,7 @@ fn main() {
     // Shared ma-QAOA ansatz built from the first instance's cost structure (all instances
     // are isomorphic, so the term structure is identical).
     let costs: Vec<_> = graphs.iter().map(maxcut_cost_hamiltonian).collect();
-    let qaoa = QaoaAnsatz::new(&costs[0], 1, QaoaStyle::MultiAngle)
-        .expect("MaxCut cost Hamiltonians are diagonal");
+    let qaoa = QaoaAnsatz::new(&costs[0], 1, QaoaStyle::MultiAngle)?;
     let ansatz = qaoa.build();
     let initial_point = red_qaoa_initial_point(&qaoa, &graphs[0]);
 
@@ -70,8 +76,7 @@ fn main() {
     };
     let baseline = run_baseline(&application, &initial_point, &baseline_config, &mut |_| {
         Box::new(StatevectorBackend::new()) as Box<dyn vqa::Backend + Send>
-    })
-    .expect("well-formed application");
+    })?;
 
     // TreeVQA: one run for the whole family.
     let config = TreeVqaConfig {
@@ -81,11 +86,9 @@ fn main() {
         seed: 5,
         ..Default::default()
     };
-    let tree_vqa = TreeVqa::new(application.clone(), config);
+    let tree_vqa = TreeVqa::try_new(application.clone(), config)?;
     let executor = Executor::single(StatevectorBackend::new());
-    let result = tree_vqa
-        .run_with_initial(&executor, &initial_point)
-        .expect("well-formed application");
+    let result = tree_vqa.run_with_initial(&executor, &initial_point)?;
 
     println!("\n  load   max-cut(exact)   TreeVQA cut   approx. ratio");
     for (outcome, graph) in result.per_task.iter().zip(&graphs) {
@@ -106,4 +109,5 @@ fn main() {
         println!("  shot savings   : {ratio:.1}x");
     }
     println!("  tree critical depth: {}", result.tree.critical_depth());
+    Ok(())
 }

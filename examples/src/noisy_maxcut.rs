@@ -32,12 +32,18 @@ fn device_model() -> PauliNoiseModel {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let trajectories = qnoise::default_trajectories().min(32);
     let family = Ieee14Family::new(0.9, 1.1, 6);
     let graphs = family.graphs();
     let costs: Vec<_> = graphs.iter().map(maxcut_cost_hamiltonian).collect();
-    let qaoa = QaoaAnsatz::new(&costs[0], 1, QaoaStyle::MultiAngle)
-        .expect("MaxCut cost Hamiltonians are diagonal");
+    let qaoa = QaoaAnsatz::new(&costs[0], 1, QaoaStyle::MultiAngle)?;
     let ansatz = qaoa.build();
     let initial_point = red_qaoa_initial_point(&qaoa, &graphs[0]);
     let model = device_model();
@@ -75,23 +81,19 @@ fn main() {
     };
 
     // Arm 1: TreeVQA as a client of an ideal execution service.
-    let tree_vqa = TreeVqa::new(application.clone(), config.clone());
+    let tree_vqa = TreeVqa::try_new(application.clone(), config.clone())?;
     let ideal_exec = Executor::single(StatevectorBackend::new());
-    let ideal = tree_vqa
-        .run_with_initial(&ideal_exec, &initial_point)
-        .expect("well-formed application");
+    let ideal = tree_vqa.run_with_initial(&ideal_exec, &initial_point)?;
 
     // Arm 2: the same controller against a noisy-trajectory service.  Each round's jobs
     // coalesce into one batched submission, so the K-trajectory rollouts ride the
     // scratch-pool engine.
-    let tree_vqa = TreeVqa::new(application.clone(), config);
+    let tree_vqa = TreeVqa::try_new(application.clone(), config)?;
     let noisy_exec = Executor::single(
         NoisyStatevectorBackend::new(model.clone(), qsim::DEFAULT_SHOTS_PER_PAULI, 5)
             .with_trajectories(trajectories),
     );
-    let noisy = tree_vqa
-        .run_with_initial(&noisy_exec, &initial_point)
-        .expect("well-formed application");
+    let noisy = tree_vqa.run_with_initial(&noisy_exec, &initial_point)?;
 
     println!("\n  load   max-cut   ideal-ratio   noisy-ratio");
     for ((ideal_task, noisy_task), graph) in ideal.per_task.iter().zip(&noisy.per_task).zip(&graphs)
@@ -148,42 +150,39 @@ fn main() {
         &initial_point,
         &opt_exec.client(),
         &run_config,
-    )
-    .expect("well-formed application");
+    )?;
     let theta = Arc::new(noisy_run.final_params.clone());
     let ansatz = Arc::new(application.ansatz.clone());
     let ham = Arc::new(application.tasks[idx].hamiltonian.clone());
 
-    let estimate = |backend: &str| -> f64 {
+    let estimate = |backend: &str| -> Result<f64, qexec::ExecError> {
         let job = EvalJob::new(
             Arc::clone(&ansatz),
             theta.to_vec(),
             InitialState::Basis(0),
             Arc::clone(&ham),
         );
-        client
+        Ok(client
             .submit_with(
                 job,
                 &SubmitOptions {
                     backend: Some(backend.to_string()),
                     ..SubmitOptions::default()
                 },
-            )
-            .expect("well-formed job")
-            .wait()
-            .expect("executed")
-            .charged
+            )?
+            .wait()?
+            .charged)
     };
     let trajectory_backend = study_exec
         .find_backend(&BackendCaps {
             trajectories: true,
             ..BackendCaps::default()
         })
-        .expect("a trajectory-capable backend is registered");
+        .ok_or("no trajectory-capable backend is registered")?;
     assert_eq!(trajectory_backend, "noisy");
-    let ideal_e = estimate("ideal");
-    let noisy_e = estimate(&trajectory_backend);
-    let zne_e = estimate("zne");
+    let ideal_e = estimate("ideal")?;
+    let noisy_e = estimate(&trajectory_backend)?;
+    let zne_e = estimate("zne")?;
 
     let (max_cut, _) = graphs[idx].max_cut_brute_force();
     println!(
@@ -204,4 +203,5 @@ fn main() {
         (noisy_e - ideal_e).abs(),
         (zne_e - ideal_e).abs()
     );
+    Ok(())
 }

@@ -20,6 +20,13 @@ use treevqa::{SplitPolicy, TreeVqa, TreeVqaConfig};
 use vqa::{InitialState, StatevectorBackend, VqaApplication, VqaTask};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let molecule = MoleculeSpec::lih();
     let num_tasks = 10;
     println!(
@@ -57,9 +64,9 @@ fn main() {
         ..Default::default()
     };
 
-    let tree_vqa = TreeVqa::new(application, config);
+    let tree_vqa = TreeVqa::try_new(application, config)?;
     let executor = Executor::single(StatevectorBackend::new());
-    let result = tree_vqa.run(&executor).expect("well-formed application");
+    let result = tree_vqa.run(&executor)?;
 
     println!("\n  bond (Å)   E_TreeVQA      E_exact        fidelity");
     for (outcome, task) in result.per_task.iter().zip(&tree_vqa.application().tasks) {
@@ -74,4 +81,5 @@ fn main() {
     println!("\n  total shots: {}", result.total_shots);
     println!("  tree critical depth: {}", result.tree.critical_depth());
     println!("  execution tree:\n{}", result.tree.render());
+    Ok(())
 }

@@ -19,6 +19,13 @@ use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{metrics, InitialState, StatevectorBackend, VqaApplication, VqaRunConfig, VqaTask};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let molecule = MoleculeSpec::h2();
     let num_tasks = 5;
     println!(
@@ -77,8 +84,7 @@ fn main() {
     let zeros = vec![0.0; application.num_parameters()];
     let baseline = run_baseline(&application, &zeros, &baseline_config, &mut |_task| {
         Box::new(StatevectorBackend::new()) as Box<dyn vqa::Backend + Send>
-    })
-    .expect("well-formed application");
+    })?;
 
     // 3. TreeVQA: shared execution with adaptive branching.
     let tree_config = TreeVqaConfig {
@@ -90,9 +96,9 @@ fn main() {
     };
     // TreeVQA runs as a client of the execution service: the controller submits every
     // round's candidates as owned jobs and the executor batches them onto the backend.
-    let tree_vqa = TreeVqa::new(application.clone(), tree_config);
+    let tree_vqa = TreeVqa::try_new(application.clone(), tree_config)?;
     let executor = Executor::single(StatevectorBackend::new());
-    let tree_result = tree_vqa.run(&executor).expect("well-formed application");
+    let tree_result = tree_vqa.run(&executor)?;
 
     // 4. Report.
     let baseline_fid = metrics::mean_fidelity(&application.tasks, &baseline.best_energies());
@@ -139,4 +145,5 @@ fn main() {
         println!("\n  (neither method reached the candidate fidelity targets in this short run)");
     }
     println!("\n  execution tree:\n{}", tree_result.tree.render());
+    Ok(())
 }

@@ -38,7 +38,7 @@ fn compare(
     label: &str,
     application: &VqaApplication,
     mut make_backend: impl FnMut() -> Box<dyn Backend + Send>,
-) {
+) -> Result<(), Box<dyn std::error::Error>> {
     let optimizer = OptimizerSpec::Spsa(SpsaConfig {
         a: 0.25,
         ..Default::default()
@@ -54,8 +54,7 @@ fn compare(
     let zeros = vec![0.0; application.num_parameters()];
     let baseline = run_baseline(application, &zeros, &baseline_config, &mut |_| {
         make_backend()
-    })
-    .expect("well-formed application");
+    })?;
 
     let config = TreeVqaConfig {
         max_cluster_iterations: iterations,
@@ -64,9 +63,9 @@ fn compare(
         seed: 17,
         ..Default::default()
     };
-    let tree_vqa = TreeVqa::new(application.clone(), config);
+    let tree_vqa = TreeVqa::try_new(application.clone(), config)?;
     let executor = Executor::single_boxed(make_backend());
-    let result = tree_vqa.run(&executor).expect("well-formed application");
+    let result = tree_vqa.run(&executor)?;
 
     let base_fid = metrics::mean_fidelity(&application.tasks, &baseline.best_energies());
     let tree_fid = metrics::mean_fidelity(&application.tasks, &result.energies());
@@ -78,9 +77,17 @@ fn compare(
         tree_fid.unwrap_or(f64::NAN),
         result.tree.num_splits()
     );
+    Ok(())
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let application = build_application(6);
     println!(
         "Transverse-field Ising sweep: {} tasks on {} qubits",
@@ -90,9 +97,9 @@ fn main() {
 
     compare("noiseless", &application, || {
         Box::new(StatevectorBackend::new()) as Box<dyn Backend + Send>
-    });
+    })?;
 
-    let model = NoiseModel::by_name("cairo").expect("synthetic backend exists");
+    let model = NoiseModel::by_name("cairo").ok_or("unknown noise model \"cairo\"")?;
     compare("noisy", &application, move || {
         Box::new(NoisyBackend::new(
             model.clone(),
@@ -100,5 +107,6 @@ fn main() {
             qsim::DEFAULT_SHOTS_PER_PAULI,
             23,
         )) as Box<dyn Backend + Send>
-    });
+    })?;
+    Ok(())
 }

@@ -1,0 +1,440 @@
+//! Robustness suite for the `qexec` service: queue-slot churn, admission control and
+//! backpressure, deadlines and timeouts, and shutdown/cancellation races.
+//!
+//! These tests exercise the fault-tolerance contract *without* injected driver faults
+//! (see `fault_injection.rs` for those): every handle must resolve to a structured
+//! result, bounded queues must refuse or shed exactly as their policy says, and the
+//! executor's slot table must stay bounded by the peak number of simultaneously live
+//! clients, not by how many were ever created.  CI runs this suite under
+//! `RAYON_NUM_THREADS ∈ {1, 2, 4}` alongside the determinism suite.
+
+use qcircuit::{Circuit, Entanglement, HardwareEfficientAnsatz};
+use qexec::{AdmissionPolicy, EvalJob, ExecError, Executor, JobHandle, Priority, SubmitOptions};
+use qop::PauliOp;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vqa::{InitialState, StatevectorBackend};
+
+fn demo_circuit(num_qubits: usize) -> Arc<Circuit> {
+    Arc::new(HardwareEfficientAnsatz::new(num_qubits, 1, Entanglement::Linear).build())
+}
+
+fn demo_op(num_qubits: usize) -> Arc<PauliOp> {
+    let mut label = String::from("Z");
+    while label.len() < num_qubits {
+        label.push('I');
+    }
+    Arc::new(PauliOp::from_labels(num_qubits, &[(label.as_str(), 1.0)]))
+}
+
+fn demo_job(circuit: &Arc<Circuit>, op: &Arc<PauliOp>, salt: usize) -> EvalJob {
+    let params: Vec<f64> = (0..circuit.num_parameters())
+        .map(|i| 0.03 * i as f64 + 0.017 * salt as f64)
+        .collect();
+    EvalJob::new(
+        Arc::clone(circuit),
+        params,
+        InitialState::Basis(0),
+        Arc::clone(op),
+    )
+}
+
+fn priority_opts(priority: Priority) -> SubmitOptions {
+    SubmitOptions {
+        priority,
+        ..SubmitOptions::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue-slot churn
+// ---------------------------------------------------------------------------
+
+/// Hundreds of sequential short-lived clients must not grow the slot table: each
+/// dropped client's slot is reused once its jobs drain, so `client_slots()` stays
+/// bounded by the peak number of simultaneously live clients.
+#[test]
+fn sequential_client_churn_keeps_slot_table_bounded() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::single(StatevectorBackend::new());
+    for round in 0..300 {
+        let handles: Vec<JobHandle> = {
+            let client = executor.client();
+            (0..2)
+                .map(|j| {
+                    client
+                        .submit(demo_job(&circuit, &op, round * 2 + j))
+                        .unwrap()
+                })
+                .collect()
+            // `client` drops here with jobs possibly still queued: the slot must be
+            // retired and reclaimed once they drain, never leaked.
+        };
+        for handle in &handles {
+            handle.wait().expect("churned job completes");
+        }
+    }
+    executor.wait_idle();
+    assert!(
+        executor.client_slots() <= 8,
+        "300 short-lived clients leaked queue slots: {} allocated",
+        executor.client_slots()
+    );
+}
+
+/// Concurrent churn: slots are bounded by simultaneous liveness even when many threads
+/// create and drop clients at once, and no submitted job is orphaned.
+#[test]
+fn concurrent_client_churn_keeps_slot_table_bounded() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Arc::new(Executor::single(StatevectorBackend::new()));
+    let threads = 8;
+    let rounds = 40;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let executor = Arc::clone(&executor);
+            let circuit = Arc::clone(&circuit);
+            let op = Arc::clone(&op);
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    let handle = {
+                        let client = executor.client();
+                        client
+                            .submit(demo_job(&circuit, &op, t * rounds + round))
+                            .unwrap()
+                    };
+                    handle.wait().expect("churned job completes");
+                }
+            });
+        }
+    });
+    executor.wait_idle();
+    assert!(
+        executor.client_slots() <= 4 * threads,
+        "concurrent churn leaked queue slots: {} allocated for {} peak clients",
+        executor.client_slots(),
+        threads
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Admission control & backpressure
+// ---------------------------------------------------------------------------
+
+/// `Reject` is the default policy: a full global queue fails the submission with
+/// `Overloaded` immediately, already-accepted jobs are unaffected, and the rejection
+/// counter records every refusal.
+#[test]
+fn reject_policy_fails_submissions_beyond_capacity() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .queue_capacity(4)
+        .paused()
+        .start();
+    let client = executor.client();
+    let handles: Vec<JobHandle> = (0..4)
+        .map(|j| client.submit(demo_job(&circuit, &op, j)).unwrap())
+        .collect();
+    for j in 4..8 {
+        assert_eq!(
+            client.submit(demo_job(&circuit, &op, j)).unwrap_err(),
+            ExecError::Overloaded,
+            "submission {j} should bounce off the full queue"
+        );
+    }
+    assert_eq!(executor.stats().rejected, 4);
+    executor.resume();
+    for handle in &handles {
+        handle.wait().expect("accepted jobs still complete");
+    }
+}
+
+/// The per-client bound is independent of the global one: one client saturating its own
+/// queue cannot block a second client from being admitted.
+#[test]
+fn per_client_capacity_is_isolated_per_client() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .per_client_capacity(2)
+        .paused()
+        .start();
+    let noisy_neighbor = executor.client();
+    let quiet = executor.client();
+    let mut handles = vec![
+        noisy_neighbor.submit(demo_job(&circuit, &op, 0)).unwrap(),
+        noisy_neighbor.submit(demo_job(&circuit, &op, 1)).unwrap(),
+    ];
+    assert_eq!(
+        noisy_neighbor
+            .submit(demo_job(&circuit, &op, 2))
+            .unwrap_err(),
+        ExecError::Overloaded
+    );
+    handles.push(
+        quiet
+            .submit(demo_job(&circuit, &op, 3))
+            .expect("a different client's queue has space even though the neighbor's is full"),
+    );
+    executor.resume();
+    for handle in &handles {
+        handle.wait().expect("admitted jobs complete");
+    }
+}
+
+/// `ShedLowestPriority` keeps the queue holding the highest-value work: an important
+/// newcomer evicts the least important queued job (which resolves `Overloaded`), while
+/// an unimportant newcomer is rejected outright.
+#[test]
+fn shedding_evicts_lowest_priority_and_rejects_unimportant_newcomers() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .queue_capacity(2)
+        .admission(AdmissionPolicy::ShedLowestPriority)
+        .paused()
+        .start();
+    let client = executor.client();
+    let low = client
+        .submit_with(demo_job(&circuit, &op, 0), &priority_opts(0))
+        .unwrap();
+    let mid = client
+        .submit_with(demo_job(&circuit, &op, 1), &priority_opts(5))
+        .unwrap();
+    // Queue full. A high-priority newcomer sheds the priority-0 job in its favor.
+    let high = client
+        .submit_with(demo_job(&circuit, &op, 2), &priority_opts(9))
+        .expect("important newcomer is admitted by shedding the least important job");
+    assert_eq!(low.wait().unwrap_err(), ExecError::Overloaded);
+    // Queue full again (mid + high). A newcomer that itself matters least is rejected
+    // instead of evicting more important queued work.
+    assert_eq!(
+        client
+            .submit_with(demo_job(&circuit, &op, 3), &priority_opts(0))
+            .unwrap_err(),
+        ExecError::Overloaded
+    );
+    let stats = executor.stats();
+    assert_eq!(stats.shed, 1, "exactly one queued job was shed");
+    assert_eq!(stats.rejected, 1, "exactly one newcomer was rejected");
+    executor.resume();
+    mid.wait().expect("surviving job completes");
+    high.wait().expect("admitted newcomer completes");
+}
+
+/// `Block` applies backpressure instead of failing: a submitter against a full queue
+/// parks until the worker drains space, and every admitted job still completes.
+#[test]
+fn block_policy_parks_submitters_until_space_drains() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .queue_capacity(2)
+        .admission(AdmissionPolicy::Block)
+        .start();
+    let client = executor.client();
+    // 24 submissions through a 2-deep queue: most of them must block and be released
+    // by the worker's drain notifications.
+    let handles: Vec<JobHandle> = (0..24)
+        .map(|j| {
+            client
+                .submit(demo_job(&circuit, &op, j))
+                .expect("blocking admission never fails while the executor is live")
+        })
+        .collect();
+    for handle in &handles {
+        handle.wait().expect("blocked-then-admitted job completes");
+    }
+    assert_eq!(executor.stats().rejected, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines & timeouts
+// ---------------------------------------------------------------------------
+
+/// A job whose deadline has already passed is refused at the submission boundary — it
+/// never occupies queue space.
+#[test]
+fn already_expired_deadline_is_rejected_at_submit() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::single(StatevectorBackend::new());
+    let client = executor.client();
+    let job = demo_job(&circuit, &op, 0).with_deadline(Instant::now() - Duration::from_millis(1));
+    assert_eq!(client.submit(job).unwrap_err(), ExecError::DeadlineExceeded);
+}
+
+/// Deadlines fire even while the executor is paused: the worker's timed wait sweeps
+/// expired jobs out of the queue without any scheduling happening.
+#[test]
+fn queued_job_expires_while_paused() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .paused()
+        .start();
+    let client = executor.client();
+    let doomed = client
+        .submit(demo_job(&circuit, &op, 0).with_timeout(Duration::from_millis(30)))
+        .unwrap();
+    let patient = client.submit(demo_job(&circuit, &op, 1)).unwrap();
+    // No resume: the deadline must fire anyway.
+    assert_eq!(doomed.wait().unwrap_err(), ExecError::DeadlineExceeded);
+    assert!(executor.stats().expired >= 1);
+    assert!(!patient.is_finished(), "undeadlined job is still queued");
+    executor.resume();
+    patient
+        .wait()
+        .expect("undeadlined job completes after resume");
+}
+
+/// `wait_timeout` observes without cancelling: it returns `None` while the job is
+/// pending and the result once the job runs.
+#[test]
+fn wait_timeout_polls_without_cancelling() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .paused()
+        .start();
+    let client = executor.client();
+    let handle = client.submit(demo_job(&circuit, &op, 0)).unwrap();
+    assert!(
+        handle.wait_timeout(Duration::from_millis(30)).is_none(),
+        "paused executor cannot have run the job yet"
+    );
+    executor.resume();
+    let result = handle
+        .wait_timeout(Duration::from_secs(30))
+        .expect("job runs promptly after resume");
+    result.expect("job completes successfully");
+}
+
+/// Mixed-deadline backlog: expired jobs drop with `DeadlineExceeded` ahead of slate
+/// assembly, the rest execute, and nothing hangs.
+#[test]
+fn expired_jobs_are_swept_ahead_of_surviving_work() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .paused()
+        .start();
+    let client = executor.client();
+    let mut doomed = Vec::new();
+    let mut alive = Vec::new();
+    for j in 0..6 {
+        let job = demo_job(&circuit, &op, j);
+        if j % 2 == 0 {
+            doomed.push(
+                client
+                    .submit(job.with_timeout(Duration::from_millis(20)))
+                    .unwrap(),
+            );
+        } else {
+            alive.push(client.submit(job).unwrap());
+        }
+    }
+    std::thread::sleep(Duration::from_millis(60));
+    executor.resume();
+    for handle in &doomed {
+        assert_eq!(handle.wait().unwrap_err(), ExecError::DeadlineExceeded);
+    }
+    for handle in &alive {
+        handle.wait().expect("undeadlined jobs execute normally");
+    }
+    assert!(executor.stats().expired >= doomed.len() as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown & cancellation races
+// ---------------------------------------------------------------------------
+
+/// Dropping the executor fails every still-queued job with `ShutDown`; no handle waits
+/// forever.
+#[test]
+fn shutdown_fails_queued_jobs_with_structured_error() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::builder()
+        .register(qexec::DEFAULT_BACKEND, StatevectorBackend::new())
+        .paused()
+        .start();
+    let client = executor.client();
+    let handles: Vec<JobHandle> = (0..5)
+        .map(|j| client.submit(demo_job(&circuit, &op, j)).unwrap())
+        .collect();
+    drop(executor);
+    for handle in &handles {
+        assert_eq!(handle.wait().unwrap_err(), ExecError::ShutDown);
+    }
+}
+
+/// Cancellation racing the scheduler: submitters, a canceller, and the draining worker
+/// all run concurrently, and every handle still resolves to exactly one of
+/// success / `Cancelled` / `ShutDown`.
+#[test]
+fn cancellation_races_resolve_every_handle() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Arc::new(Executor::single(StatevectorBackend::new()));
+    let mut all_handles = Vec::new();
+    std::thread::scope(|scope| {
+        let mut submitters = Vec::new();
+        for t in 0..4 {
+            let executor = Arc::clone(&executor);
+            let circuit = Arc::clone(&circuit);
+            let op = Arc::clone(&op);
+            submitters.push(scope.spawn(move || {
+                let client = executor.client();
+                let handles: Vec<JobHandle> = (0..20)
+                    .map(|j| client.submit(demo_job(&circuit, &op, t * 100 + j)).unwrap())
+                    .collect();
+                if t % 2 == 0 {
+                    // Half the clients cancel whatever of theirs is still queued,
+                    // racing the worker's slate assembly.
+                    client.cancel_queued();
+                }
+                handles
+            }));
+        }
+        for submitter in submitters {
+            all_handles.extend(submitter.join().unwrap());
+        }
+    });
+    executor.wait_idle();
+    for handle in &all_handles {
+        match handle.wait() {
+            Ok(_) | Err(ExecError::Cancelled) => {}
+            Err(other) => panic!("unexpected resolution under cancellation race: {other}"),
+        }
+    }
+}
+
+/// Per-handle `cancel` also races the worker cleanly: a cancelled handle resolves
+/// `Cancelled` if it won the race, or with the computed result if the worker did.
+#[test]
+fn individual_cancel_races_the_worker() {
+    let circuit = demo_circuit(3);
+    let op = demo_op(3);
+    let executor = Executor::single(StatevectorBackend::new());
+    let client = executor.client();
+    for round in 0..50 {
+        let handle = client.submit(demo_job(&circuit, &op, round)).unwrap();
+        handle.cancel();
+        match handle.wait() {
+            Ok(_) | Err(ExecError::Cancelled) => {}
+            Err(other) => panic!("unexpected resolution after cancel: {other}"),
+        }
+    }
+    executor.wait_idle();
+}
