@@ -1,8 +1,9 @@
 //! CI perf-regression gate: compares `target/bench_quick.json` (first CLI argument, or
 //! that default) against the checked-in `BENCH_kernels.json` / `BENCH_batch.json` /
-//! `BENCH_noise.json` / `BENCH_exec.json` / `BENCH_exec_overload.json` baselines and
-//! exits non-zero if any workload's throughput regressed by more than the tolerance
-//! (default 25%; override with `PERF_GATE_TOLERANCE`).
+//! `BENCH_noise.json` / `BENCH_exec.json` / `BENCH_exec_overload.json` /
+//! `BENCH_obs.json` baselines and exits non-zero if any workload's throughput
+//! regressed by more than the tolerance (default 25%; override with
+//! `PERF_GATE_TOLERANCE`).
 //!
 //! The tolerance is generous on purpose: CI hosts are not the baseline-recording host,
 //! so the gate is a tripwire for real regressions (a kernel accidentally de-vectorized,
@@ -13,12 +14,13 @@ use treevqa_bench::quick::{
     compare_against_baselines, gate_tolerance, parse_median_records, parse_records, QuickRecord,
 };
 
-const BASELINE_FILES: [&str; 5] = [
+const BASELINE_FILES: [&str; 6] = [
     "BENCH_kernels.json",
     "BENCH_batch.json",
     "BENCH_noise.json",
     "BENCH_exec.json",
     "BENCH_exec_overload.json",
+    "BENCH_obs.json",
 ];
 
 fn main() {

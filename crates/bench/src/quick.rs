@@ -7,7 +7,7 @@
 //!
 //! `cargo run --release -p treevqa_bench --bin perf_gate` then compares that file
 //! against the checked-in `BENCH_kernels.json` / `BENCH_batch.json` / `BENCH_noise.json`
-//! / `BENCH_exec.json` / `BENCH_exec_overload.json` baselines.  The tolerance is deliberately generous — CI hosts differ from the
+//! / `BENCH_exec.json` / `BENCH_exec_overload.json` / `BENCH_obs.json` baselines.  The tolerance is deliberately generous — CI hosts differ from the
 //! baseline-recording host — so the gate only fails on a throughput regression larger
 //! than [`DEFAULT_TOLERANCE`] (override with the `PERF_GATE_TOLERANCE` environment
 //! variable, a fraction in `(0, 1)`).  The workflow uploads the quick JSON as an
@@ -229,6 +229,46 @@ pub fn run_quick_suite() -> Vec<QuickRecord> {
             executor.resume();
             std::hint::black_box(qexec::wait_all(&handles).unwrap());
         }));
+    }
+    {
+        // Tracing overhead (BENCH_obs.json): the 4-client slate workload again with
+        // full observability on — the builder flag turns on span recording for this
+        // executor, and the process-wide flag makes the qsim pattern profiler tick
+        // too.  The median, compared against `exec/jobs/4clients_32x12q` above, bounds
+        // the fully-enabled tracing cost (the obs_bench binary records the pair and
+        // the derived overhead percentage).
+        let circ = Arc::new(
+            qcircuit::HardwareEfficientAnsatz::new(n, 2, qcircuit::Entanglement::Circular).build(),
+        );
+        let base = workloads::ansatz_params(&circ);
+        let ham = Arc::new(workloads::tfim_hamiltonian(n));
+        qexec::qobs::set_enabled(true);
+        let executor = Executor::builder()
+            .register(qexec::DEFAULT_BACKEND, StatevectorBackend::with_shots(0))
+            .observability(true)
+            .start();
+        let clients: Vec<_> = (0..4).map(|_| executor.client()).collect();
+        records.push(time_workload("exec/obs/jobs_on/32x12q", 8, || {
+            executor.pause();
+            let handles: Vec<_> = (0..32)
+                .map(|i| {
+                    let params: Vec<f64> = base.iter().map(|p| p + 0.001 * i as f64).collect();
+                    clients[i % clients.len()]
+                        .submit(EvalJob::new(
+                            Arc::clone(&circ),
+                            params,
+                            InitialState::Basis(0),
+                            Arc::clone(&ham),
+                        ))
+                        .unwrap()
+                })
+                .collect();
+            executor.resume();
+            std::hint::black_box(qexec::wait_all(&handles).unwrap());
+        }));
+        // Force recording back off so the remaining workloads (and any executor they
+        // construct) run untraced regardless of the ambient `QOBS` value.
+        qexec::qobs::set_enabled(false);
     }
     {
         // Admission-control overhead (BENCH_exec_overload.json): a paused executor

@@ -16,6 +16,35 @@ use vqa::{Backend, BackendCaps, EvalRequest, EvalResult};
 /// Name under which [`Executor::single`] registers its only backend.
 pub const DEFAULT_BACKEND: &str = "default";
 
+/// Event-counter name table for the executor's [`qobs::Registry`]: the seven
+/// [`ExecStats`] fields in declaration order, then the supervision events that have no
+/// stats field.  The indices in the crate-private `event` module must match
+/// this order.
+pub const EVENT_NAMES: &[&str] = &[
+    "rejected",
+    "shed",
+    "expired",
+    "retries",
+    "failovers",
+    "panics",
+    "readmissions",
+    "quarantines",
+    "canary_probes",
+];
+
+/// Indices into [`EVENT_NAMES`] for the executor's event counters.
+pub(crate) mod event {
+    pub const REJECTED: usize = 0;
+    pub const SHED: usize = 1;
+    pub const EXPIRED: usize = 2;
+    pub const RETRIES: usize = 3;
+    pub const FAILOVERS: usize = 4;
+    pub const PANICS: usize = 5;
+    pub const READMISSIONS: usize = 6;
+    pub const QUARANTINES: usize = 7;
+    pub const CANARY_PROBES: usize = 8;
+}
+
 /// Default cap on [`SubmitOptions::retries`] (override with
 /// [`ExecutorBuilder::retry_limit`]).
 pub const DEFAULT_RETRY_LIMIT: u32 = 3;
@@ -169,7 +198,6 @@ struct QueueState {
     /// Per-backend health, parallel to the registry (the queue lock is the health
     /// lock).
     health: Vec<Health>,
-    stats: ExecStats,
     /// Nesting depth of [`Executor::pause`]; scheduling runs only at 0.
     pause_depth: usize,
     shutdown: bool,
@@ -246,6 +274,10 @@ pub(crate) struct Shared {
     /// Global execution sequence counter (assigned in scheduled order).
     next_seq: AtomicU64,
     next_uid: AtomicU64,
+    /// Observability registry: event counters are always live (they back
+    /// [`Executor::stats`], replacing the lock-held `ExecStats` increments); span and
+    /// histogram recording is on only when the registry was built enabled.
+    obs: Arc<qobs::Registry>,
 }
 
 impl Shared {
@@ -352,6 +384,8 @@ pub struct ExecutorBuilder {
     global_cap: Option<usize>,
     per_client_cap: Option<usize>,
     retry_limit: u32,
+    observability: Option<bool>,
+    obs_ring_capacity: Option<usize>,
 }
 
 impl Default for ExecutorBuilder {
@@ -363,6 +397,8 @@ impl Default for ExecutorBuilder {
             global_cap: None,
             per_client_cap: None,
             retry_limit: DEFAULT_RETRY_LIMIT,
+            observability: None,
+            obs_ring_capacity: None,
         }
     }
 }
@@ -424,6 +460,27 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Turns per-job lifecycle span and latency-histogram recording on or off for this
+    /// executor, overriding the process-wide `QOBS` environment default
+    /// ([`qobs::enabled`]).  Event counters (and thus [`Executor::stats`]) are always
+    /// live regardless — when disabled, the per-job tracing cost is one branch on an
+    /// absent span handle, verified ~free by the perf gate.  Tracing never changes
+    /// results: span recording is entirely off the driver path, so enabled and disabled
+    /// runs are bit-identical.
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = Some(enabled);
+        self
+    }
+
+    /// Capacity of the finished-span ring buffer (default: the `QOBS_RING_CAP`
+    /// environment variable, or [`qobs::DEFAULT_RING_CAPACITY`]).  When full, the
+    /// oldest finished span is evicted and counted as dropped — tracing never applies
+    /// backpressure to submissions.
+    pub fn obs_ring_capacity(mut self, capacity: usize) -> Self {
+        self.obs_ring_capacity = Some(capacity);
+        self
+    }
+
     /// Spawns the worker thread and returns the running executor.
     ///
     /// # Panics
@@ -477,6 +534,12 @@ impl ExecutorBuilder {
             retry_limit: self.retry_limit,
             next_seq: AtomicU64::new(0),
             next_uid: AtomicU64::new(0),
+            obs: qobs::Registry::with_capacity(
+                EVENT_NAMES,
+                self.observability.unwrap_or_else(qobs::enabled),
+                self.obs_ring_capacity
+                    .unwrap_or_else(qobs::ring_capacity_from_env),
+            ),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -585,8 +648,31 @@ impl Executor {
     }
 
     /// A snapshot of the service's robustness counters.
+    ///
+    /// Since PR 8 this is a thin view over the observability registry's event
+    /// counters ([`Executor::observability`]): reads are lock-free — they sum sharded
+    /// atomics instead of taking the queue lock — and the struct is kept so existing
+    /// callers see the same seven fields with the same monotonic semantics.
     pub fn stats(&self) -> ExecStats {
-        self.shared.queue.lock().unwrap().stats.clone()
+        let c = self.shared.obs.counters();
+        ExecStats {
+            rejected: c.get(event::REJECTED),
+            shed: c.get(event::SHED),
+            expired: c.get(event::EXPIRED),
+            retries: c.get(event::RETRIES),
+            failovers: c.get(event::FAILOVERS),
+            panics: c.get(event::PANICS),
+            readmissions: c.get(event::READMISSIONS),
+        }
+    }
+
+    /// The executor's observability registry: always-live event counters plus — when
+    /// recording is enabled ([`ExecutorBuilder::observability`] or the `QOBS`
+    /// environment variable) — per-job lifecycle spans and queue/exec/end-to-end
+    /// latency histograms.  Snapshot it with [`qobs::Registry::snapshot`] and render
+    /// via [`qobs::export`] (summary table, JSON, Prometheus text).
+    pub fn observability(&self) -> Arc<qobs::Registry> {
+        Arc::clone(&self.shared.obs)
     }
 
     /// Total shots the named backend has charged, as of its most recently completed
@@ -816,7 +902,7 @@ impl ExecClient {
             }
             match self.shared.policy {
                 AdmissionPolicy::Reject => {
-                    q.stats.rejected += 1;
+                    self.shared.obs.counters().inc(event::REJECTED);
                     return Err(ExecError::Overloaded);
                 }
                 AdmissionPolicy::Block => {
@@ -851,18 +937,36 @@ impl ExecClient {
                         Some((vci, vpos)) if sheds_before(&q.queues[vci][vpos], &queued) => {
                             let shed = q.queues[vci].remove(vpos).expect("index in range");
                             q.pending -= 1;
-                            q.stats.shed += 1;
+                            self.shared.obs.counters().inc(event::SHED);
                             q.reclaim_retired();
+                            // The completion funnel closes the victim's span with a
+                            // `shed` terminal event (post-admission `Overloaded`).
                             shed.state.complete(Err(ExecError::Overloaded));
                         }
                         _ => {
                             // The newcomer matters least; shedding a queued job for it
                             // would be strictly worse.
-                            q.stats.rejected += 1;
+                            self.shared.obs.counters().inc(event::REJECTED);
                             return Err(ExecError::Overloaded);
                         }
                     }
                 }
+            }
+        }
+        // Admission succeeded: open the lifecycle span (submissions refused above get
+        // counters only — they never became jobs).  The `enabled` guard keeps label
+        // construction (a name clone) off the disabled path entirely.
+        if self.shared.obs.enabled() {
+            if let Some(span) = self.shared.obs.start_span(qobs::SpanLabels {
+                client: self.id as u64,
+                backend: self.shared.meta[backend].name.clone(),
+                priority: i64::from(opts.priority),
+                kind: match kind {
+                    JobKind::Evaluate => "evaluate",
+                    JobKind::Probe => "probe",
+                },
+            }) {
+                state.attach_span(span);
             }
         }
         q.queues[self.id].push_back(queued);
@@ -950,9 +1054,10 @@ fn handle_panic(
         }
         Err(payload) => {
             let msg = panic_message(payload);
+            shared.obs.counters().inc(event::PANICS);
+            shared.obs.counters().inc(event::QUARANTINES);
             {
                 let mut q = shared.queue.lock().unwrap();
-                q.stats.panics += 1;
                 let round = q.round;
                 q.health[backend] = Health::Quarantined {
                     failures: 1,
@@ -994,11 +1099,12 @@ fn ensure_healthy(
     let Some(failures) = due_failures else {
         return false;
     };
+    shared.obs.counters().inc(event::CANARY_PROBES);
     let passed = supervisor::canary(drivers[backend].as_mut());
     let mut q = shared.queue.lock().unwrap();
     if passed {
         q.health[backend] = Health::Healthy;
-        q.stats.readmissions += 1;
+        shared.obs.counters().inc(event::READMISSIONS);
         true
     } else {
         let failures = failures + 1;
@@ -1027,6 +1133,9 @@ fn run_single(
     g: &QueuedJob,
     retry_out: &mut Vec<QueuedJob>,
 ) {
+    if let Some(span) = g.state.span() {
+        span.mark_exec();
+    }
     match g.kind {
         JobKind::Evaluate => {
             let free_refs: Vec<&PauliOp> = g.job.free_ops.iter().map(|op| op.as_ref()).collect();
@@ -1092,7 +1201,12 @@ fn dispose_quarantined(
             supervisor::select_failover(&caps, &q.health, g.backend, &g.require)
         };
         if let Some(idx) = standby {
-            shared.queue.lock().unwrap().stats.failovers += 1;
+            shared.obs.counters().inc(event::FAILOVERS);
+            // Re-label the span so its terminal record names the backend that
+            // actually executed the job.
+            if let Some(span) = g.state.span() {
+                span.set_backend(&shared.meta[idx].name);
+            }
             run_single(shared, drivers, idx, g, retry_out);
             return;
         }
@@ -1145,6 +1259,12 @@ fn execute_slate(
                         free_ops: free,
                     })
                     .collect();
+                // The whole group hits the driver as one batch; stamp every member.
+                for g in group {
+                    if let Some(span) = g.state.span() {
+                        span.mark_exec();
+                    }
+                }
                 let driver = &mut drivers[backend];
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     driver.evaluate_batch(&requests)
@@ -1219,7 +1339,10 @@ fn sweep_expired(shared: &Shared, q: &mut QueueState) {
     if expired.is_empty() {
         return;
     }
-    q.stats.expired += expired.len() as u64;
+    shared
+        .obs
+        .counters()
+        .add(event::EXPIRED, expired.len() as u64);
     q.reclaim_retired();
     for job in expired {
         job.state.complete(Err(ExecError::DeadlineExceeded));
@@ -1295,6 +1418,11 @@ fn worker_loop(shared: &Arc<Shared>, mut drivers: Vec<Box<dyn Backend + Send>>) 
                     job.state
                         .set_sequence(shared.next_seq.fetch_add(1, Ordering::SeqCst));
                 }
+                // Slate pickup closes the queue stage of the job's span.  A retried
+                // job keeps its first pickup stamp, matching its sequence number.
+                if let Some(span) = job.state.span() {
+                    span.mark_scheduled(job.state.sequence_value().unwrap_or(0));
+                }
             }
             drop(q);
             // The drained queues freed admission space.
@@ -1302,8 +1430,11 @@ fn worker_loop(shared: &Arc<Shared>, mut drivers: Vec<Box<dyn Backend + Send>>) 
             slate
         };
         let retry_jobs = execute_slate(shared, &mut drivers, &slate);
+        shared
+            .obs
+            .counters()
+            .add(event::RETRIES, retry_jobs.len() as u64);
         let mut q = shared.queue.lock().unwrap();
-        q.stats.retries += retry_jobs.len() as u64;
         q.retries.extend(retry_jobs);
         q.in_flight = 0;
         if q.is_idle() {

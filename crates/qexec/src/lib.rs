@@ -58,6 +58,22 @@
 //!   counter-deterministic [`fault::FaultyBackend`] so every path above is exercised
 //!   reproducibly in CI.
 //!
+//! # Observability
+//!
+//! Every executor carries a [`qobs::Registry`] ([`Executor::observability`]).  Event
+//! counters for each fault-path transition (reject / shed / expire / retry /
+//! quarantine / canary / failover / readmission) are always live — they back the
+//! lock-free [`Executor::stats`] snapshot.  When recording is enabled
+//! ([`ExecutorBuilder::observability`], or the `QOBS` environment variable
+//! process-wide), every admitted job additionally leaves exactly one lifecycle span —
+//! submit → slate pickup → backend execution → terminal outcome, labeled with
+//! client/backend/priority — feeding queue/exec/end-to-end latency histograms and a
+//! bounded ring of finished spans.  Recording sits entirely off the driver path, so
+//! traced and untraced runs produce bit-identical results (asserted by
+//! `tests/tests/observability.rs`); disabled overhead is guarded by the perf gate.
+//! Render snapshots through [`qobs::export`] as a summary table, JSON, or
+//! Prometheus-style text — the `exec_trace` example bin shows all three.
+//!
 //! # The serial-replay equivalence contract
 //!
 //! **Executor results are bit-identical to the serial replay of the scheduled order**:
@@ -107,7 +123,7 @@ pub mod supervisor;
 pub use error::ExecError;
 pub use executor::{
     AdmissionPolicy, ExecClient, ExecStats, Executor, ExecutorBuilder, PauseGuard, DEFAULT_BACKEND,
-    DEFAULT_RETRY_LIMIT,
+    DEFAULT_RETRY_LIMIT, EVENT_NAMES,
 };
 pub use job::{wait_all, EvalJob, JobHandle, Priority, SubmitOptions};
 pub use runner::{
@@ -118,6 +134,10 @@ pub use supervisor::BackendHealth;
 // Re-exported so executor callers can name capabilities and run records without a direct
 // `vqa` dependency.
 pub use vqa::{BackendCaps, EvalResult};
+
+// Re-exported so callers of [`Executor::observability`] can name snapshot/exporter
+// types without a direct `qobs` dependency.
+pub use qobs;
 
 #[cfg(test)]
 mod tests {

@@ -107,7 +107,9 @@ pub fn run_single_vqa(
 ///
 /// `make_backend` is called once per task so that shot usage can be attributed per task;
 /// each task's backend is wrapped in its own single-backend [`Executor`] (typically it
-/// returns a freshly seeded backend of the same kind).
+/// returns a freshly seeded backend of the same kind).  Those internal executors build
+/// with default observability settings, so setting `QOBS=1` process-wide traces the
+/// baseline's jobs too — each task's spans just live in its own short-lived registry.
 pub fn run_baseline(
     application: &VqaApplication,
     initial_params: &[f64],

@@ -11,6 +11,12 @@
 //! half-written) and probes the driver with a canary job; canary failures push the
 //! next attempt out with exponential backoff measured in scheduler rounds, keeping the
 //! whole lifecycle deterministic under the fault-injection harness.
+//!
+//! Every lifecycle transition is counted in the executor's observability registry
+//! ([`crate::Executor::observability`]): `quarantines` when a panic trips supervision,
+//! `canary_probes` per readmission attempt, `readmissions` on success, and `failovers`
+//! per job substituted onto a standby — so a fault-injection soak can be audited from
+//! the counter stream alone.
 
 use qcircuit::{Circuit, Gate};
 use qop::PauliOp;

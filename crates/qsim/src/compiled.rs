@@ -629,6 +629,10 @@ pub struct CompiledCircuit {
     stats: CompileStats,
     /// One entry per source gate (identity rotations excluded), in source order.
     noise_sites: Vec<NoiseSite>,
+    /// Shared pattern-profiler entry (`None` when profiling is off, so the
+    /// per-execution cost is one branch; clones share the entry, so executions of a
+    /// cached compiled circuit aggregate under one pattern).
+    profile: Option<std::sync::Arc<crate::profile::PatternEntry>>,
 }
 
 impl Clone for OpEntry {
@@ -691,21 +695,43 @@ impl CompiledCircuit {
             diagonal_passes: 0,
             diagonal_gates_batched: 0,
         };
+        let mut kinds = crate::profile::OpKindCounts::default();
         for entry in &ops {
             match &entry.op {
-                CompiledOp::Fused1Q(f) if f.gates >= 2 => stats.fused_chains += 1,
+                CompiledOp::Fused1Q(f) => {
+                    kinds.fused_1q += 1;
+                    if f.gates >= 2 {
+                        stats.fused_chains += 1;
+                    }
+                }
+                CompiledOp::Cx(..) => kinds.cx += 1,
+                CompiledOp::Cz(..) => kinds.cz += 1,
+                CompiledOp::Rotation(..) => kinds.rotation += 1,
                 CompiledOp::Diagonal(d) => {
+                    kinds.diagonal += 1;
                     stats.diagonal_passes += 1;
                     stats.diagonal_gates_batched += d.gates;
                 }
-                _ => {}
             }
         }
+        let profile = crate::profile::register(
+            ops.iter().map(|entry| match &entry.op {
+                CompiledOp::Fused1Q(_) => 'u',
+                CompiledOp::Cx(..) => 'x',
+                CompiledOp::Cz(..) => 'z',
+                CompiledOp::Rotation(..) => 'r',
+                CompiledOp::Diagonal(_) => 'd',
+            }),
+            circuit.num_qubits(),
+            source_gates,
+            kinds,
+        );
         CompiledCircuit {
             num_qubits: circuit.num_qubits(),
             ops,
             stats,
             noise_sites,
+            profile,
         }
     }
 
@@ -825,6 +851,9 @@ impl CompiledCircuit {
         tables: Option<&BatchTables>,
         insertions: &[PauliInsertion],
     ) {
+        if let Some(profile) = &self.profile {
+            profile.record_execution();
+        }
         assert_eq!(
             self.num_qubits,
             state.num_qubits(),

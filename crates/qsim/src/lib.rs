@@ -43,6 +43,15 @@
 //! `run_circuit*` wrappers compile on *every* call and allocate, so they are for
 //! one-shot use); the original unoptimized kernels are kept in [`mod@reference`] as the
 //! correctness and speedup baseline.
+//!
+//! ## Execution profiling
+//!
+//! With process-wide observability on (`QOBS=1`, see [`qobs::enabled`]), every
+//! [`CompiledCircuit::compile`] registers the circuit's op-kind *pattern signature* in
+//! the process-wide [`profile`] table and every execution bumps the pattern's shared
+//! counter — one relaxed atomic add per execution, zero cost when off.
+//! [`profile::snapshot`] reports patterns hottest-first with per-op-kind execution
+//! counts, the data feed for profile-guided superop compilation (see ROADMAP).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,6 +60,7 @@ mod compiled;
 mod estimator;
 mod noise;
 mod pauliprop;
+pub mod profile;
 mod shots;
 mod simulator;
 

@@ -1,0 +1,226 @@
+//! Gate-sequence pattern profiling across compiled circuits.
+//!
+//! The ROADMAP's profile-guided superop item needs one piece of data nothing
+//! recorded before this module: *which lowered op sequences are actually hot* —
+//! across every compiled-circuit cache in the process, weighted by how many times
+//! each compiled form executes (one ansatz compiled once can be re-bound for
+//! thousands of parameter vectors).  The profiler answers that with a process-wide
+//! table keyed by a circuit's *pattern signature*: the run-length-encoded sequence
+//! of its compiled op kinds plus its register size (e.g. `q4|u4x3u4d1` — four
+//! fused 1q ops, three CNOTs, four more fused 1q ops, one diagonal pass on four
+//! qubits).  Identical ansatz *shapes* share an entry even when their angles,
+//! parameters, or owning caches differ — exactly the aggregation a superop
+//! compiler wants, since a superop is specialized on the op sequence, not on the
+//! binding.
+//!
+//! Cost model: when process-wide observability is off ([`qobs::enabled`]),
+//! compilation skips registration entirely and a compiled circuit carries `None` —
+//! execution pays one branch on an absent `Option`, nothing else.  When on,
+//! compilation does one signature build + map insert (compilation is already the
+//! cold path), and each execution is a single relaxed `fetch_add` on the shared
+//! entry — per-kind execution counts are derived at snapshot time as
+//! `executions × per-circuit kind counts` instead of bumping an atomic per op in
+//! the hot loop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How many compiled ops of each kind one circuit (pattern) contains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpKindCounts {
+    /// Fused single-qubit chains (`u` in signatures).
+    pub fused_1q: u64,
+    /// CNOTs (`x`).
+    pub cx: u64,
+    /// CZs (`z`).
+    pub cz: u64,
+    /// Pauli rotations on the involution-pair kernel (`r`).
+    pub rotation: u64,
+    /// Batched diagonal phase passes (`d`).
+    pub diagonal: u64,
+}
+
+impl OpKindCounts {
+    fn scaled(&self, by: u64) -> OpKindCounts {
+        OpKindCounts {
+            fused_1q: self.fused_1q * by,
+            cx: self.cx * by,
+            cz: self.cz * by,
+            rotation: self.rotation * by,
+            diagonal: self.diagonal * by,
+        }
+    }
+
+    /// Total ops across all kinds.
+    pub fn total(&self) -> u64 {
+        self.fused_1q + self.cx + self.cz + self.rotation + self.diagonal
+    }
+}
+
+/// A live profile entry shared by every compiled circuit with the same signature.
+#[derive(Debug)]
+pub struct PatternEntry {
+    signature: String,
+    num_qubits: usize,
+    source_gates: usize,
+    op_counts: OpKindCounts,
+    compiles: AtomicU64,
+    executions: AtomicU64,
+}
+
+impl PatternEntry {
+    /// Bump the execution count (called once per [`crate::CompiledCircuit`]
+    /// execution; relaxed — this is a statistic, not synchronization).
+    #[inline]
+    pub(crate) fn record_execution(&self) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of one pattern, for reporting.
+#[derive(Clone, Debug)]
+pub struct PatternStats {
+    /// Run-length-encoded op-kind sequence, e.g. `q4|u4x3u4d1`.
+    pub signature: String,
+    /// Register size.
+    pub num_qubits: usize,
+    /// Source gates the pattern compiled from.
+    pub source_gates: usize,
+    /// Compiled ops of each kind in one execution of the pattern.
+    pub op_counts: OpKindCounts,
+    /// Distinct compilations that produced this pattern.
+    pub compiles: u64,
+    /// Executions across every compiled instance of the pattern.
+    pub executions: u64,
+    /// Per-kind op executions: `op_counts × executions` — the per-fused-op
+    /// execution counts the superop cost model consumes.
+    pub op_executions: OpKindCounts,
+}
+
+fn table() -> &'static Mutex<HashMap<String, Arc<PatternEntry>>> {
+    static TABLE: OnceLock<Mutex<HashMap<String, Arc<PatternEntry>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Called by `CompiledCircuit::compile`: registers (or re-finds) the pattern and
+/// returns the shared entry, or `None` when profiling is off.
+pub(crate) fn register(
+    signature_ops: impl Iterator<Item = char>,
+    num_qubits: usize,
+    source_gates: usize,
+    op_counts: OpKindCounts,
+) -> Option<Arc<PatternEntry>> {
+    if !qobs::enabled() {
+        return None;
+    }
+    // Run-length encode the op-kind letters.
+    let mut sig = format!("q{num_qubits}|");
+    let mut pending: Option<(char, u64)> = None;
+    for kind in signature_ops {
+        match pending {
+            Some((k, n)) if k == kind => pending = Some((k, n + 1)),
+            Some((k, n)) => {
+                sig.push(k);
+                sig.push_str(&n.to_string());
+                pending = Some((kind, 1));
+            }
+            None => pending = Some((kind, 1)),
+        }
+    }
+    if let Some((k, n)) = pending {
+        sig.push(k);
+        sig.push_str(&n.to_string());
+    }
+    let mut map = table().lock().unwrap();
+    let entry = map
+        .entry(sig.clone())
+        .or_insert_with(|| {
+            Arc::new(PatternEntry {
+                signature: sig,
+                num_qubits,
+                source_gates,
+                op_counts,
+                compiles: AtomicU64::new(0),
+                executions: AtomicU64::new(0),
+            })
+        })
+        .clone();
+    entry.compiles.fetch_add(1, Ordering::Relaxed);
+    Some(entry)
+}
+
+/// Snapshot every pattern seen so far, hottest (most op executions) first.
+pub fn snapshot() -> Vec<PatternStats> {
+    let map = table().lock().unwrap();
+    let mut stats: Vec<PatternStats> = map
+        .values()
+        .map(|e| {
+            let executions = e.executions.load(Ordering::Relaxed);
+            PatternStats {
+                signature: e.signature.clone(),
+                num_qubits: e.num_qubits,
+                source_gates: e.source_gates,
+                op_counts: e.op_counts,
+                compiles: e.compiles.load(Ordering::Relaxed),
+                executions,
+                op_executions: e.op_counts.scaled(executions),
+            }
+        })
+        .collect();
+    stats.sort_by(|a, b| {
+        b.op_executions
+            .total()
+            .cmp(&a.op_executions.total())
+            .then_with(|| a.signature.cmp(&b.signature))
+    });
+    stats
+}
+
+/// Render the pattern table as indented human-readable lines (top `limit`
+/// patterns), or a placeholder note when nothing was profiled.
+pub fn render_table(limit: usize) -> String {
+    use std::fmt::Write as _;
+    let stats = snapshot();
+    if stats.is_empty() {
+        return "  compiled-circuit patterns: (none profiled — set QOBS=1)\n".to_string();
+    }
+    let mut out = String::from(
+        "  compiled-circuit patterns (hottest first: executions × ops = op executions):\n",
+    );
+    for s in stats.iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "    {:<28} {:>4} gates -> {:>3} ops   {:>3} compiles   {:>8} execs   {:>10} op-execs",
+            s.signature,
+            s.source_gates,
+            s.op_counts.total(),
+            s.compiles,
+            s.executions,
+            s.op_executions.total()
+        );
+    }
+    if stats.len() > limit {
+        let _ = writeln!(out, "    ... and {} more patterns", stats.len() - limit);
+    }
+    out
+}
+
+/// Clear the table (test isolation; patterns re-register on the next compile).
+pub fn reset() {
+    table().lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiling_registers_nothing() {
+        // QOBS is unset in the test environment and this test never forces it on,
+        // so registration is a no-op.  (Tests that force-enable live in the
+        // workspace-level `tests` crate to avoid cross-test interference on the
+        // process-wide flag.)
+        assert!(register("uxu".chars(), 3, 5, OpKindCounts::default()).is_none());
+    }
+}

@@ -246,6 +246,25 @@ pub fn circuit_cache_capacity() -> usize {
     })
 }
 
+/// Process-wide circuit-cache hit/miss tallies, recorded only when observability is on
+/// ([`qobs::enabled`]) so the disabled path stays branch-plus-nothing.
+static CACHE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static CACHE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// `(hits, misses)` across every backend's circuit-derived-data cache (compiled
+/// circuits, trajectory plans) since process start.
+///
+/// Only populated when process-wide observability is on (`QOBS=1` or
+/// [`qobs::set_enabled`]); always `(0, 0)` otherwise.  A low hit rate under a mixed
+/// job stream is the signal to raise `VQA_COMPILED_CACHE`
+/// ([`circuit_cache_capacity`]).
+pub fn circuit_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
 impl<V> CircuitCache<V> {
     pub(crate) fn new(capacity: usize) -> Self {
         CircuitCache {
@@ -262,9 +281,15 @@ impl<V> CircuitCache<V> {
         make: impl FnOnce(&Circuit) -> V,
     ) -> &V {
         if let Some(pos) = self.entries.iter().position(|(c, _)| c == circuit) {
+            if qobs::enabled() {
+                CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
             let entry = self.entries.remove(pos);
             self.entries.insert(0, entry);
         } else {
+            if qobs::enabled() {
+                CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
             let value = make(circuit);
             self.entries.insert(0, (circuit.clone(), value));
             self.entries.truncate(self.capacity);

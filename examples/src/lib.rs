@@ -14,6 +14,23 @@ pub fn example_iterations(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Turn on process-wide observability for this example run.
+///
+/// Examples opt in unconditionally (overriding `QOBS`): their end-of-run summaries
+/// are part of the output, and the per-job recording cost is noise next to the
+/// simulations they drive.  Call this before constructing any executor.
+pub fn enable_observability() {
+    qexec::qobs::set_enabled(true);
+}
+
+/// Print `executor`'s end-of-run observability summary table under `label`:
+/// job/span totals, per-outcome tallies, queue/exec/end-to-end latency
+/// quantiles, and any fault-path event counters.
+pub fn print_observability(label: &str, executor: &qexec::Executor) {
+    let table = qexec::qobs::export::render_table(&executor.observability().snapshot());
+    print!("\n  [{label}]\n{table}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,6 +29,7 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    treevqa_examples::enable_observability();
     let family = Ieee14Family::new(0.9, 1.1, 6);
     let graphs = family.graphs();
     println!(
@@ -109,5 +110,6 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         println!("  shot savings   : {ratio:.1}x");
     }
     println!("  tree critical depth: {}", result.tree.critical_depth());
+    treevqa_examples::print_observability("MaxCut execution service", &executor);
     Ok(())
 }

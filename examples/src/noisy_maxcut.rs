@@ -39,6 +39,7 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    treevqa_examples::enable_observability();
     let trajectories = qnoise::default_trajectories().min(32);
     let family = Ieee14Family::new(0.9, 1.1, 6);
     let graphs = family.graphs();
@@ -203,5 +204,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         (noisy_e - ideal_e).abs(),
         (zne_e - ideal_e).abs()
     );
+    treevqa_examples::print_observability("noisy trajectory service", &noisy_exec);
+    treevqa_examples::print_observability("mitigation study service", &study_exec);
     Ok(())
 }

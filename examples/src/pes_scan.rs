@@ -27,6 +27,7 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    treevqa_examples::enable_observability();
     let molecule = MoleculeSpec::lih();
     let num_tasks = 10;
     println!(
@@ -81,5 +82,6 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n  total shots: {}", result.total_shots);
     println!("  tree critical depth: {}", result.tree.critical_depth());
     println!("  execution tree:\n{}", result.tree.render());
+    treevqa_examples::print_observability("PES execution service", &executor);
     Ok(())
 }

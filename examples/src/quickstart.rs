@@ -26,6 +26,7 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    treevqa_examples::enable_observability();
     let molecule = MoleculeSpec::h2();
     let num_tasks = 5;
     println!(
@@ -145,5 +146,6 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n  (neither method reached the candidate fidelity targets in this short run)");
     }
     println!("\n  execution tree:\n{}", tree_result.tree.render());
+    treevqa_examples::print_observability("TreeVQA execution service", &executor);
     Ok(())
 }

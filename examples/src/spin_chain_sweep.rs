@@ -77,6 +77,7 @@ fn compare(
         tree_fid.unwrap_or(f64::NAN),
         result.tree.num_splits()
     );
+    treevqa_examples::print_observability(&format!("{label} execution service"), &executor);
     Ok(())
 }
 
@@ -88,6 +89,7 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    treevqa_examples::enable_observability();
     let application = build_application(6);
     println!(
         "Transverse-field Ising sweep: {} tasks on {} qubits",
