@@ -93,6 +93,7 @@ fn bench_batched_vs_serial(c: &mut Criterion) {
                         initial: &InitialState::Basis(0),
                         charged_op: &ham,
                         free_ops: &[],
+                        stream: None,
                     })
                     .collect();
                 std::hint::black_box(backend.evaluate_batch(&requests));

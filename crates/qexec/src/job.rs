@@ -4,6 +4,7 @@ use crate::error::ExecError;
 use crate::executor::Shared;
 use qcircuit::Circuit;
 use qop::PauliOp;
+use qrng::StreamId;
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 use vqa::{BackendCaps, EvalResult, InitialState};
@@ -37,9 +38,14 @@ pub struct EvalJob {
     /// Optional completion deadline.  A job whose deadline has passed before it is
     /// scheduled is dropped by the scheduler with [`ExecError::DeadlineExceeded`]
     /// instead of wasting backend time on work nobody is still waiting for.  Work that
-    /// has already started executing is never aborted mid-flight (the serial-replay
-    /// contract), so a deadline bounds *queueing* latency, not execution time.
+    /// has already started executing is never aborted mid-flight, so a deadline bounds
+    /// *queueing* latency, not execution time.
     pub deadline: Option<Instant>,
+    /// Optional explicit `qrng` draw stream for the job's stochastic backend draws
+    /// (convenience forwarding of [`SubmitOptions::rng_stream`]; the submit option
+    /// wins when both are set).  `None` — the default — derives a stream from the
+    /// job's submission id, which is already unique and reproducible.
+    pub rng_stream: Option<StreamId>,
 }
 
 impl EvalJob {
@@ -57,6 +63,7 @@ impl EvalJob {
             charged_op,
             free_ops: Vec::new(),
             deadline: None,
+            rng_stream: None,
         }
     }
 
@@ -75,6 +82,13 @@ impl EvalJob {
     /// Sets a deadline `timeout` from now (builder style).
     pub fn with_timeout(self, timeout: Duration) -> Self {
         self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Pins the job's `qrng` draw stream (builder style; see
+    /// [`SubmitOptions::rng_stream`], which takes precedence when both are set).
+    pub fn with_rng_stream(mut self, stream: StreamId) -> Self {
+        self.rng_stream = Some(stream);
+        self
     }
 
     /// Validates the job's shapes, reporting the first problem as an [`ExecError`].
@@ -137,16 +151,65 @@ pub struct SubmitOptions {
     /// How many times a failed execution may be retried (default 0).  Retries require
     /// the target backend to advertise [`vqa::BackendCaps::retry_safe`] — re-executing
     /// an idempotent job is observationally invisible to every other job, so retried
-    /// runs stay bit-identical to a fault-free serial replay.  Submission fails with
-    /// [`ExecError::MissingCapability`] (`"retry_safe"`) when retries are requested on
-    /// a backend that cannot honor that contract.  The executor additionally clamps
-    /// this to its configured retry limit.
+    /// runs stay bit-identical to a fault-free run under any schedule.  Submission
+    /// fails with [`ExecError::MissingCapability`] (`"retry_safe"`) when retries are
+    /// requested on a backend that cannot honor that contract.  The executor
+    /// additionally clamps this to its configured retry limit.
     pub retries: u32,
     /// Whether the job may fail over to another registered backend that satisfies
     /// [`SubmitOptions::require`] when its target backend is quarantined after a driver
     /// panic (default `false`: quarantine fails the job fast with
     /// [`ExecError::BackendQuarantined`]).
     pub failover: bool,
+    /// Explicit `qrng` draw stream for the job's stochastic backend draws.  `None` —
+    /// the default — derives [`StreamId::for_job`] from the job's submission id, so
+    /// every job gets a unique reproducible stream with no caller involvement.  Pin a
+    /// stream to make a job's randomness independent of submission order (e.g. keyed
+    /// by a stable task/candidate identity), or to replay one job's draws elsewhere.
+    pub rng_stream: Option<StreamId>,
+}
+
+impl SubmitOptions {
+    /// Default options (same as `SubmitOptions::default()`, fluent-builder entry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Targets the named backend (builder style).
+    pub fn backend(mut self, name: impl Into<String>) -> Self {
+        self.backend = Some(name.into());
+        self
+    }
+
+    /// Sets the scheduling priority (builder style).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Requires backend capabilities (builder style).
+    pub fn require(mut self, require: BackendCaps) -> Self {
+        self.require = require;
+        self
+    }
+
+    /// Sets the retry budget (builder style).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Opts into failover to a compatible standby backend (builder style).
+    pub fn failover(mut self, failover: bool) -> Self {
+        self.failover = failover;
+        self
+    }
+
+    /// Pins the job's `qrng` draw stream (builder style).
+    pub fn rng_stream(mut self, stream: StreamId) -> Self {
+        self.rng_stream = Some(stream);
+        self
+    }
 }
 
 /// The terminal span [`qobs::Outcome`] a completion result maps to.  The mapping is
@@ -223,6 +286,7 @@ pub struct JobHandle {
     pub(crate) state: Arc<JobState>,
     pub(crate) shared: Weak<Shared>,
     pub(crate) uid: u64,
+    pub(crate) stream: StreamId,
 }
 
 impl JobHandle {
@@ -281,10 +345,21 @@ impl JobHandle {
     /// The global execution sequence number the scheduler assigned to this job, or
     /// `None` if it has not been scheduled (yet, or ever — cancelled jobs have none).
     ///
-    /// Replaying all executed jobs *serially, in sequence order,* through an identically
-    /// configured backend reproduces every result bit-for-bit (see the crate docs).
+    /// Sequence numbers record the scheduled order for auditing; since the
+    /// counter-based `qrng` rework a job's result no longer depends on it — replaying
+    /// the job alone, with its [`JobHandle::rng_stream`], reproduces its result
+    /// bit-for-bit (see the crate docs).
     pub fn sequence(&self) -> Option<u64> {
         self.state.seq.get().copied()
+    }
+
+    /// The `qrng` draw stream the job's stochastic backend draws are keyed by —
+    /// the pinned [`SubmitOptions::rng_stream`] / [`EvalJob::with_rng_stream`]
+    /// stream, or the default stream derived from the job's submission id.
+    /// Evaluating the job's request with this stream on an identically seeded
+    /// backend reproduces its result bit-for-bit, with no replay of other jobs.
+    pub fn rng_stream(&self) -> StreamId {
+        self.stream
     }
 }
 

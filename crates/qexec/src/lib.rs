@@ -24,9 +24,14 @@
 //! Jobs are scheduled strictly by descending [`Priority`]; at equal priority, clients
 //! are served **fair round-robin** (one job per client per turn, cursor advancing past
 //! the served client), FIFO within a client.  The scheduler drains the queue into a
-//! *slate*, then executes consecutive same-backend jobs as one `evaluate_batch`
-//! submission — so concurrent clients' work coalesces into the big batches the compiled
-//! scratch-pool engine is built for, while no client can starve another.
+//! *slate*, partitions it by backend, and executes each backend's evaluation jobs as
+//! one `evaluate_batch` submission (probes run singly after) — so concurrent clients'
+//! work coalesces into the big batches the compiled scratch-pool engine is built for,
+//! while no client can starve another.  [`ExecutorBuilder::workers`] (or the
+//! `QEXEC_WORKERS` environment variable) spreads the backends across that many
+//! execution worker threads, each owning a disjoint driver subset; the scheduler
+//! dispatches every backend's portion of the slate to its owner and barriers on the
+//! replies, so multi-backend slates execute concurrently without changing any result.
 //! [`Executor::pause`] / [`Executor::resume`] let cooperating clients assemble one
 //! fair-ordered slate deterministically (the TreeVQA controller does this every round
 //! phase).
@@ -52,8 +57,9 @@
 //!   canary probe passes (see [`supervisor`]).
 //! * **Retries** — [`SubmitOptions::retries`] re-queues failed executions of
 //!   idempotent jobs (the backend must advertise [`vqa::BackendCaps::retry_safe`]),
-//!   one slate after the failure; a successful retry is bit-identical to a fault-free
-//!   first attempt, so retries never violate serial-replay equivalence.
+//!   one slate after the failure; the retry executes with the job's own pinned draw
+//!   stream, so a successful retry is bit-identical to a fault-free first attempt and
+//!   never disturbs any other job's result.
 //! * **Fault injection** — the [`fault`] module wraps any backend in a seeded,
 //!   counter-deterministic [`fault::FaultyBackend`] so every path above is exercised
 //!   reproducibly in CI.
@@ -74,19 +80,31 @@
 //! Render snapshots through [`qobs::export`] as a summary table, JSON, or
 //! Prometheus-style text — the `exec_trace` example bin shows all three.
 //!
-//! # The serial-replay equivalence contract
+//! # The schedule-independence contract
 //!
-//! **Executor results are bit-identical to the serial replay of the scheduled order**:
-//! replaying all executed jobs one at a time, in [`JobHandle::sequence`] order, through
-//! an identically configured backend reproduces every result bit-for-bit — including
-//! sampled and trajectory-noise backends, whose RNG streams are consumed in exactly the
-//! scheduled order.  This holds for any worker count: the scheduler serializes driver
-//! access (one slate at a time, grouped `evaluate_batch` calls in slate order), and the
-//! drivers' own batched paths are proven bit-identical to their serial loops at any
-//! `RAYON_NUM_THREADS` (see `tests/tests/executor.rs`, run under worker counts
-//! {1, 2, 4} in CI).  Concurrency therefore never changes *what* is computed, only how
-//! it is overlapped — the same observable-equivalence discipline the batch engine
-//! established per-backend, now exposed as the service contract.
+//! **Executor results are bit-identical under any schedule.**  Every job's stochastic
+//! draws come from a counter-based [`qrng`] stream pinned at admission
+//! ([`SubmitOptions::rng_stream`], [`EvalJob::with_rng_stream`], or the default stream
+//! derived from the submission id, readable via [`JobHandle::rng_stream`]) — a pure
+//! function of `(root seed, stream, draw index)`, independent of whatever executed
+//! before.  Consequences, each asserted by `tests/tests/schedule_independence.rs` and
+//! exercised at `QEXEC_WORKERS` ∈ {1, 2, 4} in CI:
+//!
+//! * **Worker counts don't matter** — the slate partitioning across execution workers
+//!   (and their real-time interleaving) cannot change any result.
+//! * **Submission interleaving doesn't matter** — a job pinned to a stream returns the
+//!   same result no matter which other jobs surround it in the slate.
+//! * **Retries and failovers don't matter** — re-executions reuse the pinned stream,
+//!   so a recovered run is bit-identical to an undisturbed one.
+//! * **Replay is a lookup, not a ritual** — re-evaluating any job with its handle's
+//!   stream on an identically configured backend reproduces its result exactly;
+//!   [`JobHandle::sequence`] still records the scheduled order for auditing, but
+//!   nothing about the result depends on it.
+//!
+//! This strengthens the pre-PR-9 contract (bit-identical to the *serial replay of the
+//! scheduled order*, which made results depend on global scheduling history) to
+//! per-job determinism: concurrency never changes *what* is computed, only how it is
+//! overlapped.
 //!
 //! ```
 //! use qexec::{EvalJob, Executor};
@@ -126,6 +144,10 @@ pub use executor::{
     DEFAULT_RETRY_LIMIT, EVENT_NAMES,
 };
 pub use job::{wait_all, EvalJob, JobHandle, Priority, SubmitOptions};
+// Re-exported so callers can name draw streams and seed policies without a direct
+// dependency on the RNG crate.
+pub use qrng;
+pub use qrng::{SeedPolicy, StreamId};
 pub use runner::{
     drive_optimizer_iteration, drive_optimizer_iteration_with, run_baseline, run_single_vqa,
 };

@@ -5,9 +5,10 @@
 //! by hand onto the job API: every optimizer phase's candidates ([`qopt::Optimizer`]'s
 //! propose/observe protocol) are submitted as owned jobs to an [`ExecClient`] and the
 //! values observed from their handles, so the same loop transparently shares an executor
-//! with other clients.  Because the executor's scheduled order for a single client is
-//! its submission order and the drivers' batched path replays the serial evaluation
-//! order exactly, results are identical to the historical in-process runner.
+//! with other clients.  Every candidate job draws from its own stream pinned at
+//! submission (see the crate-level schedule-independence contract), so a run is a pure
+//! function of the configuration and root seed — reproducible bit-for-bit across fresh
+//! executors, any worker count, and any co-tenant clients sharing the service.
 
 use crate::error::ExecError;
 use crate::executor::{ExecClient, Executor};

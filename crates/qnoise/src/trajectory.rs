@@ -11,21 +11,18 @@
 use crate::model::PauliNoiseModel;
 use qop::{Pauli, PauliString};
 use qsim::{CompiledCircuit, PauliInsertion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// The RNG seed of trajectory `trajectory` under stream seed `seed`.
 ///
 /// This is the crate's **seeding contract**: a trajectory's insertion schedule depends
 /// only on `(seed, trajectory)` (plus the circuit and model it is sampled for) — never
-/// on batch size, chunk size, worker count, or which other trajectories run.  The mix is
-/// a SplitMix64-style finalizer so that consecutive trajectory indices land on
-/// well-separated seeds.
+/// on batch size, chunk size, worker count, or which other trajectories run.  Since the
+/// workspace-wide counter-based RNG landed, this is exactly [`qrng::mix`] — the same
+/// SplitMix64-finalizer block function every stochastic consumer keys its streams with —
+/// so trajectory seeds recorded under the original contract are unchanged.
 pub fn trajectory_seed(seed: u64, trajectory: u64) -> u64 {
-    let mut z = seed ^ trajectory.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    qrng::mix(seed, trajectory)
 }
 
 /// One elementary random draw of a trajectory, pre-resolved to its insertion point.
@@ -145,7 +142,7 @@ impl TrajectorySampler {
         if self.draws.is_empty() {
             return;
         }
-        let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, trajectory));
+        let mut rng = qrng::CounterRng::new(trajectory_seed(seed, trajectory));
         for draw in &self.draws {
             match draw {
                 ElemDraw::Single {

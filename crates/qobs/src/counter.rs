@@ -9,7 +9,9 @@
 //! slot across shards; totals are exact because increments are atomic, merely
 //! *spread*, not sampled.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of shards.  Enough to separate the handful of threads the workspace
 /// runs (worker, clients, rayon pool leaders) without bloating snapshots.
@@ -115,5 +117,57 @@ mod tests {
         assert_eq!(c.get(1), 0);
         assert_eq!(c.get(2), 8 * 1000 * 3);
         assert_eq!(c.snapshot(), vec![("a", 8000), ("b", 0), ("c", 24000)],);
+    }
+}
+
+/// Dynamically labeled counters, for label sets unknowable at compile time
+/// (e.g. one slate tally per execution worker, where the worker count is a
+/// runtime knob).  A mutex-held sorted map: strictly for low-rate events — one
+/// lock per increment — where the static [`Counters`] table cannot apply.
+#[derive(Debug, Default)]
+pub struct LabeledCounters {
+    entries: Mutex<BTreeMap<String, u64>>,
+}
+
+impl LabeledCounters {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter named `label`, creating it at zero first.
+    pub fn add(&self, label: &str, n: u64) {
+        let mut map = self.entries.lock().unwrap();
+        match map.get_mut(label) {
+            Some(v) => *v += n,
+            None => {
+                map.insert(label.to_string(), n);
+            }
+        }
+    }
+
+    /// Increment the counter named `label` by one.
+    pub fn inc(&self, label: &str) {
+        self.add(label, 1);
+    }
+
+    /// The counter's total, 0 if it was never touched.
+    pub fn get(&self, label: &str) -> u64 {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(label)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `(label, total)` pairs in sorted label order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
     }
 }

@@ -79,12 +79,18 @@ pub fn render_table(snap: &ObsSnapshot) -> String {
             );
         }
     }
-    let events: Vec<String> = snap
+    let mut events: Vec<String> = snap
         .counters
         .iter()
         .filter(|&&(_, n)| n > 0)
         .map(|&(name, n)| format!("{name} {n}"))
         .collect();
+    events.extend(
+        snap.labeled
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, n)| format!("{name} {n}")),
+    );
     let _ = writeln!(
         out,
         "    events: {}",
@@ -160,11 +166,16 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
     let _ = writeln!(out, "    \"exec\": {},", hist_json(&snap.exec_latency));
     let _ = writeln!(out, "    \"e2e\": {}", hist_json(&snap.e2e_latency));
     let _ = writeln!(out, "  }},");
-    let events: Vec<String> = snap
+    let mut events: Vec<String> = snap
         .counters
         .iter()
         .map(|&(name, n)| format!("\"{}\": {n}", json_escape(name)))
         .collect();
+    events.extend(
+        snap.labeled
+            .iter()
+            .map(|(name, n)| format!("\"{}\": {n}", json_escape(name))),
+    );
     let _ = writeln!(out, "  \"events\": {{{}}}", events.join(", "));
     out.push('}');
     out
@@ -181,6 +192,9 @@ pub fn to_prometheus(snap: &ObsSnapshot, prefix: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# TYPE {prefix}_events_total counter");
     for &(name, n) in &snap.counters {
+        let _ = writeln!(out, "{prefix}_events_total{{event=\"{name}\"}} {n}");
+    }
+    for (name, n) in &snap.labeled {
         let _ = writeln!(out, "{prefix}_events_total{{event=\"{name}\"}} {n}");
     }
     let _ = writeln!(out, "# TYPE {prefix}_spans_total gauge");
@@ -243,6 +257,7 @@ mod tests {
                 backend: "sv".into(),
                 priority: 5,
                 kind: "evaluate",
+                worker: None,
             })
             .unwrap();
         span.mark_scheduled(0);

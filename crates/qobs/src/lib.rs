@@ -60,7 +60,7 @@ mod histogram;
 mod registry;
 mod span;
 
-pub use counter::Counters;
+pub use counter::{Counters, LabeledCounters};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{ObsSnapshot, Registry, SpanSummary};
 pub use span::{FinishedSpan, Outcome, Span, SpanLabels, SpanStore};

@@ -1,7 +1,7 @@
 //! The [`Registry`]: one handle bundling counters, spans, and histograms, and
 //! the serializable [`ObsSnapshot`] the exporters consume.
 
-use crate::counter::Counters;
+use crate::counter::{Counters, LabeledCounters};
 use crate::histogram::HistogramSnapshot;
 use crate::span::{Outcome, Span, SpanLabels, SpanStore};
 use std::sync::Arc;
@@ -16,6 +16,7 @@ use std::sync::Arc;
 pub struct Registry {
     enabled: bool,
     counters: Counters,
+    labeled: LabeledCounters,
     spans: Arc<SpanStore>,
 }
 
@@ -35,6 +36,7 @@ impl Registry {
         Arc::new(Registry {
             enabled,
             counters: Counters::new(names),
+            labeled: LabeledCounters::new(),
             spans: SpanStore::new(ring_capacity),
         })
     }
@@ -47,6 +49,12 @@ impl Registry {
     /// The (always-live) event counters.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// The (always-live) dynamically labeled counters — events whose label set
+    /// is a runtime knob, like the executor's per-worker slate tallies.
+    pub fn labeled(&self) -> &LabeledCounters {
+        &self.labeled
     }
 
     /// The span store (empty forever when the registry is disabled).
@@ -69,6 +77,7 @@ impl Registry {
         ObsSnapshot {
             enabled: self.enabled,
             counters: self.counters.snapshot(),
+            labeled: self.labeled.snapshot(),
             spans: SpanSummary {
                 started: spans.started(),
                 finished: spans.finished(),
@@ -123,6 +132,10 @@ pub struct ObsSnapshot {
     pub enabled: bool,
     /// `(event name, total)` for every counter, in registration order.
     pub counters: Vec<(&'static str, u64)>,
+    /// `(label, total)` for every dynamically labeled counter, sorted by label
+    /// (e.g. `worker0_slates`).  Rendered alongside `counters` by every
+    /// exporter.
+    pub labeled: Vec<(String, u64)>,
     /// Span totals and per-outcome tallies.
     pub spans: SpanSummary,
     /// Submit → slate-pickup latency (ns).
@@ -134,12 +147,19 @@ pub struct ObsSnapshot {
 }
 
 impl ObsSnapshot {
-    /// Counter total by name, 0 if the name is unknown.
+    /// Counter total by name — static event counters first, then labeled
+    /// counters — 0 if the name is unknown to both.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
             .iter()
             .find(|(n, _)| *n == name)
             .map(|&(_, v)| v)
+            .or_else(|| {
+                self.labeled
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+            })
             .unwrap_or(0)
     }
 }
@@ -156,6 +176,7 @@ mod tests {
             backend: "sv".into(),
             priority: 0,
             kind: "evaluate",
+            worker: None,
         }
     }
 

@@ -87,6 +87,9 @@ pub struct SpanLabels {
     pub priority: i64,
     /// Job kind label (e.g. `evaluate` / `probe`).
     pub kind: &'static str,
+    /// Index of the execution worker that ran the job, stamped at dispatch
+    /// (`None` for jobs that never reached a worker).
+    pub worker: Option<u64>,
 }
 
 /// An immutable record of a finished span.
@@ -185,6 +188,11 @@ impl Span {
     /// Re-label the backend (failover moved the job).
     pub fn set_backend(&self, name: &str) {
         self.labels.lock().unwrap().backend = name.to_string();
+    }
+
+    /// Label the execution worker that ran (or is running) the job.
+    pub fn set_worker(&self, worker: u64) {
+        self.labels.lock().unwrap().worker = Some(worker);
     }
 
     /// Close the span with `outcome`.  Idempotent: only the first call records;
@@ -350,6 +358,7 @@ mod tests {
             backend: "statevector".into(),
             priority: 0,
             kind: "evaluate",
+            worker: None,
         }
     }
 

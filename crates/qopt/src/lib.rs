@@ -123,10 +123,18 @@ impl OptimizerSpec {
         OptimizerSpec::Spsa(SpsaConfig::default())
     }
 
-    /// Builds a fresh optimizer instance with the given RNG seed.
+    /// Builds a fresh optimizer instance from a raw RNG seed (thin wrapper over
+    /// [`OptimizerSpec::build_with_policy`] with `qrng::SeedPolicy::legacy`).
     pub fn build(&self, seed: u64) -> Box<dyn Optimizer + Send> {
+        self.build_with_policy(qrng::SeedPolicy::legacy(seed))
+    }
+
+    /// Builds a fresh optimizer instance with a typed seeding policy.  Stochastic
+    /// optimizers draw from the policy's counter-based streams; deterministic ones
+    /// ignore it.
+    pub fn build_with_policy(&self, policy: qrng::SeedPolicy) -> Box<dyn Optimizer + Send> {
         match self {
-            OptimizerSpec::Spsa(cfg) => Box::new(Spsa::new(cfg.clone(), seed)),
+            OptimizerSpec::Spsa(cfg) => Box::new(Spsa::with_policy(cfg.clone(), policy)),
             OptimizerSpec::Cobyla(cfg) => Box::new(Cobyla::new(cfg.clone())),
             OptimizerSpec::NelderMead(cfg) => Box::new(NelderMead::new(cfg.clone())),
         }

@@ -7,8 +7,8 @@
 //! `a_k = a / (A + k + 1)^α`, `c_k = c / (k + 1)^γ` with `α = 0.602`, `γ = 0.101`.
 
 use crate::{IterationStats, Optimizer};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qrng::{CounterRng, SeedPolicy, StreamId};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// SPSA gain-sequence configuration.
@@ -64,24 +64,45 @@ struct SpsaPending {
 }
 
 /// The SPSA optimizer.
+///
+/// Perturbation directions are drawn from a counter-based `qrng` stream keyed by the
+/// seeding policy: the `k`-th Rademacher draw of a run is a pure function of
+/// `(policy, stream, k)`, so optimizer trajectories are reproducible regardless of how
+/// (or where) the candidate evaluations execute.
 #[derive(Clone, Debug)]
 pub struct Spsa {
     config: SpsaConfig,
     iteration: usize,
-    rng: StdRng,
-    seed: u64,
+    policy: SeedPolicy,
+    stream: StreamId,
+    rng: CounterRng,
     calibrated_a: Option<f64>,
     pending: Option<SpsaPending>,
 }
 
 impl Spsa {
-    /// Creates a new SPSA instance with the given configuration and RNG seed.
+    /// Creates a new SPSA instance from a raw RNG seed.
+    ///
+    /// Thin wrapper over [`Spsa::with_policy`] with [`SeedPolicy::legacy`]; prefer the
+    /// typed form in new code.
     pub fn new(config: SpsaConfig, seed: u64) -> Self {
+        Self::with_policy(config, SeedPolicy::legacy(seed))
+    }
+
+    /// Creates a new SPSA instance drawing from `policy`'s default optimizer stream.
+    pub fn with_policy(config: SpsaConfig, policy: SeedPolicy) -> Self {
+        Self::with_stream(config, policy, StreamId::named("spsa"))
+    }
+
+    /// Creates a new SPSA instance drawing from an explicit stream of `policy` (e.g. a
+    /// per-task substream, so concurrent runs sharing one root seed stay decorrelated).
+    pub fn with_stream(config: SpsaConfig, policy: SeedPolicy, stream: StreamId) -> Self {
         Spsa {
             config,
             iteration: 0,
-            rng: StdRng::seed_from_u64(seed),
-            seed,
+            policy,
+            stream,
+            rng: policy.rng(stream),
             calibrated_a: None,
             pending: None,
         }
@@ -218,7 +239,7 @@ impl Optimizer for Spsa {
 
     fn reset(&mut self) {
         self.iteration = 0;
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = self.policy.rng(self.stream);
         self.calibrated_a = None;
         self.pending = None;
     }
@@ -227,6 +248,8 @@ impl Optimizer for Spsa {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn gains_decay_with_iterations() {

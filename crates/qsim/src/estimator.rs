@@ -14,7 +14,6 @@
 
 use crate::shots::ShotLedger;
 use qop::{group_qwc, PauliOp, PauliString, Statevector};
-use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -51,12 +50,12 @@ impl Default for EstimatorConfig {
 ///
 /// The shot charge is always `shots_per_pauli × num_terms`, independent of the sampling
 /// model, because the paper's cost accounting is defined that way (Section 7.3).
-pub fn estimate_expectation(
+pub fn estimate_expectation<R: Rng>(
     op: &PauliOp,
     state: &Statevector,
     config: &EstimatorConfig,
     ledger: &mut ShotLedger,
-    rng: &mut StdRng,
+    rng: &mut R,
 ) -> f64 {
     ledger.charge_evaluation(config.shots_per_pauli, op.num_terms());
     match config.method {
@@ -72,11 +71,11 @@ pub fn estimate_expectation(
 
 /// Per-term Gaussian model: each Pauli expectation `⟨P⟩` is replaced by the sample mean of
 /// `s` ±1 outcomes, approximated by `N(⟨P⟩, (1 − ⟨P⟩²)/s)` and clamped to `[-1, 1]`.
-pub fn analytic_sampled_expectation(
+pub fn analytic_sampled_expectation<R: Rng>(
     op: &PauliOp,
     state: &Statevector,
     shots_per_pauli: u64,
-    rng: &mut StdRng,
+    rng: &mut R,
 ) -> f64 {
     let exact = exact_term_expectations(op, state);
     analytic_sampled_from_expectations(op, &exact, shots_per_pauli, rng)
@@ -106,11 +105,11 @@ pub fn exact_term_expectations(op: &PauliOp, state: &Statevector) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `exact.len()` differs from the operator's term count.
-pub fn analytic_sampled_from_expectations(
+pub fn analytic_sampled_from_expectations<R: Rng>(
     op: &PauliOp,
     exact: &[f64],
     shots_per_pauli: u64,
-    rng: &mut StdRng,
+    rng: &mut R,
 ) -> f64 {
     assert_eq!(
         exact.len(),
@@ -133,11 +132,11 @@ pub fn analytic_sampled_from_expectations(
 
 /// True sampling: rotate each qubit-wise-commuting group to its measurement basis,
 /// sample bitstrings from the exact distribution, and average the ±1 eigenvalues.
-pub fn multinomial_sampled_expectation(
+pub fn multinomial_sampled_expectation<R: Rng>(
     op: &PauliOp,
     state: &Statevector,
     shots_per_pauli: u64,
-    rng: &mut StdRng,
+    rng: &mut R,
 ) -> f64 {
     let groups = group_qwc(op);
     let mut total = 0.0;
@@ -211,7 +210,7 @@ fn rotate_to_measurement_basis_into(
 }
 
 /// Samples an index from a discrete probability distribution.
-fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
+fn sample_index<R: Rng>(probs: &[f64], rng: &mut R) -> usize {
     let r: f64 = rng.random();
     let mut acc = 0.0;
     for (i, &p) in probs.iter().enumerate() {
@@ -224,7 +223,7 @@ fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
 }
 
 /// Standard normal sample via Box–Muller.
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.random::<f64>().max(1e-12);
     let u2: f64 = rng.random();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -233,6 +232,7 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn rng() -> StdRng {

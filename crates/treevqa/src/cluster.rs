@@ -250,6 +250,7 @@ impl VqaCluster {
                     initial,
                     charged_op: self.mixed_hamiltonian.as_ref(),
                     free_ops: &members,
+                    stream: None,
                 })
                 .collect();
             let results = backend.evaluate_batch(&requests);

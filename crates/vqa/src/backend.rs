@@ -35,12 +35,11 @@ use crate::task::InitialState;
 use qcircuit::Circuit;
 use qop::par::SendPtr;
 use qop::{PauliOp, Statevector};
+use qrng::{CounterRng, SeedPolicy, StreamId};
 use qsim::{
     analytic_sampled_expectation, attenuation_factor, CircuitNoiseProfile, CompiledCircuit,
     NoiseModel, PauliPropagator, PauliPropagatorConfig, ShotLedger,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// One evaluation of a parameterized ansatz against a charged observable (plus free
@@ -57,6 +56,13 @@ pub struct EvalRequest<'a> {
     pub charged_op: &'a PauliOp,
     /// Observables evaluated exactly at zero shot cost on the same state.
     pub free_ops: &'a [&'a PauliOp],
+    /// The `qrng` stream this request's stochastic draws are keyed by, when the
+    /// caller pinned one (the execution service derives one per job, making every
+    /// draw a pure function of the job rather than of execution order).  `None`
+    /// falls back to the backend's instance-local evaluation-order stream, which
+    /// preserves the historical batched-equals-serial request-order semantics for
+    /// direct trait callers.
+    pub stream: Option<StreamId>,
 }
 
 /// The outcome of one [`EvalRequest`].
@@ -83,14 +89,16 @@ pub struct BackendCaps {
     pub shots: bool,
     /// Models device noise (analytic attenuation or simulated error channels).
     pub noise: bool,
-    /// Simulates noise by stochastic Pauli-trajectory rollouts (implies per-evaluation
-    /// RNG streams that the executor's serial-replay contract preserves).
+    /// Simulates noise by stochastic Pauli-trajectory rollouts (keyed per evaluation
+    /// by the counter-based `qrng` streams, so trajectory schedules are independent of
+    /// execution order).
     pub trajectories: bool,
-    /// Evaluations are **idempotent**: re-executing a request consumes no cross-request
-    /// mutable state (no shared RNG stream, no evaluation counter), so the execution
-    /// service may retry a failed job — or execute a half-failed batch twice — without
-    /// changing any *other* job's result.  True for the exact backends; false for
-    /// stream-stateful stochastic backends, whose retry would shift every later draw.
+    /// Evaluations are **idempotent**: re-executing a stream-carrying request consumes
+    /// no cross-request mutable state, so the execution service may retry a failed job
+    /// — or execute a half-failed batch twice — without changing any *other* job's
+    /// result.  True for the exact backends, and since the counter-based `qrng`
+    /// rework also for the stochastic ones: their draws are pure functions of
+    /// `(seed policy, request stream, counter)`, never of what executed before.
     pub retry_safe: bool,
 }
 
@@ -531,6 +539,7 @@ impl Backend for StatevectorBackend {
             initial,
             charged_op,
             free_ops,
+            stream: None,
         };
         let (charged, free) = evaluate_exact(compiled, &req, &mut self.pool.states[0]);
         self.ledger
@@ -639,24 +648,83 @@ pub(crate) fn default_serial_batch<B: Backend + ?Sized>(
 
 /// Shot-sampled statevector backend: the charged observable receives per-term binomial
 /// sampling noise matching the allotted shots; tracking observables remain exact.
+///
+/// Sampling noise is drawn from counter-based `qrng` streams: each request's draws are
+/// keyed by `(seed policy, request stream)`, where the stream is the request's
+/// [`EvalRequest::stream`] if pinned (the execution service pins one per job) or the
+/// instance's next evaluation-order stream otherwise.  A request's noise therefore
+/// never depends on what executed before it — the property behind the executor's
+/// schedule-independent determinism and this backend's `retry_safe` capability.
 #[derive(Debug)]
 pub struct SampledBackend {
     shots_per_pauli: u64,
     ledger: ShotLedger,
-    rng: StdRng,
+    policy: SeedPolicy,
+    /// Evaluation-order fallback counter, advanced only by stream-less requests.
+    evals_issued: u64,
     cache: CompiledCache,
     pool: ScratchPool,
 }
 
 impl SampledBackend {
-    /// Creates a sampled backend with an RNG seed (deterministic experiments).
+    /// Creates a sampled backend from a raw RNG seed.
+    ///
+    /// Thin wrapper over [`SampledBackend::with_policy`] with
+    /// [`SeedPolicy::legacy`]; prefer the typed form in new code.
     pub fn new(shots_per_pauli: u64, seed: u64) -> Self {
+        Self::with_policy(shots_per_pauli, SeedPolicy::legacy(seed))
+    }
+
+    /// Creates a sampled backend with a typed seeding policy.
+    pub fn with_policy(shots_per_pauli: u64, policy: SeedPolicy) -> Self {
         SampledBackend {
             shots_per_pauli,
             ledger: ShotLedger::new(),
-            rng: StdRng::seed_from_u64(seed),
+            policy,
+            evals_issued: 0,
             cache: CompiledCache::default(),
             pool: ScratchPool::default(),
+        }
+    }
+
+    /// The backend's seeding policy.
+    pub fn seed_policy(&self) -> SeedPolicy {
+        self.policy
+    }
+
+    /// The draw stream of `request`: its pinned stream, or the next
+    /// evaluation-order fallback stream (advancing the instance counter).
+    fn resolve_stream(&mut self, stream: Option<StreamId>) -> StreamId {
+        stream.unwrap_or_else(|| {
+            let s = StreamId::for_eval(self.evals_issued);
+            self.evals_issued += 1;
+            s
+        })
+    }
+
+    /// Evaluates one request end to end (used by both the serial and the
+    /// mixed-circuit fallback paths, so streams are honored everywhere).
+    fn eval_one(&mut self, req: &EvalRequest<'_>) -> EvalResult {
+        let mut rng = self.policy.rng(self.resolve_stream(req.stream));
+        let compiled = self.cache.get(req.circuit);
+        self.pool.ensure(1, req.circuit.num_qubits());
+        let state = &mut self.pool.states[0];
+        req.initial.prepare_into(state);
+        compiled.execute_in_place(req.params, state);
+        self.ledger
+            .charge_evaluation(self.shots_per_pauli, req.charged_op.num_terms());
+        let state = &self.pool.states[0];
+        let charged =
+            analytic_sampled_expectation(req.charged_op, state, self.shots_per_pauli, &mut rng);
+        let free = req
+            .free_ops
+            .iter()
+            .map(|op| op.expectation(state))
+            .collect();
+        EvalResult {
+            charged,
+            free,
+            shots: self.shots_per_pauli * req.charged_op.num_terms() as u64,
         }
     }
 }
@@ -670,31 +738,42 @@ impl Backend for SampledBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        let compiled = self.cache.get(circuit);
-        self.pool.ensure(1, circuit.num_qubits());
-        let state = &mut self.pool.states[0];
-        initial.prepare_into(state);
-        compiled.execute_in_place(params, state);
-        self.ledger
-            .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
-        let state = &self.pool.states[0];
-        let charged =
-            analytic_sampled_expectation(charged_op, state, self.shots_per_pauli, &mut self.rng);
-        let free = free_ops.iter().map(|op| op.expectation(state)).collect();
-        (charged, free)
+        let result = self.eval_one(&EvalRequest {
+            circuit,
+            params,
+            initial,
+            charged_op,
+            free_ops,
+            stream: None,
+        });
+        (result.charged, result.free)
     }
 
     fn evaluate_batch(&mut self, requests: &[EvalRequest<'_>]) -> Vec<EvalResult> {
         let Some(circuit) = uniform_circuit(requests) else {
-            return default_serial_batch(self, requests);
+            // Mixed-circuit fallback: the per-request path honors pinned streams too.
+            return requests.iter().map(|r| self.eval_one(r)).collect();
         };
+        // Resolve every request's draw stream up front, in request order, so
+        // stream-less requests consume fallback streams exactly as the serial loop
+        // would — while stream-carrying requests stay order-independent.
+        let keys: Vec<u64> = requests
+            .iter()
+            .map(|r| {
+                let stream = self.resolve_stream(r.stream);
+                self.policy.key(stream)
+            })
+            .collect();
         let compiled = self.cache.get(circuit);
         let mut results = Vec::with_capacity(requests.len());
-        for chunk in requests.chunks(batch_chunk()) {
+        for (chunk, chunk_keys) in requests
+            .chunks(batch_chunk())
+            .zip(keys.chunks(batch_chunk()))
+        {
             // The exact per-term expectations (the state-sized work) are computed inside
-            // the potentially parallel chunk region; only the Gaussian noise draws run
-            // serially afterwards, in request order, so the RNG stream — and therefore
-            // every optimizer trajectory — is identical to the serial evaluate loop.
+            // the potentially parallel chunk region; the Gaussian noise draws afterwards
+            // are keyed per request, so they are identical whether the batch is chunked,
+            // parallel, reordered, or replayed serially.
             let exact = run_chunk_with(compiled, chunk, &mut self.pool, |req, state| {
                 let terms = qsim::exact_term_expectations(req.charged_op, state);
                 let free: Vec<f64> = req
@@ -704,14 +783,15 @@ impl Backend for SampledBackend {
                     .collect();
                 (terms, free)
             });
-            for (req, (terms, free)) in chunk.iter().zip(exact) {
+            for ((req, (terms, free)), &key) in chunk.iter().zip(exact).zip(chunk_keys) {
                 self.ledger
                     .charge_evaluation(self.shots_per_pauli, req.charged_op.num_terms());
+                let mut rng = CounterRng::new(key);
                 let charged = qsim::analytic_sampled_from_expectations(
                     req.charged_op,
                     &terms,
                     self.shots_per_pauli,
-                    &mut self.rng,
+                    &mut rng,
                 );
                 results.push(EvalResult {
                     charged,
@@ -755,11 +835,12 @@ impl Backend for SampledBackend {
     }
 
     fn capabilities(&self) -> BackendCaps {
-        // `retry_safe` stays false: the sampler draws from one sequential RNG stream,
-        // so re-executing a request would shift every later request's draw.
+        // Retry-safe since the counter-based rework: a request's draws are keyed by
+        // its stream, so re-executing it cannot shift any other request's draws.
         BackendCaps {
             batch: true,
             shots: true,
+            retry_safe: true,
             ..BackendCaps::default()
         }
     }
@@ -777,7 +858,9 @@ impl Backend for SampledBackend {
 pub struct NoisyBackend {
     shots_per_pauli: u64,
     ledger: ShotLedger,
-    rng: StdRng,
+    policy: SeedPolicy,
+    /// Evaluation-order fallback counter, advanced only by stream-less requests.
+    evals_issued: u64,
     model: NoiseModel,
     /// Ansatz repetitions used for the per-layer depolarizing channel.
     layers: usize,
@@ -786,12 +869,26 @@ pub struct NoisyBackend {
 }
 
 impl NoisyBackend {
-    /// Creates a noisy backend from a noise model and the ansatz repetition count.
+    /// Creates a noisy backend from a raw RNG seed.
+    ///
+    /// Thin wrapper over [`NoisyBackend::with_policy`] with
+    /// [`SeedPolicy::legacy`]; prefer the typed form in new code.
     pub fn new(model: NoiseModel, layers: usize, shots_per_pauli: u64, seed: u64) -> Self {
+        Self::with_policy(model, layers, shots_per_pauli, SeedPolicy::legacy(seed))
+    }
+
+    /// Creates a noisy backend with a typed seeding policy.
+    pub fn with_policy(
+        model: NoiseModel,
+        layers: usize,
+        shots_per_pauli: u64,
+        policy: SeedPolicy,
+    ) -> Self {
         NoisyBackend {
             shots_per_pauli,
             ledger: ShotLedger::new(),
-            rng: StdRng::seed_from_u64(seed),
+            policy,
+            evals_issued: 0,
             model,
             layers,
             cache: CompiledCache::default(),
@@ -807,6 +904,50 @@ impl NoisyBackend {
     fn noisy_exact(&self, op: &PauliOp, state: &Statevector, profile: &CircuitNoiseProfile) -> f64 {
         qsim::noisy_expectation(op, state, &self.model, profile)
     }
+
+    /// The draw stream of `request`: its pinned stream, or the next
+    /// evaluation-order fallback stream (advancing the instance counter).
+    fn resolve_stream(&mut self, stream: Option<StreamId>) -> StreamId {
+        stream.unwrap_or_else(|| {
+            let s = StreamId::for_eval(self.evals_issued);
+            self.evals_issued += 1;
+            s
+        })
+    }
+
+    fn eval_one(&mut self, req: &EvalRequest<'_>) -> EvalResult {
+        let mut rng = self.policy.rng(self.resolve_stream(req.stream));
+        let compiled = self.cache.get(req.circuit);
+        self.pool.ensure(1, req.circuit.num_qubits());
+        let state = &mut self.pool.states[0];
+        req.initial.prepare_into(state);
+        compiled.execute_in_place(req.params, state);
+        let profile = CircuitNoiseProfile::from_circuit(req.circuit, self.layers);
+        self.ledger
+            .charge_evaluation(self.shots_per_pauli, req.charged_op.num_terms());
+        // Attenuate each term, then add shot noise on top of the attenuated value.
+        let state = &self.pool.states[0];
+        let attenuated = self.noisy_exact(req.charged_op, state, &profile);
+        let shot_noise = {
+            // Sample the *difference* between a sampled and an exact estimate of the
+            // attenuated observable; reusing the analytic sampler on the ideal state and
+            // rescaling keeps the variance model simple and unbiased.
+            let sampled =
+                analytic_sampled_expectation(req.charged_op, state, self.shots_per_pauli, &mut rng);
+            sampled - req.charged_op.expectation(state)
+        };
+        let charged = attenuated + shot_noise;
+        let free = req
+            .free_ops
+            .iter()
+            .map(|op| self.noisy_exact(op, state, &profile))
+            .collect();
+        EvalResult {
+            charged,
+            free,
+            shots: self.shots_per_pauli * req.charged_op.num_terms() as u64,
+        }
+    }
 }
 
 impl Backend for NoisyBackend {
@@ -818,35 +959,21 @@ impl Backend for NoisyBackend {
         charged_op: &PauliOp,
         free_ops: &[&PauliOp],
     ) -> (f64, Vec<f64>) {
-        let compiled = self.cache.get(circuit);
-        self.pool.ensure(1, circuit.num_qubits());
-        let state = &mut self.pool.states[0];
-        initial.prepare_into(state);
-        compiled.execute_in_place(params, state);
-        let profile = CircuitNoiseProfile::from_circuit(circuit, self.layers);
-        self.ledger
-            .charge_evaluation(self.shots_per_pauli, charged_op.num_terms());
-        // Attenuate each term, then add shot noise on top of the attenuated value.
-        let state = &self.pool.states[0];
-        let attenuated = self.noisy_exact(charged_op, state, &profile);
-        let shot_noise = {
-            // Sample the *difference* between a sampled and an exact estimate of the
-            // attenuated observable; reusing the analytic sampler on the ideal state and
-            // rescaling keeps the variance model simple and unbiased.
-            let sampled = analytic_sampled_expectation(
-                charged_op,
-                state,
-                self.shots_per_pauli,
-                &mut self.rng,
-            );
-            sampled - charged_op.expectation(state)
-        };
-        let charged = attenuated + shot_noise;
-        let free = free_ops
-            .iter()
-            .map(|op| self.noisy_exact(op, state, &profile))
-            .collect();
-        (charged, free)
+        let result = self.eval_one(&EvalRequest {
+            circuit,
+            params,
+            initial,
+            charged_op,
+            free_ops,
+            stream: None,
+        });
+        (result.charged, result.free)
+    }
+
+    fn evaluate_batch(&mut self, requests: &[EvalRequest<'_>]) -> Vec<EvalResult> {
+        // No parallel fast path, but route through `eval_one` (rather than the trait's
+        // stream-blind serial default) so pinned draw streams are honored.
+        requests.iter().map(|r| self.eval_one(r)).collect()
     }
 
     fn probe(
@@ -883,11 +1010,13 @@ impl Backend for NoisyBackend {
     }
 
     fn capabilities(&self) -> BackendCaps {
-        // No batched fast path: the analytic noisy backend runs the trait's default
-        // serial batch loop.  Not retry-safe: shot noise draws from a sequential RNG.
+        // No batched fast path (`evaluate_batch` is a serial stream-aware loop, so
+        // `batch` stays unset).  Retry-safe since the counter-based rework: shot noise
+        // is keyed per request stream, never by what executed before.
         BackendCaps {
             shots: true,
             noise: true,
+            retry_safe: true,
             ..BackendCaps::default()
         }
     }
@@ -1059,6 +1188,7 @@ mod tests {
                     initial: &InitialState::Basis(0),
                     charged_op: &h1,
                     free_ops: &free_ops,
+                    stream: None,
                 })
                 .collect();
             let mut batched = StatevectorBackend::with_shots(100);
@@ -1090,6 +1220,7 @@ mod tests {
                 initial: &InitialState::Basis(0),
                 charged_op: &h1,
                 free_ops: &[],
+                stream: None,
             })
             .collect();
         let mut batched = SampledBackend::new(256, 42);
@@ -1113,6 +1244,7 @@ mod tests {
                 initial: &InitialState::Basis(0),
                 charged_op: &h1,
                 free_ops: &[],
+                stream: None,
             },
             EvalRequest {
                 circuit: &circuit_b,
@@ -1120,6 +1252,7 @@ mod tests {
                 initial: &InitialState::Basis(0),
                 charged_op: &h1,
                 free_ops: &[],
+                stream: None,
             },
         ];
         let mut backend = StatevectorBackend::with_shots(10);

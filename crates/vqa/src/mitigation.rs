@@ -311,6 +311,7 @@ mod tests {
             initial: &InitialState::Basis(0),
             charged_op: &h,
             free_ops: &[],
+            stream: None,
         }];
         let mut zne = ZneBackend::new(StatevectorBackend::with_shots(7));
         let results = zne.evaluate_batch(&requests);

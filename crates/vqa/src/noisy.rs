@@ -23,24 +23,26 @@
 //!
 //! # Determinism
 //!
-//! Results are deterministic and independent of batching/chunking/worker count:
-//! evaluation `e` (0-based, in request order across the backend's lifetime) of the
-//! backend uses trajectory stream seed `qnoise::trajectory_seed(seed, e)`, trajectory
-//! `t` of that stream is seeded per the `qnoise` seeding contract, and the trajectory
-//! average is summed in trajectory order.  Optional shot sampling draws from a separate
-//! RNG in request order, mirroring [`crate::SampledBackend`].
+//! Results are deterministic and independent of batching/chunking/worker count — and,
+//! since the counter-based `qrng` rework, of execution *order* too.  Each request's
+//! randomness is keyed by its draw stream (its pinned [`EvalRequest::stream`], or the
+//! backend's evaluation-order fallback stream for direct trait callers): the trajectory
+//! stream seed is `policy.key(stream.substream(0))`, trajectory `t` of that stream is
+//! seeded per the `qnoise` seeding contract, the trajectory average is summed in
+//! trajectory order, and optional shot sampling draws from `stream.substream(1)`.  A
+//! stream-carrying request therefore produces the same bits wherever and whenever it
+//! runs, which is what lets the backend advertise `retry_safe`.
 
 use crate::backend::{
-    batch_chunk, circuit_cache_capacity, default_serial_batch, run_indexed_chunk, uniform_circuit,
-    Backend, BackendCaps, CircuitCache, EvalRequest, EvalResult, ScratchPool,
+    batch_chunk, circuit_cache_capacity, run_indexed_chunk, uniform_circuit, Backend, BackendCaps,
+    CircuitCache, EvalRequest, EvalResult, ScratchPool,
 };
 use crate::task::InitialState;
 use qcircuit::Circuit;
-use qnoise::{readout_attenuation, trajectory_seed, PauliNoiseModel, TrajectorySampler};
+use qnoise::{readout_attenuation, PauliNoiseModel, TrajectorySampler};
 use qop::PauliOp;
+use qrng::{SeedPolicy, StreamId};
 use qsim::{CompiledCircuit, PauliInsertion, ShotLedger};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Per-circuit derived data: the compiled form plus the noise model bound to its sites.
 #[derive(Debug)]
@@ -60,12 +62,11 @@ struct NoisePlan {
 pub struct NoisyStatevectorBackend {
     model: PauliNoiseModel,
     trajectories: usize,
-    stream_seed: u64,
-    /// Evaluations issued so far (drives per-evaluation noise streams, request order).
+    policy: SeedPolicy,
+    /// Evaluation-order fallback counter, advanced only by stream-less requests.
     evals_issued: u64,
     shots_per_pauli: u64,
     sample_shots: bool,
-    rng: StdRng,
     ledger: ShotLedger,
     cache: CircuitCache<NoisePlan>,
     pool: ScratchPool,
@@ -79,18 +80,32 @@ impl NoisyStatevectorBackend {
     /// model, and the returned backend reports exact trajectory means (no shot
     /// sampling — opt in with [`NoisyStatevectorBackend::with_shot_sampling`]).
     pub fn new(model: PauliNoiseModel, shots_per_pauli: u64, seed: u64) -> Self {
+        Self::with_policy(model, shots_per_pauli, SeedPolicy::legacy(seed))
+    }
+
+    /// Creates a trajectory-noise backend with a typed seeding policy.
+    pub fn with_policy(model: PauliNoiseModel, shots_per_pauli: u64, policy: SeedPolicy) -> Self {
         NoisyStatevectorBackend {
             model,
             trajectories: qnoise::default_trajectories(),
-            stream_seed: seed,
+            policy,
             evals_issued: 0,
             shots_per_pauli,
             sample_shots: false,
-            rng: StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03),
             ledger: ShotLedger::new(),
             cache: CircuitCache::new(circuit_cache_capacity()),
             pool: ScratchPool::default(),
         }
+    }
+
+    /// The draw stream of `request`: its pinned stream, or the next
+    /// evaluation-order fallback stream (advancing the instance counter).
+    fn resolve_stream(&mut self, stream: Option<StreamId>) -> StreamId {
+        stream.unwrap_or_else(|| {
+            let s = StreamId::for_eval(self.evals_issued);
+            self.evals_issued += 1;
+            s
+        })
     }
 
     /// Sets the trajectory count per evaluation (builder style, minimum 1).
@@ -119,6 +134,18 @@ impl NoisyStatevectorBackend {
     /// Runs a uniform-circuit slice of requests; the caller guarantees every request
     /// references `circuit`.
     fn run_uniform(&mut self, circuit: &Circuit, requests: &[EvalRequest<'_>]) -> Vec<EvalResult> {
+        // Per-request draw streams, resolved up front in request order (stream-less
+        // requests consume the evaluation-order fallback exactly as a serial loop
+        // would).  Substream 0 keys the trajectory schedules, substream 1 the optional
+        // shot sampling — pure functions of the stream, independent of execution order.
+        let streams: Vec<StreamId> = requests
+            .iter()
+            .map(|req| self.resolve_stream(req.stream))
+            .collect();
+        let eval_seeds: Vec<u64> = streams
+            .iter()
+            .map(|s| self.policy.key(s.substream(0)))
+            .collect();
         let model = &self.model;
         let plan = self.cache.get_or_insert_with(circuit, |c| {
             let compiled = CompiledCircuit::compile(c);
@@ -140,10 +167,6 @@ impl NoisyStatevectorBackend {
             .iter()
             .map(|req| plan.compiled.prepare_batch_tables(&[req.params]))
             .collect();
-        let eval_seeds: Vec<u64> = (0..requests.len() as u64)
-            .map(|i| trajectory_seed(self.stream_seed, self.evals_issued + i))
-            .collect();
-        self.evals_issued += requests.len() as u64;
 
         // Accumulators: per request, per charged term and per free-op term, summed in
         // trajectory order (chunk iteration preserves flat item order, so the sums are
@@ -221,11 +244,12 @@ impl NoisyStatevectorBackend {
                 })
                 .collect();
             let charged = if self.sample_shots {
+                let mut rng = self.policy.rng(streams[req_idx].substream(1));
                 qsim::analytic_sampled_from_expectations(
                     req.charged_op,
                     &term_means,
                     self.shots_per_pauli,
-                    &mut self.rng,
+                    &mut rng,
                 )
             } else {
                 term_means
@@ -275,6 +299,7 @@ impl Backend for NoisyStatevectorBackend {
             initial,
             charged_op,
             free_ops,
+            stream: None,
         }];
         let mut results = self.run_uniform(circuit, &requests);
         let result = results.pop().expect("one result per request");
@@ -283,7 +308,12 @@ impl Backend for NoisyStatevectorBackend {
 
     fn evaluate_batch(&mut self, requests: &[EvalRequest<'_>]) -> Vec<EvalResult> {
         let Some(circuit) = uniform_circuit(requests) else {
-            return default_serial_batch(self, requests);
+            // Mixed-circuit fallback: run each request as its own uniform slice (rather
+            // than the trait's stream-blind serial default) so pinned streams survive.
+            return requests
+                .iter()
+                .flat_map(|r| self.run_uniform(r.circuit, std::slice::from_ref(r)))
+                .collect();
         };
         self.run_uniform(circuit, requests)
     }
@@ -328,15 +358,15 @@ impl Backend for NoisyStatevectorBackend {
     }
 
     fn capabilities(&self) -> BackendCaps {
-        // Not retry-safe: the per-evaluation noise stream is indexed by `evals_issued`
-        // (and shot sampling by a sequential RNG), so a re-execution would advance the
-        // counter and shift every later evaluation's trajectory stream.
+        // Retry-safe since the counter-based rework: a stream-carrying request's
+        // trajectory schedules and shot draws are pure functions of its stream, so
+        // re-executing it cannot shift any other request's randomness.
         BackendCaps {
             batch: true,
             shots: self.sample_shots,
             noise: true,
             trajectories: true,
-            retry_safe: false,
+            retry_safe: true,
         }
     }
 
@@ -394,6 +424,7 @@ mod tests {
                     initial: &InitialState::Basis(0),
                     charged_op: &h1,
                     free_ops: &free_ops,
+                    stream: None,
                 })
                 .collect();
             let mut batched =

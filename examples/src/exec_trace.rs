@@ -4,9 +4,11 @@
 //! Three clients push evaluation jobs at different priorities through a two-backend
 //! executor whose primary driver injects seeded transient faults and hard panics
 //! (exercising retry, quarantine, canary, and failover); a slice of jobs carries a
-//! deliberately unmeetable deadline so the expiry path fires too.  At the end the
-//! example prints the same snapshot through all three `qobs` exporters — summary
-//! table, JSON, Prometheus text — plus the `qsim` compiled-pattern profile that the
+//! deliberately unmeetable deadline so the expiry path fires too.  The executor runs
+//! with two execution workers (one per backend), so the per-worker slate counters and
+//! span worker labels light up.  At the end the example prints the same snapshot
+//! through all three `qobs` exporters — summary table, JSON, Prometheus text — plus a
+//! per-worker attribution summary and the `qsim` compiled-pattern profile that the
 //! ROADMAP's profile-guided superop work will consume.
 //!
 //! Run with:
@@ -69,9 +71,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .register("standby", StatevectorBackend::with_shots(64))
         .retry_limit(2)
         .observability(true)
+        .workers(2)
         .start();
     println!(
-        "exec_trace: 3 clients x 3 waves on backends {:?}",
+        "exec_trace: 3 clients x 3 waves on backends {:?}, 2 execution workers",
         executor.backend_names()
     );
 
@@ -81,8 +84,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     // Three waves; each wave is assembled as one fair-ordered slate under a scoped
     // pause.  Client c submits at priority c, with retries + failover so the injected
-    // faults are absorbed rather than fatal; client 0's last wave carries a deadline
-    // that lapses while the executor is still paused, lighting up the expiry path.
+    // faults are absorbed rather than fatal; odd jobs go to the standby directly, so
+    // both execution workers carry load every slate (each backend is owned by one
+    // worker); client 0's last wave carries a deadline that lapses while the executor
+    // is still paused, lighting up the expiry path.
     let mut handles: Vec<JobHandle> = Vec::new();
     for wave in 0..3 {
         let guard = executor.scoped_pause();
@@ -105,6 +110,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     priority: c as qexec::Priority,
                     retries: 2,
                     failover: true,
+                    backend: (j % 2 == 1).then(|| "standby".to_string()),
                     ..SubmitOptions::default()
                 };
                 handles.push(client.submit_with(job, &opts)?);
@@ -139,6 +145,26 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         "\n  Prometheus exposition:\n{}",
         qexec::qobs::export::to_prometheus(&snapshot, "qexec")
     );
+
+    // Worker attribution: the per-worker slate counters (also present in every export
+    // above) and how the finished spans distributed over the execution workers.
+    println!("  per-worker slates:");
+    for (label, total) in &snapshot.labeled {
+        println!("    {label}: {total}");
+    }
+    let recorded = registry.spans().recorded();
+    let max_worker = recorded
+        .iter()
+        .filter_map(|s| s.labels.worker)
+        .max()
+        .unwrap_or(0);
+    for w in 0..=max_worker {
+        let jobs = recorded
+            .iter()
+            .filter(|s| s.labels.worker == Some(w))
+            .count();
+        println!("    worker {w}: {jobs} recorded job spans");
+    }
 
     // The compiled-pattern profile all those executions fed (hottest first).
     print!("{}", qsim::profile::render_table(8));

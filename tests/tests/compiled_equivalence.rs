@@ -176,6 +176,7 @@ proptest! {
                     initial: &InitialState::Basis(1),
                     charged_op: &charged,
                     free_ops: &free_ops,
+                    stream: None,
                 })
                 .collect();
             let mut batched = StatevectorBackend::with_shots(64);
@@ -226,6 +227,7 @@ proptest! {
                 initial: &InitialState::Basis(0),
                 charged_op: &charged,
                 free_ops: &[],
+                stream: None,
             })
             .collect();
         let mut batched = StatevectorBackend::with_shots(8);
@@ -261,6 +263,7 @@ proptest! {
                 initial: &InitialState::UniformSuperposition,
                 charged_op: &charged,
                 free_ops: &[],
+                stream: None,
             })
             .collect();
         let mut batched = SampledBackend::new(128, seed);

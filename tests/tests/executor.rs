@@ -1,23 +1,26 @@
-//! Executor determinism suite: the `qexec` service's serial-replay equivalence
-//! contract, fairness, priority, cancellation, and structured-error behaviour.
+//! Executor determinism suite: the `qexec` service's schedule-independence contract,
+//! fairness, priority, cancellation, and structured-error behaviour.
 //!
-//! The hard contract under test: **executor results are bit-identical to the serial
-//! `evaluate`/`evaluate_batch` replay of the scheduled order** (by
-//! [`qexec::JobHandle::sequence`]), for exact, sampled (RNG-stream), and
-//! trajectory-noise backends — independent of worker count.  CI runs this suite under
-//! `RAYON_NUM_THREADS ∈ {1, 2, 4}`; `force_parallel_workers` below defaults a plain
-//! local run to 4 workers so the across-state parallel batch paths are exercised even
-//! on a single-core box.
+//! The hard contract under test: **executor results are bit-identical under any
+//! schedule** — every job's stochastic draws come from its own counter-based stream
+//! pinned at admission ([`qexec::JobHandle::rng_stream`]), so re-evaluating any job
+//! with its stream on a fresh identically-configured backend reproduces its result
+//! exactly, in any order, for exact, sampled, and trajectory-noise backends.  CI runs
+//! this suite under `RAYON_NUM_THREADS ∈ {1, 2, 4}` × `QEXEC_WORKERS ∈ {1, 2, 4}`;
+//! `force_parallel_workers` below defaults a plain local run to 4 rayon workers so the
+//! across-state parallel batch paths are exercised even on a single-core box.  (The
+//! dedicated schedule-independence property suite lives in
+//! `tests/tests/schedule_independence.rs`.)
 
 use qcircuit::{Circuit, Entanglement, HardwareEfficientAnsatz};
-use qexec::{wait_all, EvalJob, ExecError, Executor, JobHandle, SubmitOptions};
+use qexec::{wait_all, EvalJob, ExecError, Executor, JobHandle, StreamId, SubmitOptions};
 use qnoise::PauliNoiseModel;
 use qop::PauliOp;
 use std::sync::Arc;
 use treevqa::{TreeVqa, TreeVqaConfig};
 use vqa::{
-    Backend, InitialState, NoisyStatevectorBackend, SampledBackend, StatevectorBackend,
-    VqaApplication, VqaTask,
+    Backend, EvalRequest, InitialState, NoisyStatevectorBackend, SampledBackend,
+    StatevectorBackend, VqaApplication, VqaTask,
 };
 
 /// Forces multiple workers even on single-core CI machines (the vendored rayon honors
@@ -65,7 +68,7 @@ fn run_clients(
     circuit: &Arc<Circuit>,
     charged: &Arc<PauliOp>,
     free: &Arc<PauliOp>,
-) -> Vec<(EvalJob, qexec::EvalResult, u64)> {
+) -> Vec<(EvalJob, qexec::EvalResult, u64, StreamId)> {
     executor.pause();
     let clients: Vec<_> = (0..num_clients).map(|_| executor.client()).collect();
     let mut submitted: Vec<(EvalJob, JobHandle)> = Vec::new();
@@ -86,44 +89,49 @@ fn run_clients(
         }
     }
     executor.resume();
-    let mut executed: Vec<(EvalJob, qexec::EvalResult, u64)> = submitted
+    let mut executed: Vec<(EvalJob, qexec::EvalResult, u64, StreamId)> = submitted
         .into_iter()
         .map(|(job, handle)| {
             let result = handle.wait().expect("job executes");
             let seq = handle.sequence().expect("executed jobs have a sequence");
-            (job, result, seq)
+            (job, result, seq, handle.rng_stream())
         })
         .collect();
-    executed.sort_by_key(|(_, _, seq)| *seq);
+    executed.sort_by_key(|(_, _, seq, _)| *seq);
     // Sequence numbers must be exactly 0..n in some order (no gaps, no duplicates).
-    for (i, (_, _, seq)) in executed.iter().enumerate() {
+    for (i, (_, _, seq, _)) in executed.iter().enumerate() {
         assert_eq!(*seq, i as u64, "sequence numbers must be gapless");
     }
     executed
 }
 
-/// Replays `executed` serially (one `evaluate` per job, in sequence order) through
-/// `backend` and demands bit-identical charged/free values and equal shot charges.
-fn assert_serial_replay_bit_identical(
-    executed: &[(EvalJob, qexec::EvalResult, u64)],
+/// Replays every executed job one at a time through `backend`, keyed by the stream its
+/// handle reported — in **reverse** sequence order, to prove the replay is a per-job
+/// lookup rather than a ritual re-enactment of the schedule — and demands bit-identical
+/// charged/free values and equal shot charges.
+fn assert_stream_replay_bit_identical(
+    executed: &[(EvalJob, qexec::EvalResult, u64, StreamId)],
     backend: &mut dyn Backend,
 ) {
-    for (job, result, seq) in executed {
+    for (job, result, seq, stream) in executed.iter().rev() {
         let free_refs: Vec<&PauliOp> = job.free_ops.iter().map(|op| op.as_ref()).collect();
         let before = backend.shots_used();
-        let (charged, free) = backend.evaluate(
-            &job.circuit,
-            &job.params,
-            &job.initial,
-            &job.charged_op,
-            &free_refs,
-        );
+        let request = EvalRequest {
+            circuit: &job.circuit,
+            params: &job.params,
+            initial: &job.initial,
+            charged_op: &job.charged_op,
+            free_ops: &free_refs,
+            stream: Some(*stream),
+        };
+        let mut replayed = backend.evaluate_batch(std::slice::from_ref(&request));
+        let replayed = replayed.remove(0);
         assert_eq!(
             result.charged.to_bits(),
-            charged.to_bits(),
-            "charged value diverged from the serial replay at sequence {seq}"
+            replayed.charged.to_bits(),
+            "charged value diverged from the stream-keyed replay at sequence {seq}"
         );
-        for (a, b) in result.free.iter().zip(&free) {
+        for (a, b) in result.free.iter().zip(&replayed.free) {
             assert_eq!(a.to_bits(), b.to_bits(), "free value diverged at {seq}");
         }
         assert_eq!(result.shots, backend.shots_used() - before);
@@ -131,7 +139,7 @@ fn assert_serial_replay_bit_identical(
 }
 
 #[test]
-fn exact_backend_matches_serial_replay() {
+fn exact_backend_matches_stream_replay() {
     force_parallel_workers();
     let circuit = demo_circuit(4);
     let (charged, free) = demo_ops(4);
@@ -139,11 +147,11 @@ fn exact_backend_matches_serial_replay() {
         .register(qexec::DEFAULT_BACKEND, StatevectorBackend::with_shots(64))
         .start();
     let executed = run_clients(&executor, 3, 4, &circuit, &charged, &free);
-    assert_serial_replay_bit_identical(&executed, &mut StatevectorBackend::with_shots(64));
+    assert_stream_replay_bit_identical(&executed, &mut StatevectorBackend::with_shots(64));
 }
 
 #[test]
-fn sampled_backend_consumes_the_rng_stream_in_scheduled_order() {
+fn sampled_backend_results_are_stream_keyed() {
     force_parallel_workers();
     let circuit = demo_circuit(4);
     let (charged, free) = demo_ops(4);
@@ -151,11 +159,11 @@ fn sampled_backend_consumes_the_rng_stream_in_scheduled_order() {
         .register(qexec::DEFAULT_BACKEND, SampledBackend::new(256, 42))
         .start();
     let executed = run_clients(&executor, 4, 3, &circuit, &charged, &free);
-    assert_serial_replay_bit_identical(&executed, &mut SampledBackend::new(256, 42));
+    assert_stream_replay_bit_identical(&executed, &mut SampledBackend::new(256, 42));
 }
 
 #[test]
-fn noisy_trajectory_backend_matches_serial_replay() {
+fn noisy_trajectory_backend_matches_stream_replay() {
     force_parallel_workers();
     let circuit = demo_circuit(3);
     let (charged, free) = demo_ops(3);
@@ -169,7 +177,7 @@ fn noisy_trajectory_backend_matches_serial_replay() {
         .register(qexec::DEFAULT_BACKEND, make())
         .start();
     let executed = run_clients(&executor, 3, 3, &circuit, &charged, &free);
-    assert_serial_replay_bit_identical(&executed, &mut make());
+    assert_stream_replay_bit_identical(&executed, &mut make());
 }
 
 #[test]
@@ -183,7 +191,7 @@ fn large_batches_cross_the_parallel_threshold_and_stay_replayable() {
         .register(qexec::DEFAULT_BACKEND, StatevectorBackend::with_shots(8))
         .start();
     let executed = run_clients(&executor, 1, 17, &circuit, &charged, &free);
-    assert_serial_replay_bit_identical(&executed, &mut StatevectorBackend::with_shots(8));
+    assert_stream_replay_bit_identical(&executed, &mut StatevectorBackend::with_shots(8));
 }
 
 #[test]
@@ -299,18 +307,27 @@ fn cancellation_removes_queued_jobs_and_preserves_the_replay_of_the_rest() {
     let r3 = third.wait().unwrap();
     assert_eq!(cancelled.wait().unwrap_err(), ExecError::Cancelled);
     assert_eq!(cancelled.sequence(), None);
-    // The cancelled job must not have consumed an RNG draw: the survivors replay as a
-    // two-job serial stream.
+    // Cancellation cannot disturb the survivors: each replays bit-identically from its
+    // own stream on a fresh backend.
     let mut replay = SampledBackend::new(128, 9);
-    for (params, result) in [(0.1, &r1), (0.3, &r3)] {
-        let (charged_v, _) = replay.evaluate(
-            &circuit,
-            &vec![params; circuit.num_parameters()],
-            &InitialState::Basis(0),
-            &charged,
-            &[free.as_ref()],
-        );
-        assert_eq!(result.charged.to_bits(), charged_v.to_bits());
+    for (params, result, stream) in [
+        (0.1, &r1, first.rng_stream()),
+        (0.3, &r3, third.rng_stream()),
+    ] {
+        let all_params = vec![params; circuit.num_parameters()];
+        let free_refs = [free.as_ref()];
+        let request = EvalRequest {
+            circuit: &circuit,
+            params: &all_params,
+            initial: &InitialState::Basis(0),
+            charged_op: &charged,
+            free_ops: &free_refs,
+            stream: Some(stream),
+        };
+        let replayed = replay
+            .evaluate_batch(std::slice::from_ref(&request))
+            .remove(0);
+        assert_eq!(result.charged.to_bits(), replayed.charged.to_bits());
     }
 }
 
@@ -409,7 +426,7 @@ fn treevqa_runs_are_deterministic_across_executors() {
 }
 
 #[test]
-fn runner_on_the_executor_matches_a_manual_serial_drive() {
+fn runner_reruns_bit_identically_on_fresh_executors() {
     force_parallel_workers();
     let ham = qchem::transverse_field_ising(3, 1.0, 0.5);
     let task = VqaTask::new("t", 0.5, ham.clone());
@@ -420,45 +437,31 @@ fn runner_on_the_executor_matches_a_manual_serial_drive() {
         seed: 11,
         record_every: 5,
     };
-    let executor = Executor::single(SampledBackend::new(128, 21));
-    let via_service = qexec::run_single_vqa(
-        &task,
-        &ansatz,
-        &InitialState::Basis(0),
-        &vec![0.0; ansatz.num_parameters()],
-        &executor.client(),
-        &config,
-    )
-    .expect("well-formed task");
-
-    // Manual drive: the historical in-process loop (propose → serial evaluate →
-    // observe, probes uncharged) against an identically seeded backend.
-    let mut backend = SampledBackend::new(128, 21);
-    let mut optimizer = config.optimizer.build(config.seed);
-    let mut params = vec![0.0; ansatz.num_parameters()];
-    for _ in 0..config.max_iterations {
-        loop {
-            let candidates = optimizer.propose(&params);
-            let values: Vec<f64> = candidates
-                .iter()
-                .map(|c| {
-                    backend
-                        .evaluate(&ansatz, c, &InitialState::Basis(0), &ham, &[])
-                        .0
-                })
-                .collect();
-            if optimizer.observe(&mut params, &values).is_some() {
-                break;
-            }
-        }
-    }
-    assert_eq!(via_service.final_params.len(), params.len());
-    for (a, b) in via_service.final_params.iter().zip(&params) {
+    // A runner drive is a pure function of (config, backend seed): a second run on a
+    // fresh executor — new scheduler, new uids, new streams derived the same way —
+    // reproduces the whole optimizer trajectory bit-for-bit.
+    let run = || {
+        let executor = Executor::single(SampledBackend::new(128, 21));
+        qexec::run_single_vqa(
+            &task,
+            &ansatz,
+            &InitialState::Basis(0),
+            &vec![0.0; ansatz.num_parameters()],
+            &executor.client(),
+            &config,
+        )
+        .expect("well-formed task")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.final_params.len(), second.final_params.len());
+    for (a, b) in first.final_params.iter().zip(&second.final_params) {
         assert_eq!(
             a.to_bits(),
             b.to_bits(),
-            "the service-driven optimizer trajectory must equal the manual serial drive"
+            "the service-driven optimizer trajectory must be reproducible"
         );
     }
-    assert_eq!(backend.shots_used(), via_service.shots_used);
+    assert_eq!(first.shots_used, second.shots_used);
+    assert_eq!(first.final_energy.to_bits(), second.final_energy.to_bits());
 }

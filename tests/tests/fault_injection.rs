@@ -420,14 +420,67 @@ fn exhausted_retries_fail_with_the_transient_message() {
     );
 }
 
-/// Retries are only allowed where re-execution is observationally invisible: a
-/// stream-stateful stochastic backend refuses retry budgets at the submission
+/// A stand-in for a third-party driver that carries cross-request mutable RNG state:
+/// it computes like the exact backend but deliberately does not advertise
+/// `retry_safe` (the workspace backends all do, since the counter-based `qrng`
+/// rework keys their draws per request).
+struct StreamStatefulBackend(StatevectorBackend);
+
+impl Backend for StreamStatefulBackend {
+    fn evaluate(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        charged_op: &PauliOp,
+        free_ops: &[&PauliOp],
+    ) -> (f64, Vec<f64>) {
+        self.0
+            .evaluate(circuit, params, initial, charged_op, free_ops)
+    }
+
+    fn probe(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        initial: &InitialState,
+        op: &PauliOp,
+    ) -> f64 {
+        self.0.probe(circuit, params, initial, op)
+    }
+
+    fn shots_used(&self) -> u64 {
+        self.0.shots_used()
+    }
+
+    fn reset_shots(&mut self) {
+        self.0.reset_shots()
+    }
+
+    fn shots_per_pauli(&self) -> u64 {
+        self.0.shots_per_pauli()
+    }
+
+    fn name(&self) -> &'static str {
+        "stream-stateful"
+    }
+
+    fn capabilities(&self) -> vqa::BackendCaps {
+        vqa::BackendCaps {
+            retry_safe: false,
+            ..self.0.capabilities()
+        }
+    }
+}
+
+/// Retries are only allowed where re-execution is observationally invisible: a driver
+/// that does not advertise `retry_safe` refuses retry budgets at the submission
 /// boundary.
 #[test]
 fn retries_require_the_retry_safe_capability() {
     let circuit = demo_circuit(3);
     let (charged, free) = demo_ops(3);
-    let executor = Executor::single(SampledBackend::new(256, 42));
+    let executor = Executor::single(StreamStatefulBackend(StatevectorBackend::with_shots(64)));
     let client = executor.client();
     let err = client
         .submit_with(
@@ -445,4 +498,67 @@ fn retries_require_the_retry_safe_capability() {
             missing: "retry_safe",
         }
     );
+}
+
+/// The stochastic backends are retry-safe since the counter-based `qrng` rework: a
+/// sampled backend accepts a retry budget, and a retry rescued by it is bit-identical
+/// to the fault-free run of the same job — the re-execution reuses the job's pinned
+/// stream and disturbs nothing else.
+#[test]
+fn sampled_backend_retries_bit_identically() {
+    silence_expected_panics();
+    let circuit = demo_circuit(3);
+    let (charged, free) = demo_ops(3);
+    // The whole first slate is one `evaluate_batch` submission = driver call 0.
+    let plan = FaultPlan::new(13).with_fault_at(0, Some(FaultKind::Transient));
+    let executor = Executor::builder()
+        .register(
+            qexec::DEFAULT_BACKEND,
+            FaultyBackend::new(SampledBackend::new(256, 42), plan),
+        )
+        .paused()
+        .start();
+    let client = executor.client();
+    let opts = SubmitOptions {
+        retries: 1,
+        ..SubmitOptions::default()
+    };
+    let handles: Vec<JobHandle> = (0..3)
+        .map(|salt| {
+            client
+                .submit_with(demo_job(&circuit, &charged, &free, salt), &opts)
+                .expect("sampled backends accept retry budgets")
+        })
+        .collect();
+    executor.resume();
+    // Every handle resolves despite the injected fault (the whole batch faulted at
+    // driver call 0 retries one slate later, streams pinned).
+    let results: Vec<_> = handles
+        .iter()
+        .map(|h| h.wait().expect("retry rescues the batch"))
+        .collect();
+    assert_eq!(executor.stats().retries, 3);
+    // Each result is bit-identical to evaluating the same job + stream on a fresh,
+    // fault-free backend.
+    let mut replay = SampledBackend::new(256, 42);
+    for (salt, (handle, result)) in handles.iter().zip(&results).enumerate() {
+        let job = demo_job(&circuit, &charged, &free, salt);
+        let free_refs: Vec<&PauliOp> = job.free_ops.iter().map(|op| op.as_ref()).collect();
+        let request = vqa::EvalRequest {
+            circuit: &job.circuit,
+            params: &job.params,
+            initial: &job.initial,
+            charged_op: &job.charged_op,
+            free_ops: &free_refs,
+            stream: Some(handle.rng_stream()),
+        };
+        let replayed = replay
+            .evaluate_batch(std::slice::from_ref(&request))
+            .remove(0);
+        assert_eq!(
+            result.charged.to_bits(),
+            replayed.charged.to_bits(),
+            "a rescued retry diverged from the fault-free stream replay"
+        );
+    }
 }

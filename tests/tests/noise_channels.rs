@@ -199,6 +199,7 @@ proptest! {
                     initial: &InitialState::Basis(0),
                     charged_op: &charged,
                     free_ops: &[],
+                    stream: None,
                 })
                 .collect();
             let mut batched = NoisyStatevectorBackend::new(model.clone(), 16, 23)
@@ -245,6 +246,7 @@ proptest! {
                 initial: &InitialState::Basis(0),
                 charged_op: &charged,
                 free_ops: &[],
+                stream: None,
             })
             .collect();
         let mut batched = NoisyStatevectorBackend::new(model.clone(), 8, 31)
