@@ -14,13 +14,14 @@ use treevqa_bench::quick::{
     compare_against_baselines, gate_tolerance, parse_median_records, parse_records, QuickRecord,
 };
 
-const BASELINE_FILES: [&str; 6] = [
+const BASELINE_FILES: [&str; 7] = [
     "BENCH_kernels.json",
     "BENCH_batch.json",
     "BENCH_noise.json",
     "BENCH_exec.json",
     "BENCH_exec_overload.json",
     "BENCH_obs.json",
+    "BENCH_net.json",
 ];
 
 fn main() {

@@ -7,7 +7,8 @@
 //!
 //! `cargo run --release -p treevqa_bench --bin perf_gate` then compares that file
 //! against the checked-in `BENCH_kernels.json` / `BENCH_batch.json` / `BENCH_noise.json`
-//! / `BENCH_exec.json` / `BENCH_exec_overload.json` / `BENCH_obs.json` baselines.  The tolerance is deliberately generous — CI hosts differ from the
+//! / `BENCH_exec.json` / `BENCH_exec_overload.json` / `BENCH_obs.json` /
+//! `BENCH_net.json` baselines.  The tolerance is deliberately generous — CI hosts differ from the
 //! baseline-recording host — so the gate only fails on a throughput regression larger
 //! than [`DEFAULT_TOLERANCE`] (override with the `PERF_GATE_TOLERANCE` environment
 //! variable, a fraction in `(0, 1)`).  The workflow uploads the quick JSON as an
@@ -383,6 +384,81 @@ pub fn run_quick_suite() -> Vec<QuickRecord> {
             };
             std::hint::black_box(client.submit_with(job, &opts).unwrap());
         }));
+    }
+    {
+        // Network serving overhead (BENCH_net.json): the execution service again, but
+        // through real loopback TCP connections.  The probe round trip, compared
+        // against `exec/submit_probe/2q` above, bounds the wire cost per request
+        // (framing, codec, one socket round trip, demultiplexing); the `net/jobs/*`
+        // slates measure served jobs/s as the same 32-job 12q workload fans out over
+        // 1, 4, and 16 connections, each connection shipping its share as one batch
+        // frame (a coalesced slate server-side).
+        let tiny = {
+            let mut c = qcircuit::Circuit::new(2);
+            c.push(qcircuit::Gate::H(0));
+            c.push(qcircuit::Gate::Cx(0, 1));
+            Arc::new(c)
+        };
+        let op = Arc::new(qop::PauliOp::from_labels(2, &[("ZZ", 1.0)]));
+        let executor = Arc::new(Executor::single(StatevectorBackend::with_shots(0)));
+        let server = qnet::NetServer::bind("127.0.0.1:0", Arc::clone(&executor))
+            .expect("bind loopback bench server");
+        {
+            let client =
+                qnet::NetClient::connect(server.local_addr()).expect("connect bench client");
+            records.push(time_workload("net/rtt/probe_2q", 300, || {
+                let job = EvalJob::new(
+                    Arc::clone(&tiny),
+                    Vec::new(),
+                    InitialState::Basis(0),
+                    Arc::clone(&op),
+                );
+                std::hint::black_box(client.submit_probe(job).unwrap().wait().unwrap());
+            }));
+        }
+        let circ = Arc::new(
+            qcircuit::HardwareEfficientAnsatz::new(n, 2, qcircuit::Entanglement::Circular).build(),
+        );
+        let base = workloads::ansatz_params(&circ);
+        let ham = Arc::new(workloads::tfim_hamiltonian(n));
+        for conns in [1usize, 4, 16] {
+            let clients: Vec<_> = (0..conns)
+                .map(|_| qnet::NetClient::connect(server.local_addr()).expect("connect"))
+                .collect();
+            let per_conn = 32 / conns;
+            records.push(time_workload(
+                &format!("net/jobs/{conns}conn_32x12q"),
+                8,
+                || {
+                    let groups: Vec<_> = clients
+                        .iter()
+                        .enumerate()
+                        .map(|(c, client)| {
+                            let jobs: Vec<EvalJob> = (0..per_conn)
+                                .map(|i| {
+                                    let params: Vec<f64> = base
+                                        .iter()
+                                        .map(|p| p + 0.001 * (c * per_conn + i) as f64)
+                                        .collect();
+                                    EvalJob::new(
+                                        Arc::clone(&circ),
+                                        params,
+                                        InitialState::Basis(0),
+                                        Arc::clone(&ham),
+                                    )
+                                })
+                                .collect();
+                            client.submit_group(jobs).expect("batch submit")
+                        })
+                        .collect();
+                    for group in &groups {
+                        for handle in group {
+                            std::hint::black_box(handle.wait().unwrap());
+                        }
+                    }
+                },
+            ));
+        }
     }
 
     records

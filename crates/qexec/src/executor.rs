@@ -1003,6 +1003,9 @@ impl ExecClient {
         // counters only — they never became jobs).  The `enabled` guard keeps label
         // construction (a name clone) off the disabled path entirely.
         if self.shared.obs.enabled() {
+            // The registry rides along so the completion funnel can label failures by
+            // wire error code even when the span ring is full.
+            state.attach_obs(Arc::clone(&self.shared.obs));
             if let Some(span) = self.shared.obs.start_span(qobs::SpanLabels {
                 client: self.id as u64,
                 backend: self.shared.meta[backend].name.clone(),

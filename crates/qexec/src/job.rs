@@ -13,6 +13,14 @@ use vqa::{BackendCaps, EvalResult, InitialState};
 /// fairly round-robin across clients.  The default is 0.
 pub type Priority = i32;
 
+/// Hard cap on the register size the execution service accepts.
+///
+/// A dense statevector is `2^n` amplitudes (two `f64` lanes each), so 32 qubits — 64
+/// GiB of state — is already far past anything this service simulates; anything larger
+/// is hostile or nonsensical input and is refused at validation with
+/// [`ExecError::RegisterTooLarge`] before any allocation is attempted.
+pub const MAX_JOB_QUBITS: usize = 32;
+
 /// One owned evaluation of a parameterized ansatz against a charged observable (plus
 /// free tracking observables).
 ///
@@ -94,11 +102,21 @@ impl EvalJob {
     /// Validates the job's shapes, reporting the first problem as an [`ExecError`].
     ///
     /// This is the service boundary where malformed user input becomes a structured
-    /// error instead of a panic deep inside a simulator kernel.
+    /// error instead of a panic deep inside a simulator kernel.  Since jobs can arrive
+    /// over the network (`qnet`), the checks assume a hostile caller, not a
+    /// well-behaved in-process one: registers above [`MAX_JOB_QUBITS`] are refused
+    /// before any `2^n` allocation, NaN/infinite parameters before they poison a
+    /// state, and zero-term observables before they bill vacuous work.
     pub fn validate(&self) -> Result<(), ExecError> {
         let n = self.circuit.num_qubits();
         if self.circuit.num_gates() == 0 {
             return Err(ExecError::EmptyCircuit);
+        }
+        if n > MAX_JOB_QUBITS {
+            return Err(ExecError::RegisterTooLarge {
+                num_qubits: n,
+                max: MAX_JOB_QUBITS,
+            });
         }
         let expected = self.circuit.num_parameters();
         if self.params.len() != expected {
@@ -107,12 +125,18 @@ impl EvalJob {
                 got: self.params.len(),
             });
         }
+        if let Some(index) = self.params.iter().position(|p| !p.is_finite()) {
+            return Err(ExecError::NonFiniteParameter { index });
+        }
         for op in std::iter::once(&self.charged_op).chain(self.free_ops.iter()) {
             if op.num_qubits() != n {
                 return Err(ExecError::QubitCountMismatch {
                     circuit: n,
                     operator: op.num_qubits(),
                 });
+            }
+            if op.num_terms() == 0 {
+                return Err(ExecError::EmptyObservable);
             }
         }
         if let InitialState::Basis(b) = self.initial {
@@ -228,8 +252,11 @@ fn outcome_of(result: &Result<EvalResult, ExecError>) -> qobs::Outcome {
     }
 }
 
+/// A one-shot completion callback (see [`JobHandle::on_complete`]).
+type CompletionCallback = Box<dyn FnOnce(&Result<EvalResult, ExecError>) + Send>;
+
 /// Completion state shared between a handle and the scheduler.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub(crate) struct JobState {
     slot: Mutex<Option<Result<EvalResult, ExecError>>>,
     cv: Condvar,
@@ -239,23 +266,66 @@ pub(crate) struct JobState {
     /// (worker, cancel, shed, expire, shutdown), so closing the span here guarantees
     /// exactly one terminal event per admitted job.
     span: OnceLock<Arc<qobs::Span>>,
+    /// The executor's observability registry, attached at admission when recording is
+    /// on, so the completion funnel can label failed jobs by wire error code.
+    obs: OnceLock<Arc<qobs::Registry>>,
+    /// Callbacks to run on completion.  Guarded by the `slot` lock discipline: both
+    /// registration and the completing drain hold `slot` while touching this, so a
+    /// callback runs exactly once — either inline at registration (already complete)
+    /// or from the completing thread.
+    callbacks: Mutex<Vec<CompletionCallback>>,
+}
+
+impl std::fmt::Debug for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobState")
+            .field("slot", &self.slot)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
 }
 
 impl JobState {
     pub(crate) fn complete(&self, result: Result<EvalResult, ExecError>) {
         let mut slot = self.slot.lock().unwrap();
-        if slot.is_none() {
-            if let Some(span) = self.span.get() {
-                span.finish(outcome_of(&result));
-            }
-            *slot = Some(result);
+        if slot.is_some() {
+            drop(slot);
+            self.cv.notify_all();
+            return;
         }
+        if let Some(span) = self.span.get() {
+            span.finish(outcome_of(&result));
+        }
+        // Failed jobs additionally count under their stable wire code
+        // (`err<code>_<name>`), so a Prometheus scrape and a `qnet` wire client agree
+        // on what failed and how often.
+        if let Err(e) = &result {
+            if let Some(obs) = self.obs.get() {
+                obs.labeled()
+                    .inc(&format!("err{}_{}", e.code(), e.code_name()));
+            }
+        }
+        *slot = Some(result);
+        // Drain under the `slot` lock (the registration side holds it too), run after
+        // releasing it so a callback can inspect the handle without self-deadlock.
+        let callbacks: Vec<CompletionCallback> =
+            std::mem::take(&mut *self.callbacks.lock().unwrap());
+        let for_callbacks = (!callbacks.is_empty()).then(|| slot.as_ref().unwrap().clone());
         drop(slot);
         self.cv.notify_all();
+        if let Some(result) = for_callbacks {
+            for callback in callbacks {
+                callback(&result);
+            }
+        }
     }
 
     pub(crate) fn attach_span(&self, span: Arc<qobs::Span>) {
         let _ = self.span.set(span);
+    }
+
+    pub(crate) fn attach_obs(&self, obs: Arc<qobs::Registry>) {
+        let _ = self.obs.set(obs);
     }
 
     pub(crate) fn span(&self) -> Option<&Arc<qobs::Span>> {
@@ -328,6 +398,34 @@ impl JobHandle {
     /// Whether the job has completed (successfully or not).
     pub fn is_finished(&self) -> bool {
         self.state.slot.lock().unwrap().is_some()
+    }
+
+    /// Registers a callback to run exactly once when the job completes (with the same
+    /// result [`JobHandle::wait`] returns).  If the job has already completed, the
+    /// callback runs inline before this returns; otherwise it runs on the completing
+    /// thread — scheduler or worker — so it must be short and must not block (push
+    /// into a channel, bump a counter).  This is the push-notification primitive the
+    /// network server uses to stream out-of-order completions without a thread or a
+    /// poll per in-flight job.
+    pub fn on_complete<F>(&self, callback: F)
+    where
+        F: FnOnce(&Result<EvalResult, ExecError>) + Send + 'static,
+    {
+        let slot = self.state.slot.lock().unwrap();
+        if let Some(result) = slot.as_ref() {
+            let result = result.clone();
+            drop(slot);
+            callback(&result);
+        } else {
+            // Registered under the `slot` lock: `complete` drains callbacks while
+            // holding it, so this either lands before the drain (and runs there) or
+            // observes the filled slot above.
+            self.state
+                .callbacks
+                .lock()
+                .unwrap()
+                .push(Box::new(callback));
+        }
     }
 
     /// Attempts to cancel the job.  Returns `true` if the job was still queued (it is

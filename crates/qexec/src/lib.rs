@@ -136,14 +136,16 @@ mod executor;
 pub mod fault;
 mod job;
 mod runner;
+mod submit;
 pub mod supervisor;
 
-pub use error::ExecError;
+pub use error::{ExecError, CAPABILITY_NAMES};
 pub use executor::{
     AdmissionPolicy, ExecClient, ExecStats, Executor, ExecutorBuilder, PauseGuard, DEFAULT_BACKEND,
     DEFAULT_RETRY_LIMIT, EVENT_NAMES,
 };
-pub use job::{wait_all, EvalJob, JobHandle, Priority, SubmitOptions};
+pub use job::{wait_all, EvalJob, JobHandle, Priority, SubmitOptions, MAX_JOB_QUBITS};
+pub use submit::{CompletionHandle, JobSubmitter};
 // Re-exported so callers can name draw streams and seed policies without a direct
 // dependency on the RNG crate.
 pub use qrng;

@@ -11,8 +11,9 @@
 //! executors, any worker count, and any co-tenant clients sharing the service.
 
 use crate::error::ExecError;
-use crate::executor::{ExecClient, Executor};
-use crate::job::EvalJob;
+use crate::executor::Executor;
+use crate::job::{EvalJob, SubmitOptions};
+use crate::submit::{CompletionHandle, JobSubmitter};
 use qcircuit::Circuit;
 use qop::PauliOp;
 use std::sync::Arc;
@@ -27,12 +28,12 @@ use vqa::{
 /// point, or parameters inherited from a parent TreeVQA cluster).  Shots are accounted
 /// from the per-job results, so several runners can share one executor without
 /// conflating their budgets.
-pub fn run_single_vqa(
+pub fn run_single_vqa<S: JobSubmitter>(
     task: &VqaTask,
     ansatz: &Circuit,
     initial: &InitialState,
     initial_params: &[f64],
-    client: &ExecClient,
+    client: &S,
     config: &VqaRunConfig,
 ) -> Result<VqaRunResult, ExecError> {
     if initial_params.len() != ansatz.num_parameters() {
@@ -52,14 +53,17 @@ pub fn run_single_vqa(
     let mut best_energy = f64::INFINITY;
     let record_every = config.record_every.max(1);
 
-    let probe = |client: &ExecClient, params: &[f64]| -> Result<f64, ExecError> {
+    let probe = |client: &S, params: &[f64]| -> Result<f64, ExecError> {
         let job = EvalJob::new(
             Arc::clone(&ansatz),
             params.to_vec(),
             *initial,
             Arc::clone(&hamiltonian),
         );
-        Ok(client.submit_probe(job)?.wait()?.charged)
+        Ok(client
+            .submit_probe_job(job, &SubmitOptions::default())?
+            .wait()?
+            .charged)
     };
 
     for iteration in 0..config.max_iterations {
@@ -150,8 +154,8 @@ pub fn run_baseline(
 /// This is the propose/observe ↔ job-submission bridge shared by [`run_single_vqa`] and
 /// ad-hoc optimization loops; the TreeVQA controller uses the same protocol but spreads
 /// its clusters' phases across clients to interleave them fairly.
-pub fn drive_optimizer_iteration(
-    client: &ExecClient,
+pub fn drive_optimizer_iteration<S: JobSubmitter>(
+    client: &S,
     optimizer: &mut dyn qopt::Optimizer,
     params: &mut Vec<f64>,
     ansatz: &Arc<Circuit>,
@@ -169,8 +173,8 @@ pub fn drive_optimizer_iteration(
 /// congested (or stalled) executor fails with [`ExecError::DeadlineExceeded`] instead
 /// of wedging the optimization loop.  `None` submits without deadlines.
 #[allow(clippy::too_many_arguments)]
-pub fn drive_optimizer_iteration_with(
-    client: &ExecClient,
+pub fn drive_optimizer_iteration_with<S: JobSubmitter>(
+    client: &S,
     optimizer: &mut dyn qopt::Optimizer,
     params: &mut Vec<f64>,
     ansatz: &Arc<Circuit>,
@@ -183,19 +187,23 @@ pub fn drive_optimizer_iteration_with(
     loop {
         let candidates = optimizer.propose(params);
         let deadline = phase_timeout.map(|t| std::time::Instant::now() + t);
-        let handles = client.submit_all(candidates.iter().map(|candidate| {
-            let mut job = EvalJob::new(
-                Arc::clone(ansatz),
-                candidate.clone(),
-                *initial,
-                Arc::clone(charged_op),
-            )
-            .with_free_ops(free_ops.to_vec());
-            if let Some(d) = deadline {
-                job = job.with_deadline(d);
-            }
-            job
-        }))?;
+        let jobs: Vec<EvalJob> = candidates
+            .iter()
+            .map(|candidate| {
+                let mut job = EvalJob::new(
+                    Arc::clone(ansatz),
+                    candidate.clone(),
+                    *initial,
+                    Arc::clone(charged_op),
+                )
+                .with_free_ops(free_ops.to_vec());
+                if let Some(d) = deadline {
+                    job = job.with_deadline(d);
+                }
+                job
+            })
+            .collect();
+        let handles = client.submit_job_group(jobs)?;
         let mut values = Vec::with_capacity(handles.len());
         for handle in &handles {
             let result = handle.wait()?;
